@@ -1,0 +1,1 @@
+"""Figure-reproduction benchmark package."""

@@ -1,0 +1,51 @@
+"""Shared computation of the Fig. 7 / Fig. 8 comparison curves.
+
+Both figure benchmarks and the headline-numbers benchmark need the same
+pair of (unprotected, clipped) whole-network campaigns per model; this
+module computes each pair once per pytest session.
+"""
+
+from __future__ import annotations
+
+from repro.core.campaign import CampaignConfig, run_campaign
+from repro.core.metrics import ResilienceCurve
+from repro.experiments import clone_model, paper_fault_rates
+from repro.hw.memory import WeightMemory
+
+_STORE: dict[str, tuple[ResilienceCurve, ResilienceCurve]] = {}
+
+
+def comparison_curves(
+    name: str,
+    bundle,
+    hardened_model,
+    images,
+    labels,
+    trials: int,
+    seed: int = 2020,
+) -> tuple[ResilienceCurve, ResilienceCurve]:
+    """(unprotected, clipped) curves for one model, computed once."""
+    if name in _STORE:
+        return _STORE[name]
+    config = CampaignConfig(
+        fault_rates=paper_fault_rates(), trials=trials, seed=seed
+    )
+    unprotected = clone_model(bundle)
+    base = run_campaign(
+        unprotected,
+        WeightMemory.from_model(unprotected),
+        images,
+        labels,
+        config,
+        label=f"{name} unprotected",
+    )
+    clipped = run_campaign(
+        hardened_model,
+        WeightMemory.from_model(hardened_model),
+        images,
+        labels,
+        config,
+        label=f"{name} clipped",
+    )
+    _STORE[name] = (base, clipped)
+    return _STORE[name]

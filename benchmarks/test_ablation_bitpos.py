@@ -1,0 +1,69 @@
+"""Ablation: bit-position sensitivity (quantifying paper Section III).
+
+The paper explains the damage mechanism as 0->1 flips at MSB (exponent)
+locations.  This benchmark flips a fixed number of weights at each
+IEEE-754 bit position of the AlexNet weight memory and measures accuracy.
+
+Expected shape: exponent MSB (bit 30) is catastrophic; high exponent bits
+degrade strongly; mantissa bits and the sign bit are nearly harmless at
+the same flip count.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.bitpos import run_bit_position_study
+from repro.analysis.reporting import format_table
+from repro.experiments import clone_model
+from repro.hw.bits import bit_field
+
+POSITIONS = [0, 8, 16, 22, 23, 25, 27, 29, 30, 31]
+
+
+def test_ablation_bit_position_sensitivity(
+    benchmark, alexnet_bundle, alexnet_eval, record_result
+):
+    images, labels = alexnet_eval
+    images, labels = images[:128], labels[:128]
+    model = clone_model(alexnet_bundle)
+
+    result = run_once(
+        benchmark,
+        lambda: run_bit_position_study(
+            model,
+            images,
+            labels,
+            n_faults=20,
+            trials=5,
+            seed=21,
+            positions=POSITIONS,
+        ),
+    )
+
+    means = result.mean_by_position()
+    rows = [
+        [int(position), bit_field(int(position)), f"{mean:.4f}"]
+        for position, mean in zip(result.bit_positions, means)
+    ]
+    fields = result.mean_by_field()
+    footer = (
+        f"\nby field: mantissa {fields['mantissa']:.4f}, sign "
+        f"{fields['sign']:.4f}, exponent {fields['exponent']:.4f} "
+        f"(clean {result.clean_accuracy:.4f})"
+    )
+    record_result(
+        "ablation_bitpos",
+        format_table(
+            ["bit", "field", "mean accuracy"],
+            rows,
+            title="Ablation — accuracy after flipping bit b of 20 random weights",
+        )
+        + footer,
+    )
+
+    table = dict(zip(result.bit_positions.tolist(), means.tolist()))
+    # Exponent MSB is catastrophic.
+    assert table[30] < result.clean_accuracy - 0.3
+    # Mantissa LSB is harmless.
+    assert table[0] > result.clean_accuracy - 0.05
+    # Field ordering: exponent worst, mantissa best.
+    assert fields["exponent"] < fields["mantissa"]
+    assert table[30] == min(table.values())

@@ -1,0 +1,97 @@
+"""Ablation: fault-outcome taxonomy — what clipping does to SDC rates.
+
+Mean accuracy understates the paper's contribution for safety-critical
+deployment: what matters there is the *silent data corruption* (SDC)
+rate — inferences that silently flip from correct to wrong.  This
+benchmark classifies every faulty inference of the unprotected and the
+clipped AlexNet as masked / benign / SDC / DUE.
+
+Expected shape: the unprotected network's SDC rate peaks in the mid-rate
+region (at extreme rates its outputs go non-finite, i.e. *detectable*
+DUEs, so SDC falls again); clipping converts the bulk of those SDCs into
+masked outcomes — the faulty activation is zeroed before it can steer
+the output — and eliminates DUEs entirely (clipped outputs are finite by
+construction).
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.outcomes import run_outcome_analysis
+from repro.analysis.reporting import format_rate, format_table
+from repro.core.campaign import CampaignConfig
+from repro.experiments import clone_model, paper_fault_rates
+from repro.hw.memory import WeightMemory
+
+
+def test_ablation_sdc_taxonomy(
+    benchmark, alexnet_bundle, alexnet_hardened, alexnet_eval, record_result
+):
+    images, labels = alexnet_eval
+    images, labels = images[:128], labels[:128]
+    hardened_model, _, _ = alexnet_hardened
+    config = CampaignConfig(fault_rates=paper_fault_rates(), trials=6, seed=37)
+
+    def experiment():
+        plain = clone_model(alexnet_bundle)
+        plain_breakdown = run_outcome_analysis(
+            plain, WeightMemory.from_model(plain), images, labels, config,
+            label="unprotected",
+        )
+        clipped_breakdown = run_outcome_analysis(
+            hardened_model,
+            WeightMemory.from_model(hardened_model),
+            images,
+            labels,
+            config,
+            label="ft-clipact",
+        )
+        return plain_breakdown, clipped_breakdown
+
+    plain_breakdown, clipped_breakdown = run_once(benchmark, experiment)
+
+    rows = []
+    for rate, plain_row, clip_row in zip(
+        plain_breakdown.fault_rates,
+        plain_breakdown.summary_rows(),
+        clipped_breakdown.summary_rows(),
+    ):
+        rows.append(
+            [
+                format_rate(float(rate)),
+                f"{plain_row[3]:.4f}",
+                f"{clip_row[3]:.4f}",
+                f"{plain_row[4]:.4f}",
+                f"{clip_row[4]:.4f}",
+                f"{plain_row[1]:.4f}",
+                f"{clip_row[1]:.4f}",
+            ]
+        )
+    record_result(
+        "ablation_sdc",
+        format_table(
+            [
+                "fault_rate",
+                "SDC unprot",
+                "SDC clipped",
+                "DUE unprot",
+                "DUE clipped",
+                "masked unprot",
+                "masked clipped",
+            ],
+            rows,
+            title="Ablation — fault-outcome taxonomy (AlexNet)",
+        ),
+    )
+
+    plain_sdc = plain_breakdown.sdc_rates()
+    clip_sdc = clipped_breakdown.sdc_rates()
+    # The unprotected network has a substantial SDC peak...
+    peak = int(plain_sdc.argmax())
+    assert plain_sdc[peak] > 0.15
+    # ...which clipping slashes at the same rate, by masking.
+    assert clip_sdc[peak] < plain_sdc[peak] * 0.5
+    assert (
+        clipped_breakdown.masked_rates()[peak]
+        > plain_breakdown.masked_rates()[peak] + 0.2
+    )
+    # Clipped outputs are finite by construction: zero DUEs everywhere.
+    assert clipped_breakdown.due_rates().max() == 0.0

@@ -1,0 +1,96 @@
+"""Ablation: threshold choice and clipping semantics (our extension).
+
+Two design questions behind the paper's Step 2/3 choices:
+
+1. *Where should the threshold come from?*  Compare clipping at the
+   profiled ACT_max (Step 2 only), at the 99th percentile of the profile,
+   and at the Algorithm-1 fine-tuned value (Step 3).
+2. *What should happen above the threshold?*  The paper maps out-of-range
+   activations to zero; the natural alternative saturates at T
+   (a tunable ReLU6).  Compare both at the same tuned thresholds.
+
+Expected: ACT_max-derived thresholds (raw or tuned) dominate the
+unprotected network; the aggressive 99th-percentile threshold *loses
+clean accuracy* (it zeroes the top 1% of legitimate activations in every
+layer, and the loss compounds across depth) — which is exactly why the
+paper initialises at ACT_max rather than a lower percentile.  Clip-to-zero
+at least matches clamp-to-T at the same thresholds.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.reporting import format_comparison_table
+from repro.core.campaign import CampaignConfig, run_campaign
+from repro.core.profiling import profile_activations
+from repro.core.swap import swap_activations
+from repro.data.loader import DataLoader
+from repro.experiments import clone_model, paper_fault_rates
+from repro.hw.memory import WeightMemory
+
+
+def test_ablation_threshold_source_and_semantics(
+    benchmark, alexnet_bundle, alexnet_hardened, alexnet_eval, record_result
+):
+    images, labels = alexnet_eval
+    images, labels = images[:128], labels[:128]
+    hardened_model, thresholds, act_max = alexnet_hardened
+    config = CampaignConfig(fault_rates=paper_fault_rates(), trials=8, seed=17)
+
+    def campaign(model):
+        return run_campaign(
+            model, WeightMemory.from_model(model), images, labels, config
+        )
+
+    def experiment():
+        # Re-profile to obtain the percentile alternative.
+        probe = clone_model(alexnet_bundle)
+        profile = profile_activations(
+            probe, DataLoader(alexnet_bundle.val_set, batch_size=128), seed=0
+        )
+        p99 = profile.thresholds_at_percentile(99)
+
+        curves = {}
+        curves["unprotected"] = campaign(clone_model(alexnet_bundle))
+
+        actmax_model = clone_model(alexnet_bundle)
+        swap_activations(actmax_model, act_max)
+        curves["clip@ACTmax"] = campaign(actmax_model)
+
+        p99_model = clone_model(alexnet_bundle)
+        swap_activations(p99_model, p99)
+        curves["clip@p99"] = campaign(p99_model)
+
+        curves["clip@tuned"] = campaign(hardened_model)
+
+        clamp_model = clone_model(alexnet_bundle)
+        swap_activations(clamp_model, thresholds, variant="clamp")
+        curves["clamp@tuned"] = campaign(clamp_model)
+        return curves
+
+    curves = run_once(benchmark, experiment)
+
+    record_result(
+        "ablation_threshold",
+        format_comparison_table(
+            list(curves.values()),
+            labels=list(curves),
+            title="Ablation — threshold source and clipping semantics (AlexNet)",
+        ),
+    )
+
+    auc = {name: curve.auc() for name, curve in curves.items()}
+    # ACT_max-derived thresholds beat unprotected.
+    for name in ("clip@ACTmax", "clip@tuned", "clamp@tuned"):
+        assert auc[name] > auc["unprotected"], name
+    # Fine-tuning stays within noise of the raw ACT_max initialisation
+    # (faulty activations dwarf either threshold; tuning mostly trades a
+    # sliver of clean accuracy for mid-rate robustness).
+    assert auc["clip@tuned"] >= auc["clip@ACTmax"] - 0.05
+    # The paper's zero-out semantics at least matches saturate-at-T.
+    assert auc["clip@tuned"] >= auc["clamp@tuned"] - 0.01
+    # The cautionary finding motivating ACT_max as the initialiser: a p99
+    # threshold destroys fault-free accuracy (compounding 1%-per-layer
+    # clipping of legitimate activations).
+    assert (
+        curves["clip@p99"].clean_accuracy
+        < curves["clip@ACTmax"].clean_accuracy - 0.1
+    )

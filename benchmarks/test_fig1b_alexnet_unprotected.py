@@ -1,0 +1,49 @@
+"""Paper Fig. 1b: accuracy of the unprotected AlexNet vs fault rate.
+
+The paper's motivating figure: classification accuracy of the baseline
+(unprotected) AlexNet on CIFAR-10 collapses as the per-bit fault rate in
+the weight memory grows.  We regenerate the same series on the scaled
+AlexNet; the expected *shape* is a plateau near the clean accuracy at low
+rates followed by a monotonic collapse.
+"""
+
+from benchmarks.conftest import TRIALS, run_once
+from repro.analysis.reporting import format_curve_table
+from repro.core.campaign import CampaignConfig, run_campaign
+from repro.experiments import clone_model
+from repro.hw.memory import WeightMemory
+
+
+def test_fig1b_unprotected_alexnet_collapse(
+    benchmark, alexnet_bundle, alexnet_eval, fault_rates, record_result
+):
+    images, labels = alexnet_eval
+    model = clone_model(alexnet_bundle)
+    memory = WeightMemory.from_model(model)
+    config = CampaignConfig(fault_rates=fault_rates, trials=TRIALS, seed=1)
+
+    curve = run_once(
+        benchmark,
+        lambda: run_campaign(
+            model, memory, images, labels, config, label="unprotected alexnet"
+        ),
+    )
+
+    record_result(
+        "fig1b_alexnet_unprotected",
+        format_curve_table(
+            curve,
+            title=(
+                "Fig. 1b — unprotected AlexNet: accuracy vs per-bit fault rate\n"
+                f"(clean accuracy {curve.clean_accuracy:.3f}; paper baseline 72.8%)"
+            ),
+        ),
+    )
+
+    means = curve.mean_accuracies()
+    # Shape check 1: plateau near clean accuracy at the lowest rates.
+    assert means[0] >= curve.clean_accuracy - 0.03
+    # Shape check 2: drastic collapse by the top of the sweep.
+    assert means[-1] <= curve.clean_accuracy - 0.25
+    # Shape check 3: near-monotone decrease (small trial noise allowed).
+    assert all(means[i] >= means[i + 1] - 0.08 for i in range(len(means) - 1))

@@ -1,0 +1,72 @@
+"""Paper Fig. 3 (b-d, f-h, j-l): activation distributions under faults.
+
+For each analysed layer the paper shows the distribution of the layer's
+output activations at increasing fault rates, annotated with ACT_max.
+The expected shape: the clean distribution is compact (ACT_max of a few
+units), and at damaging rates ACT_max explodes to ~1e36-1e38 because
+exponent-MSB flips inflate weights — the observation that motivates
+clipping.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis.activations import capture_activation_distribution
+from repro.analysis.reporting import format_rate, format_table
+from repro.experiments import clone_model
+from repro.hw.memory import WeightMemory
+
+LAYERS = ["CONV-1", "CONV-5", "FC-1"]
+
+
+def test_fig3_activation_distributions_explode(
+    benchmark, alexnet_bundle, alexnet_eval, record_result
+):
+    images, _ = alexnet_eval
+    model = clone_model(alexnet_bundle)
+
+    def experiment():
+        results = {}
+        for layer in LAYERS:
+            bits = WeightMemory.from_model(model, layers=[layer]).total_bits
+            # Match the paper's panels: from a handful to hundreds of
+            # expected faulty bits in the layer.
+            rates = [0.0] + [flips / bits for flips in (4, 32, 256)]
+            results[layer] = capture_activation_distribution(
+                model, layer, images[:64], fault_rates=rates, seed=9
+            )
+        return results
+
+    results = run_once(benchmark, experiment)
+
+    lines = []
+    for layer in LAYERS:
+        rows = []
+        for record in results[layer]:
+            rows.append(
+                [
+                    format_rate(record.fault_rate),
+                    f"{record.act_max:.4g}",
+                    f"{record.mean:.4g}",
+                    f"{100 * record.fraction_extreme:.4f}%",
+                ]
+            )
+        lines.append(
+            format_table(
+                ["fault_rate", "ACT_max", "mean", "> 1e3"],
+                rows,
+                title=f"Fig. 3 distributions — {layer}",
+            )
+        )
+        lines.append("")
+    record_result("fig3_activation_distributions", "\n".join(lines))
+
+    # Shape check: every layer's ACT_max explodes by many orders of
+    # magnitude between the clean and the heaviest-fault panel.
+    for layer in LAYERS:
+        clean = results[layer][0]
+        heavy = results[layer][-1]
+        assert np.isfinite(clean.act_max) and clean.act_max < 1e3
+        assert heavy.act_max > clean.act_max * 1e10
+        # And high-intensity activations appear where there were none.
+        assert heavy.fraction_extreme > clean.fraction_extreme

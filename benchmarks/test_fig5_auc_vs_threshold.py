@@ -1,0 +1,94 @@
+"""Paper Fig. 5b: AUC vs clipping threshold T for AlexNet CONV-4.
+
+The paper sweeps the clipping threshold of CONV-4's activation (all other
+layers clipped at their ACT_max) and plots the resulting AUC, with the
+unbounded network's AUC as a red reference line.  Expected shape: a
+bell — the AUC rises as T comes down from ACT_max, peaks below ACT_max,
+then collapses once T starts clipping legitimate activations — and the
+whole usable region sits far above the unbounded baseline.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis.reporting import format_table
+from repro.core.campaign import CampaignConfig, FaultInjectionCampaign, run_campaign
+from repro.core.swap import set_thresholds, swap_activations
+from repro.experiments import clone_model, default_harden_config
+from repro.hw.memory import WeightMemory
+
+LAYER = "CONV-4"
+
+
+def test_fig5b_auc_vs_threshold_bell(
+    benchmark, alexnet_bundle, alexnet_hardened, alexnet_eval, record_result
+):
+    images, labels = alexnet_eval
+    images, labels = images[:128], labels[:128]
+    _, _, act_max = alexnet_hardened
+    layer_act_max = act_max[LAYER]
+
+    # Layer-scoped faults (the Fig. 5a caption: "faults in CONV-4 layer").
+    config = CampaignConfig(
+        fault_rates=tuple(np.logspace(-5, -3, 5)), trials=4, seed=5
+    )
+
+    def experiment():
+        # Unbounded baseline: plain ReLUs everywhere (the red line).
+        plain = clone_model(alexnet_bundle)
+        memory = WeightMemory.from_model(plain, layers=[LAYER])
+        unbounded = run_campaign(plain, memory, images, labels, config).auc()
+
+        # Step-2 network: every layer clipped at its ACT_max; sweep CONV-4.
+        clipped = clone_model(alexnet_bundle)
+        swap_activations(clipped, act_max)
+        memory = WeightMemory.from_model(clipped, layers=[LAYER])
+        campaign = FaultInjectionCampaign(clipped, memory, images, labels, config)
+
+        sweep = {}
+        thresholds = np.concatenate(
+            [np.linspace(0.05, 1.0, 6), [1.25, 1.5]]
+        ) * layer_act_max
+        for threshold in thresholds:
+            set_thresholds(clipped, {LAYER: float(threshold)})
+            campaign.invalidate_clean_accuracy()
+            sweep[float(threshold)] = campaign.run().auc()
+        return unbounded, sweep
+
+    unbounded_auc, sweep = run_once(benchmark, experiment)
+
+    rows = [
+        [f"{threshold:.4f}", f"{threshold / layer_act_max:.2f}", f"{auc:.4f}"]
+        for threshold, auc in sweep.items()
+    ]
+    rows.append(["unbounded (ReLU)", "-", f"{unbounded_auc:.4f}"])
+    record_result(
+        "fig5b_auc_vs_threshold",
+        format_table(
+            ["threshold T", "T / ACT_max", "AUC"],
+            rows,
+            title=(
+                f"Fig. 5b — AUC vs clipping threshold of {LAYER} "
+                f"(ACT_max = {layer_act_max:.4f}; faults scoped to {LAYER})"
+            ),
+        ),
+    )
+
+    aucs = np.asarray(list(sweep.values()))
+    thresholds = np.asarray(list(sweep.keys()))
+    peak_threshold = float(thresholds[int(aucs.argmax())])
+    # Shape check 1: in the usable-threshold region (T >= ~0.4 ACT_max)
+    # clipping dominates the unbounded baseline; below it the bell's left
+    # tail legitimately drops under the red line (clipping real signal).
+    usable = thresholds >= 0.4 * layer_act_max
+    assert aucs[usable].min() > unbounded_auc
+    # Shape check 2: a threshold at or below ACT_max attains (within noise)
+    # the global peak — the paper's "peak lies below ACT_max" in a form
+    # robust to the flat plateau above ACT_max that faulty ~1e37
+    # activations produce (they are clipped by any practical threshold).
+    at_or_below = aucs[thresholds <= layer_act_max + 1e-9]
+    assert at_or_below.max() >= aucs.max() - 0.01
+    del peak_threshold
+    # Shape check 3: bell shape — the tiny-threshold end is worse than the
+    # peak (clipping legitimate activations costs accuracy).
+    assert aucs[0] < aucs.max()

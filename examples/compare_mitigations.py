@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Compare FT-ClipAct against the mitigation landscape.
+
+The paper motivates clipped activations as a *zero-hardware-cost*
+alternative to redundancy (DMR/TMR) and coding (ECC).  This example puts
+them all on one table:
+
+* unprotected          — the raw network;
+* relu6                — fixed clipping at 6;
+* actmax-clip          — Steps 1+2 only (clip at profiled ACT_max);
+* ftclipact            — the full pipeline (tuned thresholds);
+* clamp                — ablation: saturate at T instead of zeroing;
+* rangecheck           — Ranger-style weight range check on the read path;
+* ecc / dmr / tmr      — memory protection (with their honest 1.22x / 2x /
+                         3x fault-exposure overhead).
+
+Run:  python examples/compare_mitigations.py [--model lenet5]
+"""
+
+import argparse
+
+from repro.analysis.reporting import format_comparison_table
+from repro.core.baselines import (
+    apply_relu6,
+    dmr_sampler,
+    ecc_sampler,
+    range_check_sampler,
+    tmr_sampler,
+)
+from repro.core.campaign import CampaignConfig, run_campaign  # noqa: F401
+from repro.core.swap import swap_activations
+from repro.experiments import (
+    clone_model,
+    default_harden_config,
+    experiment_bundle,
+    hardened_clone,
+    paper_fault_rates,
+)
+from repro.hw.memory import WeightMemory
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--model", default="lenet5", choices=["lenet5", "alexnet", "vgg16"]
+    )
+    parser.add_argument("--trials", type=int, default=8)
+    parser.add_argument("--eval-images", type=int, default=160)
+    args = parser.parse_args()
+
+    bundle = experiment_bundle(args.model)
+    images, labels = bundle.test_set.arrays()
+    images, labels = images[: args.eval_images], labels[: args.eval_images]
+    config = CampaignConfig(
+        fault_rates=paper_fault_rates(), trials=args.trials, seed=77
+    )
+
+    hardened, thresholds, act_max = hardened_clone(bundle, default_harden_config())
+
+    def campaign(model, sampler=None, label=""):
+        memory = WeightMemory.from_model(model)
+        return run_campaign(model, memory, images, labels, config, sampler, label)
+
+    print(f"model: {args.model}  clean accuracy: {bundle.clean_accuracy:.3f}")
+    print("running campaigns (identical fault randomness across variants)...\n")
+
+    curves = []
+    labels_list = []
+
+    curves.append(campaign(clone_model(bundle), label="unprotected"))
+    labels_list.append("unprotected")
+
+    relu6_model = clone_model(bundle)
+    apply_relu6(relu6_model)
+    curves.append(campaign(relu6_model, label="relu6"))
+    labels_list.append("relu6")
+
+    actmax_model = clone_model(bundle)
+    swap_activations(actmax_model, act_max)
+    curves.append(campaign(actmax_model, label="actmax-clip"))
+    labels_list.append("actmax-clip")
+
+    curves.append(campaign(hardened, label="ftclipact"))
+    labels_list.append("ftclipact")
+
+    clamp_model = clone_model(bundle)
+    swap_activations(clamp_model, thresholds, variant="clamp")
+    curves.append(campaign(clamp_model, label="clamp"))
+    labels_list.append("clamp@T")
+
+    range_model = clone_model(bundle)
+    range_memory = WeightMemory.from_model(range_model)
+    curves.append(
+        run_campaign(
+            range_model, range_memory, images, labels, config,
+            sampler=range_check_sampler(range_memory), label="rangecheck",
+        )
+    )
+    labels_list.append("rangecheck")
+
+    for name, sampler in [
+        ("ecc", ecc_sampler()),
+        ("dmr", dmr_sampler()),
+        ("tmr", tmr_sampler()),
+    ]:
+        curves.append(campaign(clone_model(bundle), sampler=sampler, label=name))
+        labels_list.append(name)
+
+    print(
+        format_comparison_table(
+            curves,
+            labels=labels_list,
+            title=f"{args.model}: mean accuracy per mitigation (last row = AUC)",
+        )
+    )
+    print(
+        "\nReading guide: ECC/TMR suppress essentially all sparse faults but "
+        "cost 22%-200% extra memory; FT-ClipAct costs nothing in hardware "
+        "and closes most of the gap. The clamp ablation shows why mapping "
+        "out-of-range activations to zero beats saturating at T."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Full FT-ClipAct hardening walkthrough (paper Fig. 4 methodology).
+
+Runs the three-step pipeline verbatim on a pre-trained network and shows
+every intermediate product: the profiled activation statistics, the
+ACT_max initialisation, each layer's Algorithm-1 search trace, and the
+final accuracy comparison under whole-network fault injection.
+
+Run:  python examples/harden_pretrained_dnn.py [--model alexnet]
+"""
+
+import argparse
+
+from repro.analysis.reporting import format_comparison_table, format_table
+from repro.core.campaign import CampaignConfig, run_campaign
+from repro.core.pipeline import harden_model
+from repro.experiments import (
+    clone_model,
+    default_harden_config,
+    experiment_bundle,
+    paper_fault_rates,
+)
+from repro.hw.memory import WeightMemory
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--model", default="alexnet", choices=["lenet5", "alexnet", "vgg16"]
+    )
+    parser.add_argument("--trials", type=int, default=10)
+    parser.add_argument("--eval-images", type=int, default=200)
+    args = parser.parse_args()
+
+    bundle = experiment_bundle(args.model)
+    print(f"pre-trained {args.model}: clean accuracy {bundle.clean_accuracy:.3f}")
+
+    # ----------------------------------------------------------------- #
+    # Steps 1-3 (run explicitly here so the traces are visible; the
+    # cached path is repro.experiments.hardened_clone).
+    # ----------------------------------------------------------------- #
+    model = clone_model(bundle)
+    config = default_harden_config()
+    report = harden_model(model, bundle.val_set, config)
+
+    print("\nStep 1 — profiled activation statistics:")
+    rows = [
+        [
+            layer,
+            f"{stat.mean:.4f}",
+            f"{stat.std:.4f}",
+            f"{stat.percentile(99):.4f}",
+            f"{stat.act_max:.4f}",
+        ]
+        for layer, stat in report.profile.stats.items()
+    ]
+    print(format_table(["layer", "mean", "std", "p99", "ACT_max"], rows))
+
+    print("\nStep 2+3 — clipped activations and fine-tuned thresholds:")
+    rows = [
+        [layer, f"{act_max:.4f}", f"{threshold:.4f}",
+         f"{report.finetune_results[layer].iterations}"
+         if layer in report.finetune_results else "-"]
+        for layer, act_max, threshold in report.threshold_table()
+    ]
+    print(format_table(["layer", "ACT_max (init)", "tuned T", "iterations"], rows))
+
+    first_layer = next(iter(report.finetune_results), None)
+    if first_layer is not None:
+        print(f"\nAlgorithm 1 trace for {first_layer} (paper Fig. 6):")
+        for step in report.finetune_results[first_layer].trace:
+            bounds = ", ".join(f"{b:.3f}" for b in step.boundaries)
+            aucs = ", ".join(f"{a:.4f}" for a in step.auc_values)
+            print(
+                f"  iter {step.iteration}: T=[{bounds}]  AUC=[{aucs}]  "
+                f"-> interval [{step.interval[0]:.3f}, {step.interval[1]:.3f}]"
+            )
+
+    # ----------------------------------------------------------------- #
+    # Final comparison under whole-network faults.
+    # ----------------------------------------------------------------- #
+    images, labels = bundle.test_set.arrays()
+    images, labels = images[: args.eval_images], labels[: args.eval_images]
+    campaign_config = CampaignConfig(
+        fault_rates=paper_fault_rates(), trials=args.trials, seed=123
+    )
+
+    unprotected = clone_model(bundle)
+    base_curve = run_campaign(
+        unprotected, WeightMemory.from_model(unprotected), images, labels,
+        campaign_config, label="unprotected",
+    )
+    hard_curve = run_campaign(
+        model, WeightMemory.from_model(model), images, labels,
+        campaign_config, label="ft-clipact",
+    )
+
+    print()
+    print(
+        format_comparison_table(
+            [base_curve, hard_curve],
+            labels=["unprotected", "ft-clipact"],
+            title=f"{args.model}: resilience before/after hardening",
+        )
+    )
+    gain = (hard_curve.auc() / base_curve.auc() - 1.0) * 100.0
+    print(f"\nAUC improvement: {gain:+.1f}%  (paper reports +173% AlexNet, "
+          f"+655% VGG-16 on their fault range)")
+
+
+if __name__ == "__main__":
+    main()

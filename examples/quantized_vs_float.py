@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Weight-storage formats under fault: float32 vs float32+clip vs int8.
+
+The paper's damage mechanism is floating-point-specific: one exponent-MSB
+flip scales a weight by 2^128.  Int8 storage bounds any single-bit
+corruption near the max weight magnitude, making quantization itself a
+fault-tolerance mechanism.  This example sweeps all three variants on the
+same fault-rate grid with shared randomness.
+
+Run:  python examples/quantized_vs_float.py [--model lenet5]
+"""
+
+import argparse
+
+from repro.analysis.reporting import format_comparison_table
+from repro.core.campaign import CampaignConfig, run_campaign
+from repro.core.quantized import run_quantized_campaign
+from repro.experiments import (
+    clone_model,
+    default_harden_config,
+    experiment_bundle,
+    hardened_clone,
+    paper_fault_rates,
+)
+from repro.hw.memory import WeightMemory
+from repro.hw.quant import QuantizedWeightMemory
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--model", default="lenet5", choices=["lenet5", "alexnet", "vgg16"]
+    )
+    parser.add_argument("--trials", type=int, default=8)
+    parser.add_argument("--eval-images", type=int, default=160)
+    args = parser.parse_args()
+
+    bundle = experiment_bundle(args.model)
+    images, labels = bundle.test_set.arrays()
+    images, labels = images[: args.eval_images], labels[: args.eval_images]
+    config = CampaignConfig(
+        fault_rates=paper_fault_rates(), trials=args.trials, seed=31
+    )
+
+    print(f"model: {args.model}  float32 clean accuracy: {bundle.clean_accuracy:.3f}")
+
+    float_model = clone_model(bundle)
+    float_curve = run_campaign(
+        float_model,
+        WeightMemory.from_model(float_model),
+        images,
+        labels,
+        config,
+        label="float32",
+    )
+
+    hardened, _, _ = hardened_clone(bundle, default_harden_config())
+    clip_curve = run_campaign(
+        hardened,
+        WeightMemory.from_model(hardened),
+        images,
+        labels,
+        config,
+        label="float32+clip",
+    )
+
+    int8_model = clone_model(bundle)
+    int8_memory = WeightMemory.from_model(int8_model)
+    int8_curve = run_quantized_campaign(
+        int8_model, int8_memory, images, labels, config, label="int8"
+    )
+
+    scales = QuantizedWeightMemory(int8_memory).scales()
+    print(f"int8 per-tensor scales: { {k: round(v, 5) for k, v in scales.items()} }")
+    print()
+    print(
+        format_comparison_table(
+            [float_curve, clip_curve, int8_curve],
+            labels=["float32", "float32+clip", "int8"],
+            title=f"{args.model}: storage format vs per-bit weight fault rate",
+        )
+    )
+    print(
+        "\nTakeaway: the catastrophic cliff is a float32 phenomenon. Clipping "
+        "fixes it in software; int8 avoids it at the storage level (with its "
+        "own quantization-error cost on harder tasks)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""FT-ClipAct reproduction (DATE 2020).
+
+A pure-numpy reproduction of *"FT-ClipAct: Resilience Analysis of Deep
+Neural Networks and Improving their Fault Tolerance using Clipped
+Activation"* (Hoang, Hanif, Shafique - DATE 2020), including every
+substrate the paper depends on:
+
+* :mod:`repro.nn` / :mod:`repro.optim` - a numpy DNN framework with
+  training (the PyTorch substitute);
+* :mod:`repro.data` - datasets and the synthetic CIFAR-10 replacement;
+* :mod:`repro.models` - AlexNet / VGG-16 topologies and a cached zoo;
+* :mod:`repro.hw` - bit-addressable weight memory, IEEE-754 bit-flip
+  fault models, a reversible injector, ECC and TMR protection models;
+* :mod:`repro.core` - the paper's contribution: clipped activations,
+  activation profiling, the AUC resilience metric, fault-injection
+  campaigns, threshold fine-tuning (Algorithm 1) and the end-to-end
+  hardening pipeline;
+* :mod:`repro.analysis` - per-layer sensitivity, activation
+  distributions under fault, and bit-position studies.
+
+Quickstart::
+
+    from repro.models import get_pretrained
+    from repro.core import harden_model, run_campaign, CampaignConfig
+    from repro.hw import WeightMemory
+
+    bundle = get_pretrained(model="alexnet", width_mult=0.25)
+    hardened = harden_model(bundle.model, bundle.val_set)
+    memory = WeightMemory.from_model(bundle.model)
+    images, labels = bundle.test_set.arrays()
+    curve = run_campaign(bundle.model, memory, images, labels)
+    print(curve.mean_accuracies(), curve.auc())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "core",
+    "data",
+    "hw",
+    "models",
+    "nn",
+    "optim",
+    "utils",
+]

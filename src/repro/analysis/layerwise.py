@@ -1,0 +1,89 @@
+"""Per-layer error-resilience analysis (paper Section III, Fig. 3a/e/i).
+
+Runs one fault-injection campaign per computational layer with faults
+scoped to that layer's weight memory, revealing which layers are most
+sensitive and where each layer's accuracy cliff sits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro import nn
+from repro.core.campaign import CampaignConfig, FaultSampler, run_campaign
+from repro.core.metrics import ResilienceCurve
+from repro.hw.memory import WeightMemory
+from repro.models.registry import layer_names
+
+__all__ = ["LayerwiseResult", "run_layerwise_analysis", "cliff_fault_rate"]
+
+
+@dataclass
+class LayerwiseResult:
+    """Per-layer resilience curves plus the layers' memory sizes."""
+
+    curves: dict[str, ResilienceCurve]
+    bits_per_layer: dict[str, int]
+
+    def ordered_layers(self) -> list[str]:
+        """Layer names in network order."""
+        return list(self.curves)
+
+    def cliff_rates(self, drop: float = 0.1) -> dict[str, float]:
+        """Per-layer fault rate where mean accuracy first drops by ``drop``
+        below clean accuracy (∞ if it never does within the sweep)."""
+        return {
+            name: cliff_fault_rate(curve, drop)
+            for name, curve in self.curves.items()
+        }
+
+
+def cliff_fault_rate(curve: ResilienceCurve, drop: float = 0.1) -> float:
+    """First fault rate whose mean accuracy is ``drop`` below clean."""
+    threshold = curve.clean_accuracy - drop
+    means = curve.mean_accuracies()
+    below = np.nonzero(means < threshold)[0]
+    if below.size == 0:
+        return float("inf")
+    return float(curve.fault_rates[below[0]])
+
+
+def run_layerwise_analysis(
+    model: nn.Module,
+    images: np.ndarray,
+    labels: np.ndarray,
+    config: "CampaignConfig | None" = None,
+    layers: "Iterable[str] | None" = None,
+    sampler: "FaultSampler | None" = None,
+) -> LayerwiseResult:
+    """Per-layer fault injection: one scoped campaign per CONV/FC layer.
+
+    ``layers`` restricts the analysis (e.g. the paper's CONV-1 / CONV-5 /
+    FC-1 selection); default is every computational layer.
+    """
+    available = layer_names(model)
+    selected: Sequence[str] = list(layers) if layers is not None else available
+    unknown = set(selected) - set(available)
+    if unknown:
+        raise ValueError(
+            f"unknown layers {sorted(unknown)!r}; model has {available!r}"
+        )
+
+    curves: dict[str, ResilienceCurve] = {}
+    bits: dict[str, int] = {}
+    for layer in selected:
+        memory = WeightMemory.from_model(model, layers=[layer])
+        bits[layer] = memory.total_bits
+        curves[layer] = run_campaign(
+            model,
+            memory,
+            images,
+            labels,
+            config=config,
+            sampler=sampler,
+            label=layer,
+        )
+    return LayerwiseResult(curves=curves, bits_per_layer=bits)

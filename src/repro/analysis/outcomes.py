@@ -1,0 +1,177 @@
+"""Fault-outcome taxonomy: masked / benign / SDC / DUE classification.
+
+Accuracy alone hides *how* a network fails.  The dependability literature
+(e.g. Ares) classifies each faulty inference against the fault-free run:
+
+* **masked** — the prediction is identical to the clean prediction;
+* **benign** — the prediction changed but is still correct;
+* **sdc** (silent data corruption) — the prediction changed from correct
+  to wrong: the dangerous case for safety-critical deployment;
+* **due** (detected uncorrectable error) — the output logits contain
+  non-finite values, i.e. the corruption is at least *detectable* by a
+  cheap runtime check.
+
+A key appeal of clipped activations that plain accuracy understates: they
+convert would-be SDCs into masked outcomes rather than merely shifting
+the accuracy curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import nn
+from repro.core.campaign import CampaignConfig, FaultSampler, random_bitflip_sampler
+from repro.core.metrics import predict_labels
+from repro.hw.injector import FaultInjector
+from repro.hw.memory import WeightMemory
+from repro.utils.rng import SeedTree
+
+__all__ = ["OutcomeCounts", "OutcomeBreakdown", "run_outcome_analysis"]
+
+
+@dataclass(frozen=True)
+class OutcomeCounts:
+    """Counts of inference outcomes at one fault rate (summed over trials)."""
+
+    masked: int
+    benign: int
+    sdc: int
+    due: int
+
+    @property
+    def total(self) -> int:
+        """Total classified inferences."""
+        return self.masked + self.benign + self.sdc + self.due
+
+    def rate(self, outcome: str) -> float:
+        """Fraction of inferences with the given outcome."""
+        value = getattr(self, outcome)
+        return value / self.total if self.total else 0.0
+
+
+@dataclass
+class OutcomeBreakdown:
+    """Per-fault-rate outcome statistics of one campaign."""
+
+    fault_rates: np.ndarray
+    counts: list[OutcomeCounts]
+    clean_accuracy: float
+    label: str = ""
+
+    def sdc_rates(self) -> np.ndarray:
+        """Silent-data-corruption fraction per fault rate."""
+        return np.asarray([c.rate("sdc") for c in self.counts])
+
+    def masked_rates(self) -> np.ndarray:
+        """Masked fraction per fault rate."""
+        return np.asarray([c.rate("masked") for c in self.counts])
+
+    def due_rates(self) -> np.ndarray:
+        """Detected (non-finite output) fraction per fault rate."""
+        return np.asarray([c.rate("due") for c in self.counts])
+
+    def summary_rows(self) -> list[list[object]]:
+        """Table rows: rate, masked, benign, sdc, due fractions."""
+        rows: list[list[object]] = []
+        for rate, count in zip(self.fault_rates, self.counts):
+            rows.append(
+                [
+                    float(rate),
+                    count.rate("masked"),
+                    count.rate("benign"),
+                    count.rate("sdc"),
+                    count.rate("due"),
+                ]
+            )
+        return rows
+
+
+def _classify_trial(
+    model: nn.Module,
+    images: np.ndarray,
+    labels: np.ndarray,
+    clean_predictions: np.ndarray,
+    batch_size: int,
+) -> tuple[int, int, int, int]:
+    """Classify every image's outcome for the currently-injected faults."""
+    masked = benign = sdc = due = 0
+    was_training = model.training
+    model.eval()
+    try:
+        with np.errstate(over="ignore", invalid="ignore"):
+            for start in range(0, images.shape[0], batch_size):
+                batch = images[start : start + batch_size]
+                batch_labels = labels[start : start + batch_size]
+                batch_clean = clean_predictions[start : start + batch_size]
+                logits = model(batch)
+                finite = np.isfinite(logits).all(axis=1)
+                predictions = np.argmax(logits, axis=1)
+
+                due += int((~finite).sum())
+                same = finite & (predictions == batch_clean)
+                masked += int(same.sum())
+                changed = finite & ~same
+                benign += int((changed & (predictions == batch_labels)).sum())
+                sdc += int(
+                    (changed & (batch_clean == batch_labels) & (predictions != batch_labels)).sum()
+                )
+                # Changed wrong->different-wrong is neither benign nor SDC;
+                # count it as masked-equivalent harm-neutral "benign".
+                benign += int(
+                    (changed & (batch_clean != batch_labels) & (predictions != batch_labels)).sum()
+                )
+    finally:
+        model.train(was_training)
+    return masked, benign, sdc, due
+
+
+def run_outcome_analysis(
+    model: nn.Module,
+    memory: WeightMemory,
+    images: np.ndarray,
+    labels: np.ndarray,
+    config: "CampaignConfig | None" = None,
+    sampler: "FaultSampler | None" = None,
+    label: str = "",
+) -> OutcomeBreakdown:
+    """Sweep fault rates and classify every inference's outcome.
+
+    Uses the same ``rate/<i>/trial/<j>`` seed derivation as
+    :class:`~repro.core.campaign.FaultInjectionCampaign`, so outcome
+    breakdowns pair exactly with accuracy curves from the same config.
+    """
+    config = config if config is not None else CampaignConfig()
+    sampler = sampler if sampler is not None else random_bitflip_sampler()
+    images = np.asarray(images, dtype=np.float32)
+    labels = np.asarray(labels, dtype=np.int64)
+
+    clean_predictions = predict_labels(model, images, config.batch_size)
+    clean_accuracy = float((clean_predictions == labels).mean())
+
+    injector = FaultInjector(memory)
+    tree = SeedTree(config.seed)
+    rates = np.asarray(config.fault_rates, dtype=np.float64)
+    counts: list[OutcomeCounts] = []
+    for rate_index, rate in enumerate(rates):
+        masked = benign = sdc = due = 0
+        for trial in range(config.trials):
+            rng = tree.generator(f"rate/{rate_index}/trial/{trial}")
+            fault_set = sampler(memory, float(rate), rng)
+            with injector.apply(fault_set):
+                m, b, s, d = _classify_trial(
+                    model, images, labels, clean_predictions, config.batch_size
+                )
+            masked += m
+            benign += b
+            sdc += s
+            due += d
+        counts.append(OutcomeCounts(masked=masked, benign=benign, sdc=sdc, due=due))
+    return OutcomeBreakdown(
+        fault_rates=rates,
+        counts=counts,
+        clean_accuracy=clean_accuracy,
+        label=label,
+    )

@@ -1,0 +1,112 @@
+"""Per-class vulnerability analysis.
+
+Aggregate accuracy can hide that faults hurt some classes far more than
+others (a network can collapse into predicting one class — the classic
+failure of exponent-flip corruption, where one logit's pathway saturates).
+This analysis measures per-class recall under fault injection and the
+distribution of predicted classes, exposing that collapse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import nn
+from repro.core.campaign import CampaignConfig, FaultSampler, random_bitflip_sampler
+from repro.core.metrics import predict_labels
+from repro.hw.injector import FaultInjector
+from repro.hw.memory import WeightMemory
+from repro.utils.rng import SeedTree
+
+__all__ = ["PerClassResult", "run_per_class_analysis"]
+
+
+@dataclass
+class PerClassResult:
+    """Per-class recall and prediction distribution at each fault rate."""
+
+    fault_rates: np.ndarray  # (R,)
+    recall: np.ndarray  # (R, C) mean per-class recall over trials
+    prediction_share: np.ndarray  # (R, C) fraction of predictions per class
+    clean_recall: np.ndarray  # (C,)
+    num_classes: int
+
+    def most_vulnerable_classes(self, rate_index: int = -1, k: int = 3) -> list[int]:
+        """Classes with the largest recall drop at the given rate."""
+        drop = self.clean_recall - self.recall[rate_index]
+        return [int(i) for i in np.argsort(drop)[::-1][:k]]
+
+    def prediction_collapse(self, rate_index: int = -1) -> float:
+        """Max single-class share of predictions at the given rate.
+
+        1/num_classes means perfectly spread; 1.0 means total collapse
+        into one predicted class.
+        """
+        return float(self.prediction_share[rate_index].max())
+
+
+def _per_class_stats(
+    predictions: np.ndarray, labels: np.ndarray, num_classes: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """(recall per class, prediction share per class) for one trial."""
+    recall = np.zeros(num_classes)
+    for cls in range(num_classes):
+        mask = labels == cls
+        if mask.any():
+            recall[cls] = float((predictions[mask] == cls).mean())
+    share = np.bincount(
+        np.clip(predictions, 0, num_classes - 1), minlength=num_classes
+    ).astype(np.float64)
+    share /= max(predictions.size, 1)
+    return recall, share
+
+
+def run_per_class_analysis(
+    model: nn.Module,
+    memory: WeightMemory,
+    images: np.ndarray,
+    labels: np.ndarray,
+    config: "CampaignConfig | None" = None,
+    sampler: "FaultSampler | None" = None,
+    num_classes: "int | None" = None,
+) -> PerClassResult:
+    """Sweep fault rates and record per-class recall / prediction share."""
+    config = config if config is not None else CampaignConfig()
+    sampler = sampler if sampler is not None else random_bitflip_sampler()
+    images = np.asarray(images, dtype=np.float32)
+    labels = np.asarray(labels, dtype=np.int64)
+    if num_classes is None:
+        num_classes = int(labels.max()) + 1
+
+    clean_predictions = predict_labels(model, images, config.batch_size)
+    clean_recall, _ = _per_class_stats(clean_predictions, labels, num_classes)
+
+    injector = FaultInjector(memory)
+    tree = SeedTree(config.seed)
+    rates = np.asarray(config.fault_rates, dtype=np.float64)
+    recall = np.zeros((rates.size, num_classes))
+    share = np.zeros((rates.size, num_classes))
+
+    for rate_index, rate in enumerate(rates):
+        for trial in range(config.trials):
+            rng = tree.generator(f"rate/{rate_index}/trial/{trial}")
+            fault_set = sampler(memory, float(rate), rng)
+            with injector.apply(fault_set):
+                predictions = predict_labels(model, images, config.batch_size)
+            trial_recall, trial_share = _per_class_stats(
+                predictions, labels, num_classes
+            )
+            recall[rate_index] += trial_recall
+            share[rate_index] += trial_share
+        recall[rate_index] /= config.trials
+        share[rate_index] /= config.trials
+
+    return PerClassResult(
+        fault_rates=rates,
+        recall=recall,
+        prediction_share=share,
+        clean_recall=clean_recall,
+        num_classes=num_classes,
+    )

@@ -1,0 +1,130 @@
+"""Plain-text reporting: the benchmark harness prints the paper's rows
+and series through these helpers (no plotting dependencies offline)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.metrics import ResilienceCurve
+
+__all__ = [
+    "format_table",
+    "format_curve_table",
+    "format_comparison_table",
+    "format_box_table",
+    "format_histogram",
+    "format_rate",
+]
+
+
+def format_rate(rate: float) -> str:
+    """Render a fault rate like the paper: ``5.0e-07``."""
+    if rate == 0:
+        return "0"
+    return f"{rate:.1e}"
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Monospace table with per-column width fitting."""
+    rendered_rows = [[_render(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append(line(["-" * width for width in widths]))
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+def _render(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) < 1e-3 or abs(cell) >= 1e5:
+            return f"{cell:.3e}"
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def format_curve_table(curve: ResilienceCurve, title: str = "") -> str:
+    """Accuracy-vs-fault-rate table for one curve (mean over trials)."""
+    rows = [
+        [format_rate(row["fault_rate"]), row["mean"], row["min"], row["max"]]
+        for row in curve.summary_rows()
+    ]
+    rows.insert(0, ["0", curve.clean_accuracy, curve.clean_accuracy, curve.clean_accuracy])
+    return format_table(
+        ["fault_rate", "mean_acc", "min_acc", "max_acc"],
+        rows,
+        title=title or (curve.label and f"curve: {curve.label}") or "",
+    )
+
+
+def format_comparison_table(
+    curves: Sequence[ResilienceCurve], labels: "Sequence[str] | None" = None, title: str = ""
+) -> str:
+    """Side-by-side mean accuracies of several curves on a shared rate grid."""
+    if not curves:
+        raise ValueError("need at least one curve")
+    base_rates = curves[0].fault_rates
+    for curve in curves[1:]:
+        if not np.array_equal(curve.fault_rates, base_rates):
+            raise ValueError("curves must share the same fault-rate grid")
+    names = list(labels) if labels is not None else [
+        curve.label or f"curve{i}" for i, curve in enumerate(curves)
+    ]
+    headers = ["fault_rate"] + names
+    rows: list[list[object]] = [
+        ["0"] + [curve.clean_accuracy for curve in curves]
+    ]
+    means = [curve.mean_accuracies() for curve in curves]
+    for index, rate in enumerate(base_rates):
+        rows.append([format_rate(float(rate))] + [m[index] for m in means])
+    rows.append(["AUC"] + [curve.auc() for curve in curves])
+    return format_table(headers, rows, title=title)
+
+
+def format_box_table(curve: ResilienceCurve, title: str = "") -> str:
+    """Box-plot statistics per fault rate (paper Fig. 7b/7c style)."""
+    rows = []
+    for rate, box in zip(curve.fault_rates, curve.box_stats()):
+        rows.append(
+            [format_rate(float(rate)), box.minimum, box.q1, box.median, box.q3, box.maximum]
+        )
+    return format_table(
+        ["fault_rate", "min", "q1", "median", "q3", "max"], rows, title=title
+    )
+
+
+def format_histogram(
+    counts: np.ndarray, edges: np.ndarray, width: int = 40, title: str = ""
+) -> str:
+    """ASCII histogram (used for the Fig. 3 activation distributions)."""
+    counts = np.asarray(counts)
+    edges = np.asarray(edges)
+    if counts.size + 1 != edges.size:
+        raise ValueError("edges must have one more element than counts")
+    peak = counts.max() if counts.size else 0
+    lines = [title] if title else []
+    for index, count in enumerate(counts):
+        bar = "#" * (int(round(width * count / peak)) if peak else 0)
+        lines.append(
+            f"[{edges[index]:>8.2f}, {edges[index + 1]:>8.2f})  {count:>8d}  {bar}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,327 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Wraps the canonical experiment setup so the paper's workflow is scriptable
+without writing Python:
+
+* ``train``     — train (or load from cache) a canonical network;
+* ``profile``   — Step 1: per-layer activation statistics / ACT_max;
+* ``harden``    — Steps 1-3: produce fine-tuned clipping thresholds;
+* ``campaign``  — fault-injection sweep on the chosen variant;
+* ``layerwise`` — per-layer sensitivity analysis (paper Fig. 3);
+* ``bitpos``    — bit-position sensitivity study;
+* ``outcomes``  — masked / benign / SDC / DUE fault-outcome taxonomy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+__all__ = ["main", "build_parser"]
+
+_MODELS = ("lenet5", "alexnet", "vgg16")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FT-ClipAct (DATE 2020) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_model_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--model", default="lenet5", choices=_MODELS)
+
+    p_train = sub.add_parser("train", help="train or load a canonical network")
+    add_model_arg(p_train)
+    p_train.add_argument("--retrain", action="store_true", help="ignore the cache")
+
+    p_profile = sub.add_parser("profile", help="Step 1: activation statistics")
+    add_model_arg(p_profile)
+    p_profile.add_argument("--images", type=int, default=200)
+
+    p_harden = sub.add_parser("harden", help="Steps 1-3: tuned clipping thresholds")
+    add_model_arg(p_harden)
+    p_harden.add_argument("--json", dest="json_path", default=None,
+                          help="write thresholds to this JSON file")
+
+    p_campaign = sub.add_parser("campaign", help="fault-injection sweep")
+    add_model_arg(p_campaign)
+    p_campaign.add_argument(
+        "--variant",
+        default="unprotected",
+        choices=("unprotected", "ftclipact", "relu6", "ecc", "tmr", "dmr", "int8"),
+    )
+    p_campaign.add_argument("--trials", type=int, default=10)
+    p_campaign.add_argument("--eval-images", type=int, default=200)
+    p_campaign.add_argument("--seed", type=int, default=42)
+
+    p_layer = sub.add_parser("layerwise", help="per-layer sensitivity (Fig. 3)")
+    add_model_arg(p_layer)
+    p_layer.add_argument("--layers", nargs="*", default=None)
+    p_layer.add_argument("--trials", type=int, default=5)
+    p_layer.add_argument("--eval-images", type=int, default=128)
+
+    p_bitpos = sub.add_parser("bitpos", help="bit-position sensitivity study")
+    add_model_arg(p_bitpos)
+    p_bitpos.add_argument("--faults", type=int, default=20)
+    p_bitpos.add_argument("--trials", type=int, default=5)
+    p_bitpos.add_argument("--eval-images", type=int, default=128)
+
+    p_outcomes = sub.add_parser(
+        "outcomes", help="masked / benign / SDC / DUE taxonomy"
+    )
+    add_model_arg(p_outcomes)
+    p_outcomes.add_argument("--trials", type=int, default=5)
+    p_outcomes.add_argument("--eval-images", type=int, default=128)
+    p_outcomes.add_argument("--seed", type=int, default=55)
+
+    return parser
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.experiments import EXPERIMENT_CONFIGS
+    from repro.models import get_pretrained
+
+    bundle = get_pretrained(
+        EXPERIMENT_CONFIGS[args.model], retrain=args.retrain, verbose=True
+    )
+    source = "cache" if bundle.from_cache else "training"
+    print(
+        f"{args.model}: clean test accuracy {bundle.clean_accuracy:.4f} "
+        f"({bundle.model.num_parameters()} parameters, from {source})"
+    )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.analysis.reporting import format_table
+    from repro.core.profiling import profile_activations
+    from repro.data.dataset import Subset
+    from repro.data.loader import DataLoader
+    from repro.experiments import clone_model, experiment_bundle
+
+    bundle = experiment_bundle(args.model)
+    model = clone_model(bundle)
+    subset = Subset(bundle.val_set, range(min(args.images, len(bundle.val_set))))
+    profile = profile_activations(model, DataLoader(subset, batch_size=128))
+    rows = [
+        [layer, f"{s.mean:.4f}", f"{s.std:.4f}", f"{s.percentile(99):.4f}", f"{s.act_max:.4f}"]
+        for layer, s in profile.stats.items()
+    ]
+    print(
+        format_table(
+            ["layer", "mean", "std", "p99", "ACT_max"],
+            rows,
+            title=f"{args.model}: activation profile over {profile.num_images} images",
+        )
+    )
+    return 0
+
+
+def _cmd_harden(args: argparse.Namespace) -> int:
+    from repro.analysis.reporting import format_table
+    from repro.experiments import experiment_bundle, hardened_clone
+
+    bundle = experiment_bundle(args.model)
+    _, thresholds, act_max = hardened_clone(bundle)
+    rows = [
+        [layer, f"{act_max[layer]:.4f}", f"{threshold:.4f}"]
+        for layer, threshold in thresholds.items()
+    ]
+    print(
+        format_table(
+            ["layer", "ACT_max", "tuned T"],
+            rows,
+            title=f"{args.model}: FT-ClipAct thresholds",
+        )
+    )
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"thresholds": thresholds, "act_max": act_max}, handle, indent=2
+            )
+        print(f"thresholds written to {args.json_path}")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.analysis.reporting import format_curve_table
+    from repro.core.baselines import apply_relu6, dmr_sampler, ecc_sampler, tmr_sampler
+    from repro.core.campaign import CampaignConfig, run_campaign
+    from repro.core.quantized import run_quantized_campaign
+    from repro.experiments import (
+        clone_model,
+        experiment_bundle,
+        hardened_clone,
+        paper_fault_rates,
+    )
+    from repro.hw.memory import WeightMemory
+
+    bundle = experiment_bundle(args.model)
+    images, labels = bundle.test_set.arrays()
+    images, labels = images[: args.eval_images], labels[: args.eval_images]
+    config = CampaignConfig(
+        fault_rates=paper_fault_rates(), trials=args.trials, seed=args.seed
+    )
+
+    sampler = None
+    if args.variant == "ftclipact":
+        model, _, _ = hardened_clone(bundle)
+    else:
+        model = clone_model(bundle)
+        if args.variant == "relu6":
+            apply_relu6(model)
+        elif args.variant == "ecc":
+            sampler = ecc_sampler()
+        elif args.variant == "tmr":
+            sampler = tmr_sampler()
+        elif args.variant == "dmr":
+            sampler = dmr_sampler()
+
+    memory = WeightMemory.from_model(model)
+    if args.variant == "int8":
+        curve = run_quantized_campaign(
+            model, memory, images, labels, config, label=args.variant
+        )
+    else:
+        curve = run_campaign(
+            model, memory, images, labels, config, sampler=sampler, label=args.variant
+        )
+    print(
+        format_curve_table(
+            curve, title=f"{args.model} [{args.variant}]: accuracy vs fault rate"
+        )
+    )
+    print(f"AUC = {curve.auc():.4f}")
+    return 0
+
+
+def _cmd_layerwise(args: argparse.Namespace) -> int:
+    from repro.analysis.layerwise import run_layerwise_analysis
+    from repro.analysis.reporting import format_rate, format_table
+    from repro.core.campaign import CampaignConfig
+    from repro.experiments import clone_model, experiment_bundle, paper_fault_rates
+
+    bundle = experiment_bundle(args.model)
+    model = clone_model(bundle)
+    images, labels = bundle.test_set.arrays()
+    images, labels = images[: args.eval_images], labels[: args.eval_images]
+    config = CampaignConfig(
+        fault_rates=paper_fault_rates(), trials=args.trials, seed=3
+    )
+    result = run_layerwise_analysis(
+        model, images, labels, config, layers=args.layers or None
+    )
+    rows = []
+    cliffs = result.cliff_rates(drop=0.1)
+    for layer in result.ordered_layers():
+        means = result.curves[layer].mean_accuracies()
+        rows.append(
+            [
+                layer,
+                result.bits_per_layer[layer],
+                f"{means[0]:.3f}",
+                f"{means[-1]:.3f}",
+                format_rate(cliffs[layer]),
+            ]
+        )
+    print(
+        format_table(
+            ["layer", "bits", "acc@low", "acc@high", "cliff"],
+            rows,
+            title=f"{args.model}: per-layer resilience",
+        )
+    )
+    return 0
+
+
+def _cmd_bitpos(args: argparse.Namespace) -> int:
+    from repro.analysis.bitpos import run_bit_position_study
+    from repro.analysis.reporting import format_table
+    from repro.experiments import clone_model, experiment_bundle
+    from repro.hw.bits import bit_field
+
+    bundle = experiment_bundle(args.model)
+    model = clone_model(bundle)
+    images, labels = bundle.test_set.arrays()
+    images, labels = images[: args.eval_images], labels[: args.eval_images]
+    result = run_bit_position_study(
+        model, images, labels, n_faults=args.faults, trials=args.trials, seed=5
+    )
+    rows = [
+        [int(position), bit_field(int(position)), f"{mean:.4f}"]
+        for position, mean in zip(result.bit_positions, result.mean_by_position())
+    ]
+    print(
+        format_table(
+            ["bit", "field", "mean accuracy"],
+            rows,
+            title=(
+                f"{args.model}: accuracy after flipping bit b of {args.faults} "
+                f"weights (clean {result.clean_accuracy:.4f})"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_outcomes(args: argparse.Namespace) -> int:
+    from repro.analysis.outcomes import run_outcome_analysis
+    from repro.analysis.reporting import format_rate, format_table
+    from repro.core.campaign import CampaignConfig
+    from repro.experiments import clone_model, experiment_bundle, paper_fault_rates
+    from repro.hw.memory import WeightMemory
+
+    bundle = experiment_bundle(args.model)
+    model = clone_model(bundle)
+    images, labels = bundle.test_set.arrays()
+    images, labels = images[: args.eval_images], labels[: args.eval_images]
+    config = CampaignConfig(
+        fault_rates=paper_fault_rates(), trials=args.trials, seed=args.seed
+    )
+    breakdown = run_outcome_analysis(
+        model, WeightMemory.from_model(model), images, labels, config
+    )
+    rows = [
+        [
+            format_rate(row[0]),
+            f"{row[1]:.3f}",
+            f"{row[2]:.3f}",
+            f"{row[3]:.3f}",
+            f"{row[4]:.3f}",
+        ]
+        for row in breakdown.summary_rows()
+    ]
+    print(
+        format_table(
+            ["fault_rate", "masked", "benign", "SDC", "DUE"],
+            rows,
+            title=f"{args.model}: fault-outcome taxonomy",
+        )
+    )
+    return 0
+
+
+_COMMANDS = {
+    "train": _cmd_train,
+    "profile": _cmd_profile,
+    "harden": _cmd_harden,
+    "campaign": _cmd_campaign,
+    "layerwise": _cmd_layerwise,
+    "bitpos": _cmd_bitpos,
+    "outcomes": _cmd_outcomes,
+}
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

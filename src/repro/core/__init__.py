@@ -1,0 +1,101 @@
+"""FT-ClipAct core: clipped activations, profiling, AUC, campaigns,
+threshold fine-tuning (Algorithm 1) and the end-to-end pipeline."""
+
+from repro.core.baselines import (
+    MITIGATION_SAMPLERS,
+    apply_actmax_clipping,
+    apply_clamping,
+    apply_relu6,
+    dmr_sampler,
+    ecc_sampler,
+    tmr_sampler,
+)
+from repro.core.campaign import (
+    CampaignConfig,
+    FaultInjectionCampaign,
+    FaultSampler,
+    default_fault_rates,
+    fault_model_sampler,
+    random_bitflip_sampler,
+    run_campaign,
+)
+from repro.core.clipped import ClampedReLU, ClippedLeakyReLU, ClippedReLU
+from repro.core.fat import FaultAwareTrainer
+from repro.core.quantized import run_quantized_campaign
+from repro.core.finetune import (
+    FineTuneConfig,
+    FineTuneResult,
+    IterationTrace,
+    ThresholdFineTuner,
+    fine_tune_threshold,
+    make_layer_auc_evaluator,
+)
+from repro.core.metrics import (
+    BoxStats,
+    ResilienceCurve,
+    auc_resilience,
+    evaluate_accuracy_arrays,
+    predict_labels,
+)
+from repro.core.pipeline import FTClipAct, FTClipActConfig, HardenedModel, harden_model
+from repro.core.profiling import (
+    ActivationProfiler,
+    LayerActivationStats,
+    ProfileResult,
+    profile_activations,
+)
+from repro.core.swap import (
+    ActivationSite,
+    ActivationSwapResult,
+    find_activation_sites,
+    get_thresholds,
+    set_thresholds,
+    swap_activations,
+)
+
+__all__ = [
+    "ActivationProfiler",
+    "ActivationSite",
+    "ActivationSwapResult",
+    "BoxStats",
+    "CampaignConfig",
+    "ClampedReLU",
+    "ClippedLeakyReLU",
+    "ClippedReLU",
+    "FTClipAct",
+    "FTClipActConfig",
+    "FaultInjectionCampaign",
+    "FaultAwareTrainer",
+    "FaultSampler",
+    "FineTuneConfig",
+    "FineTuneResult",
+    "HardenedModel",
+    "IterationTrace",
+    "LayerActivationStats",
+    "MITIGATION_SAMPLERS",
+    "ProfileResult",
+    "ResilienceCurve",
+    "ThresholdFineTuner",
+    "apply_actmax_clipping",
+    "apply_clamping",
+    "apply_relu6",
+    "auc_resilience",
+    "default_fault_rates",
+    "dmr_sampler",
+    "ecc_sampler",
+    "evaluate_accuracy_arrays",
+    "fault_model_sampler",
+    "find_activation_sites",
+    "fine_tune_threshold",
+    "get_thresholds",
+    "harden_model",
+    "make_layer_auc_evaluator",
+    "predict_labels",
+    "profile_activations",
+    "random_bitflip_sampler",
+    "run_campaign",
+    "run_quantized_campaign",
+    "set_thresholds",
+    "swap_activations",
+    "tmr_sampler",
+]

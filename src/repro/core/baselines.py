@@ -1,0 +1,125 @@
+"""Mitigation baselines the paper compares against (or motivates).
+
+Every baseline is expressed in the same campaign vocabulary so the
+comparison benchmark can sweep them uniformly:
+
+* **unprotected** — the raw network (paper's "unprotected DNN");
+* **relu6** — fixed clipping at 6 (a common bounded activation);
+* **actmax-clip** — Step 1+2 only: clipped activations at profiled
+  ``ACT_max`` without fine-tuning (isolates Algorithm 1's contribution);
+* **clamp** — saturate-at-T ablation of the paper's zero-out clipping;
+* **ecc** / **tmr** / **dmr** — hardware memory protection, modelled by
+  fault-sampler filters that honestly pay the redundancy's enlarged
+  fault-exposure surface.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro import nn
+from repro.core.campaign import FaultSampler, random_bitflip_sampler
+from repro.core.swap import swap_activations
+from repro.hw.ecc import ECCFilter
+from repro.hw.faultmodels import FaultSet
+from repro.hw.memory import WeightMemory
+from repro.hw.rangecheck import WeightRangeCheck
+from repro.hw.tmr import DMRFilter, TMRFilter
+from repro.nn.activations import ReLU6
+
+__all__ = [
+    "apply_relu6",
+    "range_check_sampler",
+    "apply_actmax_clipping",
+    "apply_clamping",
+    "ecc_sampler",
+    "tmr_sampler",
+    "dmr_sampler",
+    "MITIGATION_SAMPLERS",
+]
+
+
+def apply_relu6(model: nn.Module, cap: float = 6.0) -> int:
+    """Swap every unbounded activation for ReLU6; returns the swap count.
+
+    Uses the same association walk as the paper's swap so the comparison
+    bounds exactly the same activations.
+    """
+    from repro.core.swap import find_activation_sites
+
+    sites = find_activation_sites(model)
+    if not sites:
+        raise ValueError("model has no swappable activations")
+    for site in sites:
+        replacement = ReLU6(cap=cap)
+        replacement.train(model.training)
+        setattr(site.parent, site.attribute, replacement)
+    return len(sites)
+
+
+def apply_actmax_clipping(model: nn.Module, act_max: Mapping[str, float]) -> None:
+    """Steps 1+2 without Step 3: clip at the profiled ACT_max values."""
+    swap_activations(model, act_max, variant="clip")
+
+
+def apply_clamping(model: nn.Module, thresholds: Mapping[str, float]) -> None:
+    """The clamp ablation: saturate at T instead of zeroing."""
+    swap_activations(model, thresholds, variant="clamp")
+
+
+def ecc_sampler(due_policy: str = "zero") -> FaultSampler:
+    """Fault sampler seen by a SEC-DED-protected weight memory."""
+    ecc = ECCFilter(due_policy=due_policy)
+
+    def sample(memory: WeightMemory, rate: float, rng: np.random.Generator) -> FaultSet:
+        return ecc.sample_effective(memory, rate, rng)
+
+    return sample
+
+
+def tmr_sampler() -> FaultSampler:
+    """Fault sampler seen by a bitwise-TMR-protected weight memory."""
+    tmr = TMRFilter()
+
+    def sample(memory: WeightMemory, rate: float, rng: np.random.Generator) -> FaultSet:
+        return tmr.sample_effective(memory, rate, rng)
+
+    return sample
+
+
+def range_check_sampler(memory: WeightMemory, margin: float = 1.0) -> FaultSampler:
+    """Fault sampler seen behind a Ranger-style weight range check.
+
+    Unlike the redundancy samplers this one is *bound to a memory*: the
+    per-region bounds are profiled from that memory's current weights.
+    """
+    check = WeightRangeCheck(memory, margin=margin)
+
+    def sample(mem: WeightMemory, rate: float, rng: np.random.Generator) -> FaultSet:
+        return check.sample_effective(mem, rate, rng)
+
+    return sample
+
+
+def dmr_sampler() -> FaultSampler:
+    """Fault sampler seen by a DMR (detect-and-zero) weight memory."""
+    dmr = DMRFilter()
+
+    def sample(memory: WeightMemory, rate: float, rng: np.random.Generator) -> FaultSet:
+        return dmr.sample_effective(memory, rate, rng)
+
+    return sample
+
+
+# Registry used by the mitigation-comparison benchmark.  "unprotected",
+# "relu6", "actmax-clip", "ftclipact" and "clamp" differ in *model*
+# preparation and share the plain sampler; the redundancy schemes differ in
+# *sampler* and share the unmodified model.
+MITIGATION_SAMPLERS: dict[str, Callable[[], FaultSampler]] = {
+    "plain": random_bitflip_sampler,
+    "ecc": ecc_sampler,
+    "tmr": tmr_sampler,
+    "dmr": dmr_sampler,
+}

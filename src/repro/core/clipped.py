@@ -1,0 +1,142 @@
+"""The paper's clipped activation functions (Section IV-A).
+
+The central mitigation: replace the unbounded ReLU with
+
+    f(x) = x   if 0 <= x <= T
+           0   otherwise
+
+so high-intensity (potentially faulty) activations are squashed to zero
+instead of propagating.  :class:`ClampedReLU` (saturate at T instead of
+zeroing, i.e. a tunable ReLU6) is provided as an ablation — the paper
+argues for mapping to *zero* because a faulty activation carries no
+information, and our ablation benchmark quantifies the difference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.activations import Activation
+from repro.nn.module import Module
+
+__all__ = ["ClippedReLU", "ClampedReLU", "ClippedLeakyReLU"]
+
+
+def _check_threshold(threshold: float) -> float:
+    threshold = float(threshold)
+    if not np.isfinite(threshold) or threshold <= 0:
+        raise ValueError(f"threshold must be positive and finite, got {threshold}")
+    return threshold
+
+
+class ClippedReLU(Activation):
+    """Paper Eq. (Section IV-A): pass [0, T], map everything else to zero."""
+
+    def __init__(self, threshold: float):
+        super().__init__()
+        self._threshold = _check_threshold(threshold)
+        self._mask: "np.ndarray | None" = None
+
+    @property
+    def threshold(self) -> float:
+        """Current clipping threshold T."""
+        return self._threshold
+
+    @threshold.setter
+    def threshold(self, value: float) -> None:
+        self._threshold = _check_threshold(value)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        inside = (x >= 0.0) & (x <= self._threshold)
+        if self.training:
+            self._mask = inside
+        return np.where(inside, x, np.float32(0.0))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward in training mode")
+        return np.asarray(grad_output, dtype=np.float32) * self._mask
+
+    def extra_repr(self) -> str:
+        return f"threshold={self._threshold:.6g}"
+
+
+class ClampedReLU(Activation):
+    """Ablation variant: saturate at T (``min(max(0, x), T)``) instead of
+    zeroing.  Equivalent to ReLU6 with a tunable cap."""
+
+    def __init__(self, threshold: float):
+        super().__init__()
+        self._threshold = _check_threshold(threshold)
+        self._mask: "np.ndarray | None" = None
+
+    @property
+    def threshold(self) -> float:
+        """Current saturation threshold T."""
+        return self._threshold
+
+    @threshold.setter
+    def threshold(self, value: float) -> None:
+        self._threshold = _check_threshold(value)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        if self.training:
+            self._mask = (x > 0.0) & (x < self._threshold)
+        return np.clip(x, 0.0, self._threshold)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward in training mode")
+        return np.asarray(grad_output, dtype=np.float32) * self._mask
+
+    def extra_repr(self) -> str:
+        return f"threshold={self._threshold:.6g}"
+
+
+class ClippedLeakyReLU(Activation):
+    """Clipped Leaky-ReLU (the paper notes other activations clip the same
+    way): negative slope below zero, zeroed above T."""
+
+    def __init__(self, threshold: float, negative_slope: float = 0.01):
+        super().__init__()
+        self._threshold = _check_threshold(threshold)
+        self.negative_slope = float(negative_slope)
+        self._cache: "tuple[np.ndarray, np.ndarray] | None" = None
+
+    @property
+    def threshold(self) -> float:
+        """Current clipping threshold T."""
+        return self._threshold
+
+    @threshold.setter
+    def threshold(self, value: float) -> None:
+        self._threshold = _check_threshold(value)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        positive_inside = (x >= 0.0) & (x <= self._threshold)
+        negative = x < 0.0
+        out = np.where(
+            positive_inside,
+            x,
+            np.where(negative, self.negative_slope * x, np.float32(0.0)),
+        ).astype(np.float32)
+        if self.training:
+            self._cache = (positive_inside, negative)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward in training mode")
+        positive_inside, negative = self._cache
+        grad = np.asarray(grad_output, dtype=np.float32)
+        return np.where(
+            positive_inside, grad, np.where(negative, self.negative_slope * grad, 0.0)
+        ).astype(np.float32)
+
+    def extra_repr(self) -> str:
+        return (
+            f"threshold={self._threshold:.6g}, negative_slope={self.negative_slope}"
+        )

@@ -1,0 +1,112 @@
+"""Fault-aware training (the related-work baseline, paper Section I).
+
+The paper contrasts FT-ClipAct with software-level fault-aware training
+(e.g. MATIC), whose drawbacks motivate the clipping approach: it needs
+the training dataset and a retraining pass per deployment.  We implement
+it so the comparison is concrete: during training, every batch runs its
+forward and backward pass with a fresh set of random bit flips injected
+into the weight memory, and the resulting gradients update the *clean*
+weights — the network learns to be insensitive to bit-level corruption.
+
+Empirically (see the FAT ablation benchmark) this helps little against
+*float32* weight faults, and that is itself evidence for the paper's
+thesis: an exponent-MSB flip scales a weight by 2^128, and no finite
+gradient adjustment makes a network tolerant to a 1e38 activation —
+the faulty value must be *bounded* (clipped) instead.  FAT's natural
+habitat is small-perturbation regimes (quantized weights, voltage
+scaling, stuck-at cells), matching where its source papers apply it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.campaign import FaultSampler, random_bitflip_sampler
+from repro.data.loader import DataLoader
+from repro.hw.injector import FaultInjector
+from repro.hw.memory import WeightMemory
+from repro.nn.module import Module
+from repro.optim.optimizer import Optimizer
+from repro.optim.trainer import Trainer
+from repro.utils.rng import SeedTree
+from repro.utils.validation import check_probability
+
+__all__ = ["FaultAwareTrainer"]
+
+
+class FaultAwareTrainer(Trainer):
+    """Trainer that exposes every batch to transient weight-memory faults.
+
+    ``train_fault_rate`` is the per-bit flip probability applied during
+    each batch's forward/backward; ``clean_batch_fraction`` interleaves
+    fault-free batches so the network keeps fitting the clean task.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        optimizer: Optimizer,
+        train_fault_rate: float = 1e-5,
+        clean_batch_fraction: float = 0.5,
+        sampler: "FaultSampler | None" = None,
+        seed: int = 0,
+        **trainer_kwargs,
+    ):
+        trainer_kwargs.setdefault("grad_clip", 5.0)
+        super().__init__(model, optimizer, **trainer_kwargs)
+        check_probability("train_fault_rate", train_fault_rate)
+        check_probability("clean_batch_fraction", clean_batch_fraction)
+        self.train_fault_rate = float(train_fault_rate)
+        self.clean_batch_fraction = float(clean_batch_fraction)
+        self._sampler = sampler if sampler is not None else random_bitflip_sampler()
+        self._memory = WeightMemory.from_model(model)
+        self._injector = FaultInjector(self._memory)
+        self._tree = SeedTree(seed)
+        self._batch_counter = 0
+
+    def train_epoch(self, loader: DataLoader) -> tuple[float, float]:
+        """One epoch; each batch sees a fresh transient fault set."""
+        self.model.train()
+        total_loss = 0.0
+        correct = 0
+        total = 0
+        for images, labels in loader:
+            self._batch_counter += 1
+            rng = self._tree.generator(f"batch/{self._batch_counter}")
+            inject = rng.random() >= self.clean_batch_fraction
+
+            self.optimizer.zero_grad()
+            record = None
+            if inject:
+                fault_set = self._sampler(self._memory, self.train_fault_rate, rng)
+                record = self._injector.inject(fault_set)
+            try:
+                with np.errstate(over="ignore", invalid="ignore"):
+                    logits = self.model(images)
+                    loss, grad = self.loss_fn(logits, labels)
+                    # Skip the update if faults blew the loss up to inf/nan:
+                    # the gradient carries no usable signal.
+                    if np.isfinite(loss):
+                        self.model.backward(grad)
+                    else:
+                        self.optimizer.zero_grad()
+            finally:
+                if record is not None:
+                    self._injector.restore(record)
+            # Gradients computed under faulty weights can be astronomically
+            # large or non-finite even when the loss was finite; drop them
+            # rather than poisoning the optimizer's moment estimates.
+            for param in self.optimizer.parameters:
+                if param.grad is not None and not np.isfinite(param.grad).all():
+                    param.grad = None
+            self._clip_gradients()
+            self.optimizer.step()
+
+            batch = labels.shape[0]
+            if np.isfinite(loss):
+                total_loss += loss * batch
+                correct += int((np.argmax(logits, axis=1) == labels).sum())
+            total += batch
+        if total == 0:
+            raise ValueError("loader produced no samples")
+        return total_loss / total, correct / total

@@ -1,0 +1,255 @@
+"""Threshold fine-tuning (methodology Step 3, paper Algorithm 1).
+
+The AUC-vs-threshold curve of a layer is bell-shaped with its peak below
+the profiled ``ACT_max`` (paper Fig. 5b), so an interval search finds the
+peak with few AUC evaluations: split the search interval into three equal
+sub-intervals, evaluate the AUC at the four boundaries, keep the
+sub-interval(s) around the best boundary, and repeat until ``N``
+iterations — or until the adjacent-AUC deltas fall below ``delta`` once at
+least ``M`` iterations have run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro import nn
+from repro.core.campaign import CampaignConfig, FaultInjectionCampaign, FaultSampler
+from repro.core.swap import get_thresholds, set_thresholds
+from repro.hw.memory import WeightMemory
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = [
+    "FineTuneConfig",
+    "IterationTrace",
+    "FineTuneResult",
+    "fine_tune_threshold",
+    "make_layer_auc_evaluator",
+    "ThresholdFineTuner",
+]
+
+AUCEvaluator = Callable[[float], float]
+
+
+@dataclass(frozen=True)
+class FineTuneConfig:
+    """Algorithm 1 stopping parameters."""
+
+    max_iterations: int = 5  # N
+    min_iterations: int = 2  # M
+    tolerance: float = 0.01  # delta
+
+    def __post_init__(self) -> None:
+        check_positive("max_iterations", self.max_iterations)
+        check_positive("min_iterations", self.min_iterations)
+        check_non_negative("tolerance", self.tolerance)
+        if self.min_iterations > self.max_iterations:
+            raise ValueError(
+                f"min_iterations ({self.min_iterations}) must not exceed "
+                f"max_iterations ({self.max_iterations})"
+            )
+
+
+@dataclass(frozen=True)
+class IterationTrace:
+    """One interval-search iteration (paper Fig. 6 panels)."""
+
+    iteration: int
+    boundaries: tuple[float, float, float, float]
+    auc_values: tuple[float, float, float, float]
+    best_index: int  # 0-based index of the best boundary
+    interval: tuple[float, float]  # the selected next search interval
+
+
+@dataclass
+class FineTuneResult:
+    """Outcome of fine-tuning one layer's threshold."""
+
+    layer_name: str
+    threshold: float
+    auc: float
+    act_max: float
+    trace: list[IterationTrace] = field(default_factory=list)
+    evaluations: int = 0
+    converged_early: bool = False
+
+    @property
+    def iterations(self) -> int:
+        """Number of interval-search iterations executed."""
+        return len(self.trace)
+
+
+def _boundaries(low: float, high: float) -> tuple[float, float, float, float]:
+    """Algorithm 1's AUC_Calculation boundary placement: T1..T4."""
+    step = (high - low) / 3.0
+    return (low, low + step, low + 2.0 * step, high)
+
+
+def fine_tune_threshold(
+    evaluator: AUCEvaluator,
+    act_max: float,
+    config: "FineTuneConfig | None" = None,
+    layer_name: str = "",
+    lower_bound: float = 0.0,
+) -> FineTuneResult:
+    """Run Algorithm 1 over ``[lower_bound, act_max]``.
+
+    ``evaluator`` maps a candidate threshold to its AUC.  Evaluations are
+    memoised: interval ends recur between iterations, and Algorithm 1's
+    ``Interval_Search`` reuses boundary AUCs freely.
+    """
+    if act_max <= lower_bound:
+        raise ValueError(
+            f"act_max ({act_max}) must exceed lower_bound ({lower_bound})"
+        )
+    config = config if config is not None else FineTuneConfig()
+
+    cache: dict[float, float] = {}
+
+    def evaluate(threshold: float) -> float:
+        key = float(np.float32(threshold))  # stable key under re-derivation
+        if key not in cache:
+            cache[key] = float(evaluator(max(key, 1e-12)))
+        return cache[key]
+
+    low, high = float(lower_bound), float(act_max)
+    result = FineTuneResult(
+        layer_name=layer_name, threshold=high, auc=float("-inf"), act_max=float(act_max)
+    )
+
+    for counter in range(1, config.max_iterations + 1):
+        bounds = _boundaries(low, high)
+        aucs = tuple(evaluate(t) for t in bounds)
+        best = int(np.argmax(aucs))
+
+        if best == 0:
+            interval = (bounds[0], bounds[1])
+        elif best == 3:
+            interval = (bounds[2], bounds[3])
+        else:
+            interval = (bounds[best - 1], bounds[best + 1])
+
+        result.trace.append(
+            IterationTrace(
+                iteration=counter,
+                boundaries=bounds,
+                auc_values=aucs,
+                best_index=best,
+                interval=interval,
+            )
+        )
+        # Keep the best threshold seen over *all* evaluations, not just the
+        # final iteration's boundaries: the interval recursion re-thirds the
+        # selected region, so an interior peak boundary from iteration k is
+        # generally not a boundary of iteration k+1 and would otherwise be
+        # lost.  (Algorithm 1 in the paper returns the last iteration's T;
+        # keeping the global argmax is a strict improvement.)
+        if float(aucs[best]) > result.auc:
+            # Floor at a tiny positive value: the T1 = 0 boundary means
+            # "clip everything", which clipped activations express as an
+            # infinitesimal (but valid) threshold.
+            result.threshold = max(float(bounds[best]), 1e-12)
+            result.auc = float(aucs[best])
+        low, high = interval
+
+        deltas = [abs(aucs[i + 1] - aucs[i]) for i in range(3)]
+        if max(deltas) <= config.tolerance and counter >= config.min_iterations:
+            result.converged_early = True
+            break
+
+    result.evaluations = len(cache)
+    return result
+
+
+def make_layer_auc_evaluator(
+    model: nn.Module,
+    layer_name: str,
+    memory: WeightMemory,
+    images: np.ndarray,
+    labels: np.ndarray,
+    campaign_config: CampaignConfig,
+    sampler: "FaultSampler | None" = None,
+    include_zero_rate: bool = True,
+) -> AUCEvaluator:
+    """Build the AUC evaluator Algorithm 1 calls for one layer.
+
+    Each evaluation sets the layer's clipping threshold, runs a full
+    campaign (same seed => common random numbers across thresholds) and
+    returns the curve's AUC.  ``memory`` controls the fault scope: pass a
+    layer-scoped memory for the paper's per-layer analysis (Fig. 5) or a
+    whole-network memory to tune against network-wide faults.
+    """
+    campaign = FaultInjectionCampaign(model, memory, images, labels, campaign_config)
+
+    def evaluate(threshold: float) -> float:
+        set_thresholds(model, {layer_name: threshold})
+        campaign.invalidate_clean_accuracy()
+        curve = campaign.run(sampler=sampler, label=f"{layer_name}@T={threshold:g}")
+        return curve.auc(include_zero_rate=include_zero_rate)
+
+    return evaluate
+
+
+class ThresholdFineTuner:
+    """Step 3 driver: fine-tune every clipped layer of a model.
+
+    Per the paper, each layer is tuned starting from the Step-2 network
+    (all layers initialised at their ``ACT_max``); the tuned thresholds
+    are applied together at the end.
+    """
+
+    def __init__(
+        self,
+        model: nn.Module,
+        memory_factory: Callable[[str], WeightMemory],
+        images: np.ndarray,
+        labels: np.ndarray,
+        campaign_config: CampaignConfig,
+        finetune_config: "FineTuneConfig | None" = None,
+        sampler: "FaultSampler | None" = None,
+    ):
+        self.model = model
+        self.memory_factory = memory_factory
+        self.images = np.asarray(images, dtype=np.float32)
+        self.labels = np.asarray(labels, dtype=np.int64)
+        self.campaign_config = campaign_config
+        self.finetune_config = (
+            finetune_config if finetune_config is not None else FineTuneConfig()
+        )
+        self.sampler = sampler
+
+    def tune_layer(self, layer_name: str, act_max: float) -> FineTuneResult:
+        """Fine-tune one layer, restoring its initial threshold afterwards."""
+        initial = get_thresholds(self.model)[layer_name]
+        evaluator = make_layer_auc_evaluator(
+            self.model,
+            layer_name,
+            self.memory_factory(layer_name),
+            self.images,
+            self.labels,
+            self.campaign_config,
+            sampler=self.sampler,
+        )
+        try:
+            return fine_tune_threshold(
+                evaluator,
+                act_max=act_max,
+                config=self.finetune_config,
+                layer_name=layer_name,
+            )
+        finally:
+            set_thresholds(self.model, {layer_name: initial})
+
+    def tune_all(self, act_max: Mapping[str, float]) -> dict[str, FineTuneResult]:
+        """Fine-tune every layer in ``act_max`` and apply the results."""
+        results: dict[str, FineTuneResult] = {}
+        for layer_name, layer_act_max in act_max.items():
+            results[layer_name] = self.tune_layer(layer_name, float(layer_act_max))
+        set_thresholds(
+            self.model,
+            {name: result.threshold for name, result in results.items()},
+        )
+        return results

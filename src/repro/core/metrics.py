@@ -1,0 +1,289 @@
+"""Resilience metrics: accuracy and the paper's AUC (Section IV-B).
+
+The AUC is the area under the classification-accuracy vs. *normalized*
+fault-rate curve, computed with the trapezoidal rule, with both axes
+normalized so a network holding 100% accuracy across the whole fault
+range scores exactly 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import nn
+from repro.utils.validation import check_in_choices, check_positive
+
+__all__ = [
+    "evaluate_accuracy_arrays",
+    "predict_labels",
+    "auc_resilience",
+    "BoxStats",
+    "ResilienceCurve",
+]
+
+
+def predict_labels(
+    model: nn.Module, images: np.ndarray, batch_size: int = 128
+) -> np.ndarray:
+    """Argmax class predictions over ``images`` in eval mode."""
+    check_positive("batch_size", batch_size)
+    was_training = model.training
+    model.eval()
+    predictions = []
+    try:
+        # Faulty weights legitimately overflow float32 (that is the studied
+        # failure mode); inf/nan logits are still argmax-able.
+        with np.errstate(over="ignore", invalid="ignore"):
+            for start in range(0, images.shape[0], batch_size):
+                logits = model(images[start : start + batch_size])
+                predictions.append(np.argmax(logits, axis=1))
+    finally:
+        model.train(was_training)
+    return np.concatenate(predictions)
+
+
+def evaluate_accuracy_arrays(
+    model: nn.Module,
+    images: np.ndarray,
+    labels: np.ndarray,
+    batch_size: int = 128,
+) -> float:
+    """Top-1 accuracy of ``model`` on in-memory arrays."""
+    labels = np.asarray(labels)
+    if images.shape[0] != labels.shape[0]:
+        raise ValueError(
+            f"images and labels disagree on sample count: "
+            f"{images.shape[0]} vs {labels.shape[0]}"
+        )
+    if images.shape[0] == 0:
+        raise ValueError("cannot evaluate accuracy on zero samples")
+    predictions = predict_labels(model, images, batch_size)
+    return float((predictions == labels).mean())
+
+
+def auc_resilience(
+    fault_rates: np.ndarray,
+    accuracies: np.ndarray,
+    x_mode: str = "index",
+) -> float:
+    """Paper Section IV-B: trapezoidal area under accuracy vs fault rate.
+
+    ``fault_rates`` must be sorted ascending; ``accuracies`` are fractions
+    in [0, 1] (mean accuracy at each rate).  Both axes are normalized so
+    the ideal network scores 1.
+
+    ``x_mode`` selects the normalized-rate axis:
+
+    * ``"index"`` (default): the sampled rates are spread evenly over
+      [0, 1] — equivalent to uniform weight per sampled (log-spaced) rate,
+      matching the evenly-spaced markers of paper Fig. 5a;
+    * ``"linear"``: rates are normalized by the maximum rate, which makes
+      the AUC dominated by behaviour near the top of the fault range.
+    """
+    check_in_choices("x_mode", x_mode, ("index", "linear"))
+    rates = np.asarray(fault_rates, dtype=np.float64)
+    accs = np.asarray(accuracies, dtype=np.float64)
+    if rates.ndim != 1 or rates.shape != accs.shape:
+        raise ValueError(
+            f"fault_rates and accuracies must be matching 1-D arrays, got "
+            f"{rates.shape} and {accs.shape}"
+        )
+    if rates.size < 2:
+        raise ValueError("need at least two fault rates to integrate")
+    if np.any(np.diff(rates) <= 0):
+        raise ValueError("fault_rates must be strictly increasing")
+    if np.any((accs < 0) | (accs > 1)):
+        raise ValueError("accuracies must lie in [0, 1]")
+
+    if x_mode == "index":
+        x = np.linspace(0.0, 1.0, rates.size)
+    else:
+        x = rates / rates.max()
+    return float(np.trapezoid(accs, x))
+
+
+def _t_critical(level: float, df: int) -> float:
+    """Two-sided Student-t critical value; scipy if present, else a
+    normal-approximation fallback adequate for df >= 5."""
+    tail = (1.0 + level) / 2.0
+    try:
+        from scipy import stats
+
+        return float(stats.t.ppf(tail, df))
+    except ImportError:  # pragma: no cover - scipy is present in dev envs
+        # Cornish-Fisher style correction of the normal quantile.
+        from math import sqrt
+
+        z = sqrt(2.0) * _erfinv(2.0 * tail - 1.0)
+        return z * (1.0 + (z * z + 1.0) / (4.0 * df))
+
+
+def _erfinv(y: float) -> float:  # pragma: no cover - scipy fallback only
+    """Rational approximation of the inverse error function."""
+    a = 0.147
+    import math
+
+    ln_term = math.log(1.0 - y * y)
+    first = 2.0 / (math.pi * a) + ln_term / 2.0
+    return math.copysign(
+        math.sqrt(math.sqrt(first * first - ln_term / a) - first), y
+    )
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Five-number summary of the accuracy distribution at one fault rate."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    mean: float
+
+    @classmethod
+    def from_samples(cls, samples: np.ndarray) -> "BoxStats":
+        """Summarise a 1-D array of accuracy samples."""
+        samples = np.asarray(samples, dtype=np.float64)
+        if samples.size == 0:
+            raise ValueError("cannot summarise zero samples")
+        q1, median, q3 = np.percentile(samples, [25, 50, 75])
+        return cls(
+            minimum=float(samples.min()),
+            q1=float(q1),
+            median=float(median),
+            q3=float(q3),
+            maximum=float(samples.max()),
+            mean=float(samples.mean()),
+        )
+
+
+@dataclass
+class ResilienceCurve:
+    """Accuracy-vs-fault-rate results of one campaign.
+
+    ``accuracies`` has shape ``(n_rates, n_trials)``: independent
+    fault-injection trials per rate.  ``clean_accuracy`` is the fault-free
+    accuracy of the same model on the same evaluation set.
+    """
+
+    fault_rates: np.ndarray
+    accuracies: np.ndarray
+    clean_accuracy: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        self.fault_rates = np.asarray(self.fault_rates, dtype=np.float64)
+        self.accuracies = np.atleast_2d(np.asarray(self.accuracies, dtype=np.float64))
+        if self.fault_rates.ndim != 1:
+            raise ValueError("fault_rates must be 1-D")
+        if self.accuracies.shape[0] != self.fault_rates.size:
+            raise ValueError(
+                f"accuracies rows ({self.accuracies.shape[0]}) must match "
+                f"fault_rates ({self.fault_rates.size})"
+            )
+        if np.any(np.diff(self.fault_rates) <= 0):
+            raise ValueError("fault_rates must be strictly increasing")
+
+    @property
+    def n_trials(self) -> int:
+        """Trials per fault rate."""
+        return self.accuracies.shape[1]
+
+    def mean_accuracies(self) -> np.ndarray:
+        """Mean accuracy per fault rate (paper Fig. 7a/8a series)."""
+        return self.accuracies.mean(axis=1)
+
+    def worst_case(self) -> np.ndarray:
+        """Minimum accuracy per fault rate (box-plot whisker bottom)."""
+        return self.accuracies.min(axis=1)
+
+    def box_stats(self) -> list[BoxStats]:
+        """Per-rate five-number summaries (paper Fig. 7b/7c, 8b/8c)."""
+        return [BoxStats.from_samples(row) for row in self.accuracies]
+
+    def confidence_interval(self, level: float = 0.95) -> tuple[np.ndarray, np.ndarray]:
+        """Per-rate Student-t confidence interval of the mean accuracy.
+
+        Returns ``(lower, upper)`` arrays.  With a single trial the
+        interval degenerates to the point estimate.
+        """
+        if not 0.0 < level < 1.0:
+            raise ValueError(f"level must lie in (0, 1), got {level}")
+        means = self.mean_accuracies()
+        n = self.n_trials
+        if n < 2:
+            return means.copy(), means.copy()
+        std_err = self.accuracies.std(axis=1, ddof=1) / np.sqrt(n)
+        critical = _t_critical(level, df=n - 1)
+        half_width = critical * std_err
+        return (
+            np.clip(means - half_width, 0.0, 1.0),
+            np.clip(means + half_width, 0.0, 1.0),
+        )
+
+    def auc(self, include_zero_rate: bool = True, x_mode: str = "index") -> float:
+        """The paper's AUC over this curve.
+
+        With ``include_zero_rate`` the fault-free point (rate 0, clean
+        accuracy) anchors the left end of the integration range, matching
+        the paper's "fault range from 0 to 1e-5" phrasing.
+        """
+        rates = self.fault_rates
+        accs = self.mean_accuracies()
+        if include_zero_rate and rates[0] > 0:
+            rates = np.concatenate([[0.0], rates])
+            accs = np.concatenate([[self.clean_accuracy], accs])
+        # The zero-rate point breaks pure-log spacing; "index" mode treats
+        # all sampled points uniformly, which is what we document.
+        return auc_resilience(rates, accs, x_mode=x_mode)
+
+    def save(self, path: "str | Path") -> "Path":
+        """Persist the curve to an ``.npz`` archive."""
+        from pathlib import Path
+
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        np.savez(
+            target,
+            fault_rates=self.fault_rates,
+            accuracies=self.accuracies,
+            clean_accuracy=np.asarray([self.clean_accuracy]),
+            label=np.frombuffer(self.label.encode("utf-8"), dtype=np.uint8),
+        )
+        return target
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "ResilienceCurve":
+        """Load a curve written by :meth:`save`."""
+        from pathlib import Path
+
+        source = Path(path)
+        if not source.exists():
+            raise FileNotFoundError(f"no such curve file: {source}")
+        with np.load(source) as archive:
+            return cls(
+                fault_rates=archive["fault_rates"],
+                accuracies=archive["accuracies"],
+                clean_accuracy=float(archive["clean_accuracy"][0]),
+                label=bytes(archive["label"]).decode("utf-8"),
+            )
+
+    def summary_rows(self) -> list[dict[str, float]]:
+        """Row dicts (rate, mean, min, q1, median, q3, max) for reports."""
+        rows = []
+        for rate, box in zip(self.fault_rates, self.box_stats()):
+            rows.append(
+                {
+                    "fault_rate": float(rate),
+                    "mean": box.mean,
+                    "min": box.minimum,
+                    "q1": box.q1,
+                    "median": box.median,
+                    "q3": box.q3,
+                    "max": box.maximum,
+                }
+            )
+        return rows

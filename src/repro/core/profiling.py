@@ -1,0 +1,163 @@
+"""Activation profiling (methodology Step 1).
+
+Runs a pre-trained model over a small subset of the validation set and
+records, per computational layer, the statistical properties of its
+(post-activation) outputs — most importantly ``ACT_max``, the maximum
+activation observed, which initialises the clipping thresholds in Step 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro import nn
+from repro.core.swap import find_activation_sites
+from repro.data.loader import DataLoader
+from repro.utils.rng import as_generator
+
+__all__ = ["LayerActivationStats", "ProfileResult", "ActivationProfiler", "profile_activations"]
+
+
+@dataclass
+class LayerActivationStats:
+    """Streaming summary of one layer's activation distribution."""
+
+    layer_name: str
+    count: int = 0
+    act_max: float = float("-inf")
+    act_min: float = float("inf")
+    _sum: float = 0.0
+    _sum_sq: float = 0.0
+    _samples: list[np.ndarray] = field(default_factory=list, repr=False)
+    _sample_budget: int = 100_000
+
+    def update(self, values: np.ndarray, rng: np.random.Generator) -> None:
+        """Fold one batch of activation values into the summary."""
+        flat = np.asarray(values, dtype=np.float64).reshape(-1)
+        if flat.size == 0:
+            return
+        self.count += flat.size
+        self.act_max = max(self.act_max, float(flat.max()))
+        self.act_min = min(self.act_min, float(flat.min()))
+        self._sum += float(flat.sum())
+        self._sum_sq += float(np.square(flat).sum())
+        # Keep a bounded uniform subsample for percentile estimates.
+        retained = sum(chunk.size for chunk in self._samples)
+        remaining = self._sample_budget - retained
+        if remaining > 0:
+            if flat.size <= remaining:
+                self._samples.append(flat.astype(np.float32))
+            else:
+                picks = rng.choice(flat.size, size=remaining, replace=False)
+                self._samples.append(flat[picks].astype(np.float32))
+
+    @property
+    def mean(self) -> float:
+        """Mean activation value."""
+        return self._sum / self.count if self.count else float("nan")
+
+    @property
+    def std(self) -> float:
+        """Standard deviation of activation values."""
+        if not self.count:
+            return float("nan")
+        variance = max(self._sum_sq / self.count - self.mean**2, 0.0)
+        return float(np.sqrt(variance))
+
+    def percentile(self, q: "float | Iterable[float]") -> "float | np.ndarray":
+        """Percentile estimate from the retained subsample."""
+        if not self._samples:
+            raise ValueError(f"no samples recorded for layer {self.layer_name!r}")
+        pooled = np.concatenate(self._samples)
+        result = np.percentile(pooled, q)
+        return float(result) if np.isscalar(q) or isinstance(q, (int, float)) else result
+
+    def histogram(self, bins: int = 50) -> tuple[np.ndarray, np.ndarray]:
+        """(counts, edges) histogram of the retained subsample."""
+        if not self._samples:
+            raise ValueError(f"no samples recorded for layer {self.layer_name!r}")
+        pooled = np.concatenate(self._samples)
+        return np.histogram(pooled, bins=bins)
+
+
+@dataclass
+class ProfileResult:
+    """Per-layer activation statistics from one profiling pass."""
+
+    stats: dict[str, LayerActivationStats]
+    num_images: int
+
+    @property
+    def act_max(self) -> dict[str, float]:
+        """The paper's ACT_max per layer — Step 2's initial thresholds."""
+        return {name: stat.act_max for name, stat in self.stats.items()}
+
+    def thresholds_at_percentile(self, q: float) -> dict[str, float]:
+        """Alternative initial thresholds at the q-th percentile (ablation)."""
+        return {name: float(stat.percentile(q)) for name, stat in self.stats.items()}
+
+
+class ActivationProfiler:
+    """Hook-based recorder of per-layer activation statistics.
+
+    Hooks are installed on the activation module that follows each
+    computational layer (the same association Step 2's swap uses), so the
+    recorded values are exactly the ones a clipped activation would bound.
+    """
+
+    def __init__(self, model: nn.Module, seed: int = 0):
+        self.model = model
+        self._rng = as_generator(seed)
+        self._stats: dict[str, LayerActivationStats] = {}
+        self._handles: list[nn.HookHandle] = []
+        sites = find_activation_sites(model)
+        if not sites:
+            raise ValueError("model has no activations to profile")
+        for site in sites:
+            stats = LayerActivationStats(layer_name=site.layer_name)
+            self._stats[site.layer_name] = stats
+            self._handles.append(
+                site.activation.register_forward_hook(self._make_hook(stats))
+            )
+
+    def _make_hook(self, stats: LayerActivationStats):
+        def hook(module: nn.Module, inputs: np.ndarray, output: np.ndarray) -> None:
+            stats.update(output, self._rng)
+
+        return hook
+
+    def remove(self) -> None:
+        """Detach all profiling hooks."""
+        for handle in self._handles:
+            handle.remove()
+        self._handles.clear()
+
+    def run(self, loader: DataLoader) -> ProfileResult:
+        """Forward every batch of ``loader`` through the model (eval mode)."""
+        was_training = self.model.training
+        self.model.eval()
+        num_images = 0
+        try:
+            for images, _ in loader:
+                self.model(images)
+                num_images += images.shape[0]
+        finally:
+            self.model.train(was_training)
+        return ProfileResult(stats=dict(self._stats), num_images=num_images)
+
+    def __enter__(self) -> "ActivationProfiler":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.remove()
+
+
+def profile_activations(
+    model: nn.Module, loader: DataLoader, seed: int = 0
+) -> ProfileResult:
+    """One-shot Step 1: profile ``model`` over ``loader`` and detach hooks."""
+    with ActivationProfiler(model, seed=seed) as profiler:
+        return profiler.run(loader)

@@ -1,0 +1,194 @@
+"""Activation association and replacement (methodology Step 2).
+
+The paper assigns one clipping threshold per *computational layer*: the
+activation following CONV-k (possibly with batch-norm in between) is
+clipped at that layer's threshold.  This module discovers that
+association generically — walking any module tree in forward/registration
+order — and swaps unbounded activations for clipped ones in place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Mapping
+
+from repro import nn
+from repro.core.clipped import ClampedReLU, ClippedLeakyReLU, ClippedReLU
+from repro.nn.activations import Identity, LeakyReLU, ReLU, ReLU6, Softmax
+
+__all__ = [
+    "ActivationSite",
+    "ActivationSwapResult",
+    "find_activation_sites",
+    "swap_activations",
+    "set_thresholds",
+    "get_thresholds",
+]
+
+# Activation types eligible for replacement.  Softmax/Identity are excluded:
+# Softmax is an output layer and Identity is an explicit "no activation".
+_SWAPPABLE = (ReLU, LeakyReLU, ReLU6)
+
+
+@dataclass(frozen=True)
+class ActivationSite:
+    """One replaceable activation and the computational layer feeding it."""
+
+    layer_name: str  # paper-style name of the feeding CONV/FC layer
+    parent: nn.Module  # module that owns the activation attribute
+    attribute: str  # attribute name of the activation on the parent
+    activation: nn.Module  # the current activation module
+
+
+def _iter_children_in_order(module: nn.Module) -> Iterator[tuple[nn.Module, str, nn.Module]]:
+    """Depth-first (parent, attr, child) walk in registration order.
+
+    Registration order equals forward order for Sequential models, which is
+    all this library's architectures use.
+    """
+    for name, child in module.named_children():
+        yield module, name, child
+        yield from _iter_children_in_order(child)
+
+
+def find_activation_sites(model: nn.Module) -> list[ActivationSite]:
+    """Locate every swappable activation and its feeding CONV/FC layer.
+
+    Activations that appear before any computational layer are skipped
+    (there is no layer whose output they bound).
+    """
+    sites: list[ActivationSite] = []
+    conv_count = 0
+    fc_count = 0
+    current_layer: "str | None" = None
+    for parent, attribute, child in _iter_children_in_order(model):
+        if isinstance(child, nn.Conv2d):
+            conv_count += 1
+            current_layer = f"CONV-{conv_count}"
+        elif isinstance(child, nn.Linear):
+            fc_count += 1
+            current_layer = f"FC-{fc_count}"
+        elif isinstance(child, _SWAPPABLE) and not isinstance(child, (Softmax, Identity)):
+            if current_layer is None:
+                continue
+            sites.append(
+                ActivationSite(
+                    layer_name=current_layer,
+                    parent=parent,
+                    attribute=attribute,
+                    activation=child,
+                )
+            )
+            # One activation per computational layer (the paper's model);
+            # further activations before the next layer are left alone.
+            current_layer = None
+    return sites
+
+
+@dataclass
+class ActivationSwapResult:
+    """Outcome of :func:`swap_activations`.
+
+    ``clipped`` maps layer names to the live replacement modules —
+    :class:`ClippedReLU`, :class:`ClippedLeakyReLU` or, for the clamp
+    variant, :class:`ClampedReLU`.
+    """
+
+    clipped: "dict[str, ClippedReLU | ClampedReLU | ClippedLeakyReLU]" = field(
+        default_factory=dict
+    )
+    replaced: int = 0
+
+    def layer_names(self) -> list[str]:
+        """Names of the layers whose activations were clipped, in order."""
+        return list(self.clipped)
+
+
+def swap_activations(
+    model: nn.Module,
+    thresholds: "Mapping[str, float] | float",
+    variant: str = "clip",
+) -> ActivationSwapResult:
+    """Replace unbounded activations with clipped ones (Step 2).
+
+    ``thresholds`` is either a single initial threshold for every layer or
+    a mapping from paper-style layer name (``"CONV-1"``...) to threshold —
+    typically the profiled ``ACT_max`` values from Step 1.  ``variant``
+    selects ``"clip"`` (the paper: out-of-range -> 0) or ``"clamp"``
+    (saturate at T, the ablation).
+
+    The model is modified in place; the returned result maps layer names
+    to the live clipped modules so Step 3 can tune their thresholds.
+    """
+    if variant not in ("clip", "clamp"):
+        raise ValueError(f"variant must be 'clip' or 'clamp', got {variant!r}")
+
+    def factory(site: ActivationSite, threshold: float) -> nn.Module:
+        if variant == "clamp":
+            return ClampedReLU(threshold)
+        if isinstance(site.activation, LeakyReLU):
+            # The paper notes other activations clip analogously; preserve
+            # the Leaky-ReLU's negative slope below zero.
+            return ClippedLeakyReLU(
+                threshold, negative_slope=site.activation.negative_slope
+            )
+        return ClippedReLU(threshold)
+
+    sites = find_activation_sites(model)
+    if not sites:
+        raise ValueError("model has no swappable activations")
+    if isinstance(thresholds, Mapping):
+        missing = [s.layer_name for s in sites if s.layer_name not in thresholds]
+        if missing:
+            raise KeyError(f"thresholds missing for layers {missing!r}")
+
+    result = ActivationSwapResult()
+    for site in sites:
+        threshold = (
+            float(thresholds[site.layer_name])
+            if isinstance(thresholds, Mapping)
+            else float(thresholds)
+        )
+        replacement = factory(site, threshold)
+        replacement.train(model.training)
+        setattr(site.parent, site.attribute, replacement)
+        result.clipped[site.layer_name] = replacement
+        result.replaced += 1
+    return result
+
+
+def set_thresholds(model: nn.Module, thresholds: Mapping[str, float]) -> None:
+    """Update thresholds of already-swapped clipped activations by layer name."""
+    clipped = _clipped_by_layer(model)
+    unknown = set(thresholds) - set(clipped)
+    if unknown:
+        raise KeyError(f"no clipped activation for layers {sorted(unknown)!r}")
+    for layer_name, threshold in thresholds.items():
+        clipped[layer_name].threshold = float(threshold)
+
+
+def get_thresholds(model: nn.Module) -> dict[str, float]:
+    """Current thresholds of the model's clipped activations by layer name."""
+    return {name: module.threshold for name, module in _clipped_by_layer(model).items()}
+
+
+def _clipped_by_layer(
+    model: nn.Module,
+) -> dict[str, "ClippedReLU | ClampedReLU | ClippedLeakyReLU"]:
+    """Re-discover clipped activations with their feeding-layer names."""
+    found: dict[str, ClippedReLU | ClampedReLU | ClippedLeakyReLU] = {}
+    conv_count = 0
+    fc_count = 0
+    current_layer: "str | None" = None
+    for _, _, child in _iter_children_in_order(model):
+        if isinstance(child, nn.Conv2d):
+            conv_count += 1
+            current_layer = f"CONV-{conv_count}"
+        elif isinstance(child, nn.Linear):
+            fc_count += 1
+            current_layer = f"FC-{fc_count}"
+        elif isinstance(child, (ClippedReLU, ClampedReLU, ClippedLeakyReLU)):
+            if current_layer is not None:
+                found[current_layer] = child
+                current_layer = None
+    return found

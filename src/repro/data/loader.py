@@ -1,0 +1,66 @@
+"""Deterministic mini-batch loader."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive
+
+__all__ = ["DataLoader"]
+
+
+class DataLoader:
+    """Yields (images, labels) batches from a :class:`Dataset`.
+
+    Shuffling is seeded and *epoch-indexed*: iteration ``k`` over the same
+    loader always produces the same order, independent of how many batches
+    earlier iterations consumed.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 32,
+        shuffle: bool = False,
+        drop_last: bool = False,
+        seed: int = 0,
+    ):
+        check_positive("batch_size", batch_size)
+        if len(dataset) == 0:
+            raise ValueError("dataset is empty")
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.shuffle = bool(shuffle)
+        self.drop_last = bool(drop_last)
+        self.seed = int(seed)
+        self._epoch = 0
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = np.arange(n)
+        if self.shuffle:
+            rng = as_generator(self.seed + self._epoch)
+            rng.shuffle(order)
+        self._epoch += 1
+
+        for start in range(0, n, self.batch_size):
+            indices = order[start : start + self.batch_size]
+            if self.drop_last and indices.shape[0] < self.batch_size:
+                break
+            images = []
+            labels = []
+            for index in indices:
+                image, label = self.dataset[int(index)]
+                images.append(image)
+                labels.append(label)
+            yield np.stack(images).astype(np.float32), np.asarray(labels, dtype=np.int64)

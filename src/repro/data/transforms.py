@@ -1,0 +1,96 @@
+"""Per-image transforms (normalization and light augmentation)."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "Compose",
+    "Normalize",
+    "RandomHorizontalFlip",
+    "RandomCrop",
+    "compute_channel_stats",
+]
+
+
+class Compose:
+    """Chain transforms left to right."""
+
+    def __init__(self, transforms: Sequence[Callable[[np.ndarray], np.ndarray]]):
+        self.transforms = list(transforms)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        for transform in self.transforms:
+            image = transform(image)
+        return image
+
+
+class Normalize:
+    """Per-channel standardization: ``(x - mean) / std`` on CHW images."""
+
+    def __init__(self, mean: Sequence[float], std: Sequence[float]):
+        self.mean = np.asarray(mean, dtype=np.float32).reshape(-1, 1, 1)
+        self.std = np.asarray(std, dtype=np.float32).reshape(-1, 1, 1)
+        if np.any(self.std <= 0):
+            raise ValueError("std entries must be positive")
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        image = np.asarray(image, dtype=np.float32)
+        if image.ndim != 3 or image.shape[0] != self.mean.shape[0]:
+            raise ValueError(
+                f"expected CHW image with {self.mean.shape[0]} channels, "
+                f"got shape {image.shape}"
+            )
+        return (image - self.mean) / self.std
+
+
+class RandomHorizontalFlip:
+    """Flip the image left-right with probability ``p``."""
+
+    def __init__(self, p: float = 0.5, seed: "int | np.random.Generator | None" = None):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must lie in [0, 1], got {p}")
+        self.p = float(p)
+        self._rng = as_generator(seed)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        if self._rng.random() < self.p:
+            return np.ascontiguousarray(image[:, :, ::-1])
+        return image
+
+
+class RandomCrop:
+    """Zero-pad by ``padding`` then crop back to the original size."""
+
+    def __init__(self, padding: int = 2, seed: "int | np.random.Generator | None" = None):
+        if padding < 0:
+            raise ValueError(f"padding must be non-negative, got {padding}")
+        self.padding = int(padding)
+        self._rng = as_generator(seed)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        if self.padding == 0:
+            return image
+        _, h, w = image.shape
+        padded = np.pad(
+            image,
+            ((0, 0), (self.padding, self.padding), (self.padding, self.padding)),
+        )
+        top = int(self._rng.integers(0, 2 * self.padding + 1))
+        left = int(self._rng.integers(0, 2 * self.padding + 1))
+        return np.ascontiguousarray(padded[:, top : top + h, left : left + w])
+
+
+def compute_channel_stats(images: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-channel (mean, std) over an (N, C, H, W) image batch."""
+    images = np.asarray(images, dtype=np.float32)
+    if images.ndim != 4:
+        raise ValueError(f"expected NCHW batch, got shape {images.shape}")
+    mean = images.mean(axis=(0, 2, 3))
+    std = images.std(axis=(0, 2, 3))
+    std = np.where(std > 1e-6, std, 1.0).astype(np.float32)
+    return mean.astype(np.float32), std

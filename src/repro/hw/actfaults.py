@@ -1,0 +1,130 @@
+"""Transient bit flips in activation memory (feature-map buffers).
+
+The paper injects faults into the *weight* memory; accelerators also
+buffer intermediate feature maps in on-chip SRAM, and frameworks like
+Ares study upsets there too.  This module adds that fault surface: while
+armed, every computational layer's output tensor has random bits flipped
+at a per-bit rate before it flows into the following activation function
+— so the paper's clipped activations naturally bound this corruption as
+well, which the activation-fault benchmark demonstrates.
+
+Activation faults are transient by construction (each forward pass
+allocates fresh output buffers), so no undo machinery is needed.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+from repro import nn
+from repro.hw.bits import WORD_BITS, flip_bits_in_words
+from repro.models.registry import computational_layers
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_probability
+
+__all__ = ["ActivationFaultInjector", "flip_activation_bits"]
+
+
+def flip_activation_bits(
+    values: np.ndarray, fault_rate: float, rng: np.random.Generator
+) -> int:
+    """Flip random bits of a float32 activation tensor in place.
+
+    Returns the number of flipped bits.  The tensor must be contiguous
+    float32 (which all layer outputs in this framework are).
+    """
+    check_probability("fault_rate", fault_rate)
+    if values.dtype != np.float32:
+        raise ValueError(f"activations must be float32, got {values.dtype}")
+    if not values.flags["C_CONTIGUOUS"]:
+        # reshape(-1) would silently copy and the faults would be lost.
+        raise ValueError("activations must be C-contiguous for in-place faults")
+    flat = values.reshape(-1)
+    total_bits = flat.size * WORD_BITS
+    count = int(rng.binomial(total_bits, fault_rate))
+    if count == 0:
+        return 0
+    if count >= total_bits:
+        bits = np.arange(total_bits, dtype=np.int64)
+    else:
+        bits = rng.choice(total_bits, size=count, replace=False).astype(np.int64)
+    flip_bits_in_words(flat, bits // WORD_BITS, bits % WORD_BITS)
+    return count
+
+
+class ActivationFaultInjector:
+    """Arms forward hooks that corrupt computational-layer outputs.
+
+    Hooks are installed on every CONV/FC layer (or a named subset) at
+    construction but stay dormant; faults fire only inside an
+    :meth:`armed` block, at the rate given there.
+    """
+
+    def __init__(self, model: nn.Module, layers: "list[str] | None" = None):
+        self.model = model
+        pairs = computational_layers(model)
+        if layers is not None:
+            known = {name for name, _ in pairs}
+            unknown = set(layers) - known
+            if unknown:
+                raise ValueError(
+                    f"unknown layer names {sorted(unknown)!r}; model has "
+                    f"{sorted(known)!r}"
+                )
+            pairs = [(name, module) for name, module in pairs if name in layers]
+        if not pairs:
+            raise ValueError("no computational layers selected")
+        self.layer_names = [name for name, _ in pairs]
+        self._rate: "float | None" = None
+        self._rng: "np.random.Generator | None" = None
+        self._flips_this_session = 0
+        self._handles = [
+            module.register_forward_hook(self._hook) for _, module in pairs
+        ]
+
+    def _hook(self, module: nn.Module, inputs: np.ndarray, output: np.ndarray) -> None:
+        if self._rate is None or self._rng is None:
+            return
+        self._flips_this_session += flip_activation_bits(output, self._rate, self._rng)
+
+    @property
+    def armed(self) -> bool:
+        """Whether faults are currently firing."""
+        return self._rate is not None
+
+    @contextmanager
+    def session(
+        self, fault_rate: float, rng: "int | np.random.Generator"
+    ) -> Iterator["ActivationFaultInjector"]:
+        """Fire faults at ``fault_rate`` for every forward in the block."""
+        check_probability("fault_rate", fault_rate)
+        if self.armed:
+            raise RuntimeError("activation fault session already active")
+        self._rate = float(fault_rate)
+        self._rng = as_generator(rng)
+        self._flips_this_session = 0
+        try:
+            yield self
+        finally:
+            self._rate = None
+            self._rng = None
+
+    @property
+    def flips_this_session(self) -> int:
+        """Bits flipped since the current/most recent session started."""
+        return self._flips_this_session
+
+    def remove(self) -> None:
+        """Detach all hooks (the injector becomes inert)."""
+        for handle in self._handles:
+            handle.remove()
+        self._handles.clear()
+
+    def __enter__(self) -> "ActivationFaultInjector":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.remove()

@@ -1,0 +1,232 @@
+"""Hamming SEC-DED error-correcting code over 32-bit weight words.
+
+The paper cites ECC as the standard (but costly) memory-protection
+baseline.  We implement a real (39,32) Hamming single-error-correct /
+double-error-detect codec — 6 Hamming check bits plus 1 overall parity —
+and a campaign-level filter that models what an ECC-protected weight
+memory does to a sampled fault set:
+
+* codewords with exactly one faulty bit are fully corrected;
+* codewords with two faulty bits are *detected* but uncorrectable (DUE);
+  the policy decides whether the word is zeroed (safe default on many
+  accelerators) or left corrupted;
+* three or more faults may alias to silent corruption, which the filter
+  conservatively treats like the >=2 case.
+
+The storage overhead (39/32 ≈ 1.22x) and the detection guarantees match a
+standard SEC-DED DRAM/SRAM design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.bits import WORD_BITS
+from repro.hw.faultmodels import OP_FLIP, OP_STUCK0, FaultSet
+from repro.hw.memory import WeightMemory
+from repro.utils.validation import check_in_choices
+
+__all__ = [
+    "CODE_DATA_BITS",
+    "CODE_CHECK_BITS",
+    "CODE_TOTAL_BITS",
+    "hamming_encode",
+    "hamming_decode",
+    "SECDEDResult",
+    "ECCFilter",
+]
+
+CODE_DATA_BITS = 32
+CODE_CHECK_BITS = 7  # 6 Hamming bits + 1 overall parity
+CODE_TOTAL_BITS = CODE_DATA_BITS + CODE_CHECK_BITS  # 39
+
+
+def _parity_positions() -> list[np.ndarray]:
+    """For each of the 6 Hamming check bits, the data-bit indices it covers.
+
+    Data bits are placed at the non-power-of-two codeword positions of a
+    standard Hamming(63,57) layout truncated to 32 data bits.
+    """
+    data_codeword_positions = []
+    position = 1
+    while len(data_codeword_positions) < CODE_DATA_BITS:
+        if position & (position - 1):  # not a power of two -> data position
+            data_codeword_positions.append(position)
+        position += 1
+    covers: list[np.ndarray] = []
+    for check in range(6):
+        check_mask = 1 << check
+        covered = [
+            data_index
+            for data_index, codeword_position in enumerate(data_codeword_positions)
+            if codeword_position & check_mask
+        ]
+        covers.append(np.asarray(covered, dtype=np.int64))
+    return covers
+
+
+_PARITY_COVERS = _parity_positions()
+
+
+def _data_bits_matrix(words: np.ndarray) -> np.ndarray:
+    """Expand uint32 words into an (n, 32) bit matrix (LSB first)."""
+    words = np.asarray(words, dtype=np.uint32)
+    shifts = np.arange(CODE_DATA_BITS, dtype=np.uint32)
+    return ((words[:, None] >> shifts[None, :]) & np.uint32(1)).astype(np.uint8)
+
+
+def hamming_encode(words: np.ndarray) -> np.ndarray:
+    """Compute the 7 check bits for each uint32 word.
+
+    Returns an (n,) uint8 array: bits 0-5 are the Hamming check bits,
+    bit 6 is the overall parity of data + Hamming bits.
+    """
+    bits = _data_bits_matrix(words)
+    check = np.zeros(bits.shape[0], dtype=np.uint8)
+    for index, cover in enumerate(_PARITY_COVERS):
+        parity = bits[:, cover].sum(axis=1) & 1
+        check |= (parity.astype(np.uint8)) << index
+    overall = (bits.sum(axis=1, dtype=np.int64) + _popcount8(check & 0x3F)) & 1
+    check |= overall.astype(np.uint8) << 6
+    return check
+
+
+def _popcount8(values: np.ndarray) -> np.ndarray:
+    """Population count of uint8 values."""
+    values = values.astype(np.uint8)
+    count = np.zeros_like(values, dtype=np.int64)
+    for shift in range(8):
+        count += (values >> shift) & 1
+    return count
+
+
+@dataclass(frozen=True)
+class SECDEDResult:
+    """Outcome of decoding one codeword."""
+
+    data: int  # possibly corrected uint32 word
+    corrected: bool  # a single-bit error was fixed
+    detected_uncorrectable: bool  # double-bit error detected (DUE)
+
+
+def hamming_decode(word: int, check: int) -> SECDEDResult:
+    """Decode one (data word, check bits) pair under SEC-DED semantics.
+
+    Reference scalar implementation: used for testing the campaign-level
+    filter below, which never materialises check-bit storage.
+    """
+    word = int(word) & 0xFFFFFFFF
+    check = int(check) & 0x7F
+    expected = int(hamming_encode(np.asarray([word], dtype=np.uint32))[0])
+    syndrome = (check ^ expected) & 0x3F
+    # Overall parity is checked over the *received* codeword (data bits plus
+    # stored Hamming bits) against the stored parity bit, so any single-bit
+    # error — data, check or parity — flips exactly one term.
+    received_overall = (word.bit_count() + (check & 0x3F).bit_count()) & 1
+    parity_mismatch = received_overall != ((check >> 6) & 1)
+
+    if syndrome == 0 and not parity_mismatch:
+        return SECDEDResult(data=word, corrected=False, detected_uncorrectable=False)
+    if syndrome != 0 and parity_mismatch:
+        # Single error at codeword position = syndrome; correct if it is a
+        # data position (power-of-two positions are check bits).
+        if syndrome & (syndrome - 1):
+            data_positions = []
+            position = 1
+            while len(data_positions) < CODE_DATA_BITS:
+                if position & (position - 1):
+                    data_positions.append(position)
+                position += 1
+            try:
+                data_index = data_positions.index(syndrome)
+            except ValueError:
+                # Syndrome beyond the truncated code: treat as detected.
+                return SECDEDResult(word, corrected=False, detected_uncorrectable=True)
+            return SECDEDResult(
+                data=word ^ (1 << data_index),
+                corrected=True,
+                detected_uncorrectable=False,
+            )
+        # Error in a check bit: data is intact.
+        return SECDEDResult(data=word, corrected=True, detected_uncorrectable=False)
+    if syndrome == 0 and parity_mismatch:
+        # Error in the overall parity bit itself: data intact.
+        return SECDEDResult(data=word, corrected=True, detected_uncorrectable=False)
+    # syndrome != 0 and overall parity consistent -> double error.
+    return SECDEDResult(data=word, corrected=False, detected_uncorrectable=True)
+
+
+class ECCFilter:
+    """Campaign-level model of a SEC-DED-protected weight memory.
+
+    Fault sets are sampled over the *codeword* bit space (39 bits per
+    32-bit data word, so ECC pays its fault-exposure overhead honestly) and
+    then filtered:
+
+    * exactly 1 fault in a codeword -> corrected, no data corruption;
+    * >=2 faults -> per ``due_policy``: ``"zero"`` zeroes the data word
+      (detected-uncorrectable handled safely), ``"keep"`` lets the data-bit
+      faults through (silent corruption).
+    """
+
+    def __init__(self, due_policy: str = "zero"):
+        check_in_choices("due_policy", due_policy, ("zero", "keep"))
+        self.due_policy = due_policy
+
+    def codeword_bits(self, memory: WeightMemory) -> int:
+        """Size of the protected bit space (data + check bits)."""
+        return memory.total_words * CODE_TOTAL_BITS
+
+    def filter(self, memory: WeightMemory, codeword_fault_bits: np.ndarray) -> FaultSet:
+        """Translate codeword-space faults into the effective data faults.
+
+        ``codeword_fault_bits`` are unique indices in
+        ``[0, codeword_bits(memory))``; within each 39-bit codeword, offsets
+        0-31 are data bits and 32-38 are check bits.
+        """
+        faults = np.asarray(codeword_fault_bits, dtype=np.int64)
+        if faults.size == 0:
+            return FaultSet.empty()
+        if faults.min() < 0 or faults.max() >= self.codeword_bits(memory):
+            raise IndexError("codeword fault index out of range")
+
+        codeword = faults // CODE_TOTAL_BITS
+        offset = faults % CODE_TOTAL_BITS
+        unique_words, counts = np.unique(codeword, return_counts=True)
+        multi_words = unique_words[counts >= 2]
+
+        if multi_words.size == 0:
+            return FaultSet.empty()
+
+        if self.due_policy == "zero":
+            # Zero every word that suffered a multi-bit error: express this
+            # as stuck-at-0 on all 32 data bits of those words.
+            bit_indices = (
+                multi_words[:, None] * WORD_BITS + np.arange(WORD_BITS)[None, :]
+            ).reshape(-1)
+            ops = np.full(bit_indices.shape, OP_STUCK0, dtype=np.uint8)
+            return FaultSet(bit_indices, ops)
+
+        # "keep": let the data-bit faults of multi-fault words through.
+        in_multi = np.isin(codeword, multi_words)
+        is_data = offset < CODE_DATA_BITS
+        passed = in_multi & is_data
+        bit_indices = codeword[passed] * WORD_BITS + offset[passed]
+        ops = np.full(bit_indices.shape, OP_FLIP, dtype=np.uint8)
+        return FaultSet(bit_indices, ops)
+
+    def sample_effective(
+        self, memory: WeightMemory, fault_rate: float, rng: np.random.Generator
+    ) -> FaultSet:
+        """Sample raw faults over codeword space and return the survivors."""
+        total = self.codeword_bits(memory)
+        count = int(rng.binomial(total, fault_rate))
+        if count == 0:
+            return FaultSet.empty()
+        if count >= total:
+            raw = np.arange(total, dtype=np.int64)
+        else:
+            raw = rng.choice(total, size=count, replace=False).astype(np.int64)
+        return self.filter(memory, raw)

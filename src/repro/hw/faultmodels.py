@@ -1,0 +1,237 @@
+"""Fault models: distributions over weight-memory bit corruptions.
+
+A fault model is a sampler: given a :class:`~repro.hw.memory.WeightMemory`
+and a random generator it produces a :class:`FaultSet` — concrete bit
+targets plus the operation applied to each (flip, stuck-at-0, stuck-at-1).
+
+The paper's experiments use independent random bit flips at a per-bit
+fault rate (transient upsets / the aggregate effect Fig. 1a sketches);
+stuck-at and burst models cover the permanent/manufacturing-defect cases
+its introduction discusses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hw.bits import WORD_BITS
+from repro.hw.memory import WeightMemory
+from repro.utils.validation import check_probability
+
+__all__ = [
+    "OP_FLIP",
+    "OP_STUCK0",
+    "OP_STUCK1",
+    "FaultSet",
+    "FaultModel",
+    "RandomBitFlip",
+    "StuckAt",
+    "BurstFault",
+    "FixedFaultMap",
+    "TargetedBitFlip",
+]
+
+OP_FLIP = 0
+OP_STUCK0 = 1
+OP_STUCK1 = 2
+_VALID_OPS = (OP_FLIP, OP_STUCK0, OP_STUCK1)
+
+
+@dataclass(frozen=True)
+class FaultSet:
+    """Concrete fault targets: parallel arrays of bit indices and operations."""
+
+    bit_indices: np.ndarray  # int64 global bit indices, unique
+    operations: np.ndarray  # uint8 operation codes, same length
+
+    def __post_init__(self) -> None:
+        bits = np.asarray(self.bit_indices, dtype=np.int64)
+        ops = np.asarray(self.operations, dtype=np.uint8)
+        if bits.shape != ops.shape or bits.ndim != 1:
+            raise ValueError("bit_indices and operations must be matching 1-D arrays")
+        if bits.size and np.unique(bits).size != bits.size:
+            raise ValueError("bit indices must be unique within a FaultSet")
+        if ops.size and not np.isin(ops, _VALID_OPS).all():
+            raise ValueError(f"operations must be among {_VALID_OPS}")
+        object.__setattr__(self, "bit_indices", bits)
+        object.__setattr__(self, "operations", ops)
+
+    def __len__(self) -> int:
+        return int(self.bit_indices.size)
+
+    @classmethod
+    def empty(cls) -> "FaultSet":
+        """A fault set with no faults."""
+        return cls(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.uint8))
+
+    @classmethod
+    def flips(cls, bit_indices: np.ndarray) -> "FaultSet":
+        """A fault set of pure bit flips."""
+        bits = np.asarray(bit_indices, dtype=np.int64)
+        return cls(bits, np.full(bits.shape, OP_FLIP, dtype=np.uint8))
+
+    def subset(self, mask: np.ndarray) -> "FaultSet":
+        """A fault set restricted to the boolean ``mask``."""
+        mask = np.asarray(mask, dtype=bool)
+        return FaultSet(self.bit_indices[mask], self.operations[mask])
+
+
+class FaultModel:
+    """Base class for fault samplers."""
+
+    def sample(self, memory: WeightMemory, rng: np.random.Generator) -> FaultSet:
+        """Draw a concrete :class:`FaultSet` for ``memory``."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Short human-readable description for reports."""
+        return type(self).__name__
+
+
+def _sample_unique_bits(
+    total_bits: int, count: int, rng: np.random.Generator
+) -> np.ndarray:
+    """``count`` distinct bit indices uniform over ``[0, total_bits)``."""
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+    if count >= total_bits:
+        return np.arange(total_bits, dtype=np.int64)
+    # rng.choice without replacement is O(total_bits); rejection sampling is
+    # much cheaper at the sparse fault rates the paper studies.
+    if count < total_bits // 64:
+        chosen: set[int] = set()
+        while len(chosen) < count:
+            needed = count - len(chosen)
+            draws = rng.integers(0, total_bits, size=max(needed * 2, 16))
+            for draw in draws:
+                chosen.add(int(draw))
+                if len(chosen) == count:
+                    break
+        return np.sort(np.fromiter(chosen, dtype=np.int64, count=count))
+    return np.sort(rng.choice(total_bits, size=count, replace=False).astype(np.int64))
+
+
+class RandomBitFlip(FaultModel):
+    """Independent bit flips at a per-bit ``fault_rate`` (the paper's model).
+
+    The number of faulty bits is Binomial(total_bits, fault_rate); the
+    faulty positions are uniform without replacement.
+    """
+
+    def __init__(self, fault_rate: float):
+        check_probability("fault_rate", fault_rate)
+        self.fault_rate = float(fault_rate)
+
+    def sample(self, memory: WeightMemory, rng: np.random.Generator) -> FaultSet:
+        count = int(rng.binomial(memory.total_bits, self.fault_rate))
+        bits = _sample_unique_bits(memory.total_bits, count, rng)
+        return FaultSet.flips(bits)
+
+    def describe(self) -> str:
+        return f"RandomBitFlip(rate={self.fault_rate:g})"
+
+
+class StuckAt(FaultModel):
+    """Permanent stuck-at faults at a per-bit ``fault_rate``.
+
+    Each faulty cell is stuck at ``value`` (0 or 1); a stuck bit that
+    already holds the stuck value is benign, matching real silicon.
+    """
+
+    def __init__(self, fault_rate: float, value: int = 1):
+        check_probability("fault_rate", fault_rate)
+        if value not in (0, 1):
+            raise ValueError(f"stuck-at value must be 0 or 1, got {value}")
+        self.fault_rate = float(fault_rate)
+        self.value = int(value)
+
+    def sample(self, memory: WeightMemory, rng: np.random.Generator) -> FaultSet:
+        count = int(rng.binomial(memory.total_bits, self.fault_rate))
+        bits = _sample_unique_bits(memory.total_bits, count, rng)
+        op = OP_STUCK1 if self.value == 1 else OP_STUCK0
+        return FaultSet(bits, np.full(bits.shape, op, dtype=np.uint8))
+
+    def describe(self) -> str:
+        return f"StuckAt{self.value}(rate={self.fault_rate:g})"
+
+
+class BurstFault(FaultModel):
+    """``n_bursts`` bursts of ``burst_length`` consecutive flipped bits.
+
+    Models multi-bit upsets / row failures where physically adjacent cells
+    fail together.
+    """
+
+    def __init__(self, n_bursts: int, burst_length: int = 8):
+        if n_bursts < 0:
+            raise ValueError(f"n_bursts must be non-negative, got {n_bursts}")
+        if burst_length <= 0:
+            raise ValueError(f"burst_length must be positive, got {burst_length}")
+        self.n_bursts = int(n_bursts)
+        self.burst_length = int(burst_length)
+
+    def sample(self, memory: WeightMemory, rng: np.random.Generator) -> FaultSet:
+        if self.n_bursts == 0:
+            return FaultSet.empty()
+        max_start = max(memory.total_bits - self.burst_length, 1)
+        starts = rng.integers(0, max_start, size=self.n_bursts)
+        bits = (starts[:, None] + np.arange(self.burst_length)[None, :]).reshape(-1)
+        bits = np.unique(bits[bits < memory.total_bits]).astype(np.int64)
+        return FaultSet.flips(bits)
+
+    def describe(self) -> str:
+        return f"BurstFault(n={self.n_bursts}, length={self.burst_length})"
+
+
+@dataclass(frozen=True)
+class FixedFaultMap(FaultModel):
+    """A deterministic, pre-drawn fault set (manufacturing defect map).
+
+    Sampling ignores the generator and always returns the same faults, so
+    the same physical defects persist across every inference run — the
+    permanent-fault scenario of paper Fig. 1a.
+    """
+
+    fault_set: FaultSet = field(default_factory=FaultSet.empty)
+
+    def sample(self, memory: WeightMemory, rng: np.random.Generator) -> FaultSet:
+        if (
+            len(self.fault_set)
+            and self.fault_set.bit_indices.max() >= memory.total_bits
+        ):
+            raise IndexError("fixed fault map exceeds this memory's size")
+        return self.fault_set
+
+    def describe(self) -> str:
+        return f"FixedFaultMap(n={len(self.fault_set)})"
+
+
+class TargetedBitFlip(FaultModel):
+    """Flip a fixed *bit position* of ``n_faults`` randomly chosen words.
+
+    Used by the bit-position sensitivity study: e.g. flip only bit 30 (the
+    exponent MSB) of 10 random weights and observe the damage.
+    """
+
+    def __init__(self, bit_position: int, n_faults: int):
+        if not 0 <= bit_position < WORD_BITS:
+            raise ValueError(
+                f"bit_position must lie in [0, {WORD_BITS}), got {bit_position}"
+            )
+        if n_faults < 0:
+            raise ValueError(f"n_faults must be non-negative, got {n_faults}")
+        self.bit_position = int(bit_position)
+        self.n_faults = int(n_faults)
+
+    def sample(self, memory: WeightMemory, rng: np.random.Generator) -> FaultSet:
+        if self.n_faults == 0:
+            return FaultSet.empty()
+        count = min(self.n_faults, memory.total_words)
+        words = _sample_unique_bits(memory.total_words, count, rng)
+        bits = words * WORD_BITS + self.bit_position
+        return FaultSet.flips(bits)
+
+    def describe(self) -> str:
+        return f"TargetedBitFlip(bit={self.bit_position}, n={self.n_faults})"

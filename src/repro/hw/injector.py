@@ -1,0 +1,147 @@
+"""Reversible application of fault sets to a weight memory.
+
+The injector applies a :class:`~repro.hw.faultmodels.FaultSet` to the live
+parameter arrays, remembers the original words it touched, and can undo
+everything exactly — so one trained model serves thousands of
+fault-injection trials without reloading weights.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.hw.bits import flip_bits_in_words, set_bits_in_words
+from repro.hw.faultmodels import (
+    OP_FLIP,
+    OP_STUCK0,
+    OP_STUCK1,
+    FaultModel,
+    FaultSet,
+)
+from repro.hw.memory import MemoryRegion, WeightMemory
+from repro.utils.rng import as_generator
+
+__all__ = ["InjectionRecord", "FaultInjector"]
+
+
+@dataclass(eq=False)  # identity equality: records are tracked by object
+class InjectionRecord:
+    """Bookkeeping for one applied fault set (enables exact undo)."""
+
+    fault_set: FaultSet
+    # One (region, affected word indices, original word values) per region.
+    saved: list[tuple[MemoryRegion, np.ndarray, np.ndarray]]
+
+    @property
+    def num_faults(self) -> int:
+        """Number of fault targets in the applied set."""
+        return len(self.fault_set)
+
+    @property
+    def num_affected_words(self) -> int:
+        """Number of distinct 32-bit words touched."""
+        return sum(words.size for _, words, _ in self.saved)
+
+    def affected_layers(self) -> list[str]:
+        """Distinct layer names that received at least one fault."""
+        seen: list[str] = []
+        for region, words, _ in self.saved:
+            if words.size and region.layer_name not in seen:
+                seen.append(region.layer_name)
+        return seen
+
+
+class FaultInjector:
+    """Applies and reverts fault sets on a :class:`WeightMemory`."""
+
+    def __init__(self, memory: WeightMemory):
+        self.memory = memory
+        self._active: list[InjectionRecord] = []
+
+    @property
+    def active_records(self) -> tuple[InjectionRecord, ...]:
+        """Currently applied (not yet restored) injections, oldest first."""
+        return tuple(self._active)
+
+    def inject(self, fault_set: FaultSet) -> InjectionRecord:
+        """Apply ``fault_set`` to the live weights; returns the undo record."""
+        saved: list[tuple[MemoryRegion, np.ndarray, np.ndarray]] = []
+        for region, words, bits in self.memory.locate(fault_set.bit_indices):
+            flat = region.parameter.data.reshape(-1)
+            # Identify this region's slice of the fault set to split by op.
+            in_region = (
+                (fault_set.bit_indices >= region.bit_offset)
+                & (fault_set.bit_indices < region.bit_end)
+            )
+            ops = fault_set.operations[in_region]
+
+            unique_words = np.unique(words)
+            original = flat[unique_words].copy()
+            for op, apply_fn in (
+                (OP_FLIP, lambda w, b: flip_bits_in_words(flat, w, b)),
+                (OP_STUCK0, lambda w, b: set_bits_in_words(flat, w, b, 0)),
+                (OP_STUCK1, lambda w, b: set_bits_in_words(flat, w, b, 1)),
+            ):
+                mask = ops == op
+                if mask.any():
+                    apply_fn(words[mask], bits[mask])
+            saved.append((region, unique_words, original))
+        record = InjectionRecord(fault_set=fault_set, saved=saved)
+        self._active.append(record)
+        return record
+
+    def sample_and_inject(
+        self, model: FaultModel, rng: "int | np.random.Generator | None"
+    ) -> InjectionRecord:
+        """Sample from a fault model and apply the result in one call."""
+        return self.inject(model.sample(self.memory, as_generator(rng)))
+
+    def restore(self, record: "InjectionRecord | None" = None) -> None:
+        """Undo one record (default: the most recent) exactly."""
+        if not self._active:
+            raise RuntimeError("no active injections to restore")
+        if record is None:
+            record = self._active[-1]
+        try:
+            self._active.remove(record)
+        except ValueError:
+            raise RuntimeError("record is not an active injection") from None
+        for region, words, original in record.saved:
+            region.parameter.data.reshape(-1)[words] = original
+
+    def restore_all(self) -> None:
+        """Undo every active injection (newest first)."""
+        while self._active:
+            self.restore(self._active[-1])
+
+    @contextmanager
+    def session(
+        self,
+        model: FaultModel,
+        rng: "int | np.random.Generator | None" = None,
+    ) -> Iterator[InjectionRecord]:
+        """Context manager: inject on entry, restore exactly on exit.
+
+        ``with injector.session(RandomBitFlip(1e-6), seed) as record: ...``
+        """
+        record = self.sample_and_inject(model, rng)
+        try:
+            yield record
+        finally:
+            # The record may already be restored inside the block.
+            if record in self._active:
+                self.restore(record)
+
+    @contextmanager
+    def apply(self, fault_set: FaultSet) -> Iterator[InjectionRecord]:
+        """Context manager around a pre-sampled fault set."""
+        record = self.inject(fault_set)
+        try:
+            yield record
+        finally:
+            if record in self._active:
+                self.restore(record)

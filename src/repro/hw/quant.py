@@ -1,0 +1,190 @@
+"""Int8 quantized weight memory and bit-flip faults in the int8 domain.
+
+The paper studies float32 weight storage, where a single exponent-MSB flip
+multiplies a weight by 2^128 — the root cause of the accuracy collapse.
+Deployed accelerators often store weights as int8 instead, where the worst
+single-bit corruption is bounded by the sign bit (~2x the max weight
+magnitude).  This module provides that alternative memory model so the
+benchmark suite can quantify how much of the paper's problem is specific
+to floating-point storage:
+
+* symmetric per-tensor int8 quantization of every mapped parameter;
+* a reversible quantizer that runs the model on dequantized-int8 weights
+  (so clean accuracy honestly includes quantization error);
+* an injector that flips bits of the *int8 codes* and writes the
+  dequantized result back into the live float parameters.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.hw.memory import MemoryRegion, WeightMemory
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_probability
+
+__all__ = [
+    "INT8_BITS",
+    "quantize_symmetric",
+    "dequantize_symmetric",
+    "QuantizedWeightMemory",
+]
+
+INT8_BITS = 8
+_QMAX = 127
+
+
+def quantize_symmetric(values: np.ndarray) -> tuple[np.ndarray, float]:
+    """Symmetric per-tensor int8 quantization.
+
+    Returns ``(codes, scale)`` with ``codes`` int8 in [-127, 127] and
+    ``values ~= codes * scale``.  An all-zero tensor gets scale 1.0.
+    """
+    values = np.asarray(values, dtype=np.float32)
+    max_abs = float(np.abs(values).max()) if values.size else 0.0
+    scale = max_abs / _QMAX if max_abs > 0 else 1.0
+    codes = np.clip(np.rint(values / scale), -_QMAX, _QMAX).astype(np.int8)
+    return codes, scale
+
+
+def dequantize_symmetric(codes: np.ndarray, scale: float) -> np.ndarray:
+    """Inverse of :func:`quantize_symmetric`."""
+    return codes.astype(np.float32) * np.float32(scale)
+
+
+@dataclass
+class _QuantRegion:
+    """One parameter's int8 shadow storage."""
+
+    region: MemoryRegion
+    codes: np.ndarray  # int8, flat
+    scale: float
+    code_offset: int  # first global int8-bit index of this region
+
+
+class QuantizedWeightMemory:
+    """An int8 view over a model's :class:`WeightMemory`.
+
+    Entering :meth:`deployed` quantizes every mapped parameter in place
+    (the model then runs on dequantized int8 weights, exactly like an
+    accelerator that stores int8 and dequantizes on read) and restores the
+    original float weights on exit.  While deployed, :meth:`session`
+    injects random bit flips into the int8 codes.
+    """
+
+    def __init__(self, memory: WeightMemory):
+        self.memory = memory
+        self._regions: list[_QuantRegion] = []
+        self._float_snapshot: "list[np.ndarray] | None" = None
+        offset = 0
+        for region in memory.regions:
+            codes, scale = quantize_symmetric(region.parameter.data.reshape(-1))
+            self._regions.append(
+                _QuantRegion(region=region, codes=codes, scale=scale, code_offset=offset)
+            )
+            offset += codes.size * INT8_BITS
+        self.total_bits = offset
+
+    @property
+    def deployed_now(self) -> bool:
+        """Whether the float parameters currently hold dequantized values."""
+        return self._float_snapshot is not None
+
+    def scales(self) -> dict[str, float]:
+        """Per-region quantization scales (for reports)."""
+        return {q.region.name: q.scale for q in self._regions}
+
+    # ------------------------------------------------------------------ #
+    # deployment (quantize weights in place, restore on exit)
+    # ------------------------------------------------------------------ #
+
+    def _write_back(self, quant_region: _QuantRegion) -> None:
+        flat = quant_region.region.parameter.data.reshape(-1)
+        flat[:] = dequantize_symmetric(quant_region.codes, quant_region.scale)
+
+    @contextmanager
+    def deployed(self) -> Iterator["QuantizedWeightMemory"]:
+        """Run the model on int8-dequantized weights inside the block."""
+        if self.deployed_now:
+            raise RuntimeError("already deployed")
+        self._float_snapshot = self.memory.snapshot()
+        try:
+            for quant_region in self._regions:
+                self._write_back(quant_region)
+            yield self
+        finally:
+            self.memory.restore(self._float_snapshot)
+            self._float_snapshot = None
+
+    # ------------------------------------------------------------------ #
+    # fault injection in int8 code space
+    # ------------------------------------------------------------------ #
+
+    def sample_bitflips(
+        self, fault_rate: float, rng: "int | np.random.Generator"
+    ) -> np.ndarray:
+        """Unique int8-code bit indices at the given per-bit fault rate."""
+        check_probability("fault_rate", fault_rate)
+        generator = as_generator(rng)
+        count = int(generator.binomial(self.total_bits, fault_rate))
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        if count >= self.total_bits:
+            return np.arange(self.total_bits, dtype=np.int64)
+        return np.sort(
+            generator.choice(self.total_bits, size=count, replace=False).astype(np.int64)
+        )
+
+    def _locate(self, bit_indices: np.ndarray) -> list[tuple[_QuantRegion, np.ndarray, np.ndarray]]:
+        offsets = np.asarray([q.code_offset for q in self._regions], dtype=np.int64)
+        region_ids = np.searchsorted(offsets, bit_indices, side="right") - 1
+        located = []
+        for region_id in np.unique(region_ids):
+            quant_region = self._regions[int(region_id)]
+            local = bit_indices[region_ids == region_id] - quant_region.code_offset
+            located.append(
+                (quant_region, local // INT8_BITS, (local % INT8_BITS).astype(np.uint8))
+            )
+        return located
+
+    @contextmanager
+    def session(
+        self, fault_rate: float, rng: "int | np.random.Generator"
+    ) -> Iterator[int]:
+        """Flip int8 bits at ``fault_rate`` inside the block; restore after.
+
+        Must be used inside :meth:`deployed`.  Yields the number of flips.
+        """
+        if not self.deployed_now:
+            raise RuntimeError("session requires the memory to be deployed()")
+        bit_indices = self.sample_bitflips(fault_rate, rng)
+        if bit_indices.size and (
+            bit_indices.min() < 0 or bit_indices.max() >= self.total_bits
+        ):
+            raise IndexError("int8 bit index out of range")
+
+        undo: list[tuple[_QuantRegion, np.ndarray, np.ndarray]] = []
+        for quant_region, code_indices, bit_positions in self._locate(bit_indices):
+            unique_codes = np.unique(code_indices)
+            undo.append((quant_region, unique_codes, quant_region.codes[unique_codes].copy()))
+            view = quant_region.codes.view(np.uint8)
+            # Combine multiple flips per code with XOR-reduce by sorting.
+            order = np.argsort(code_indices, kind="stable")
+            sorted_codes = code_indices[order]
+            sorted_bits = bit_positions[order]
+            starts = np.unique(sorted_codes, return_index=True)[1]
+            masks = np.bitwise_xor.reduceat(
+                (np.uint8(1) << sorted_bits).astype(np.uint8), starts
+            )
+            view[unique_codes] ^= masks
+            self._write_back(quant_region)
+        try:
+            yield int(bit_indices.size)
+        finally:
+            for quant_region, unique_codes, original in undo:
+                quant_region.codes[unique_codes] = original
+                self._write_back(quant_region)

@@ -1,0 +1,117 @@
+"""Read-time weight range checking (Ranger-style mitigation baseline).
+
+A complementary mitigation the fault-tolerance literature proposes:
+profile each parameter tensor's value range offline, and have the
+accelerator's load path *zero any weight outside that range* (a cheap
+comparator per read).  Like the paper's clipped activations this needs no
+ECC/redundancy — but it acts on weights instead of activations, so it
+catches exponent-flip corruption directly at the source while missing
+faults whose corrupted value stays within range.
+
+The campaign-level model mirrors :class:`~repro.hw.ecc.ECCFilter`: given
+a sampled flip set, weights whose *corrupted* value would leave the
+profiled range are zeroed (expressed as stuck-at-0 over the whole word);
+in-range corruptions pass through untouched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hw.bits import WORD_BITS
+from repro.hw.faultmodels import OP_FLIP, OP_STUCK0, FaultSet, RandomBitFlip
+from repro.hw.memory import WeightMemory
+from repro.utils.validation import check_positive
+
+__all__ = ["WeightRangeCheck"]
+
+
+class WeightRangeCheck:
+    """Models a weight memory whose read path zeroes out-of-range values.
+
+    ``margin`` scales the profiled per-region bound: 1.0 means "exactly
+    the observed max magnitude"; a slightly larger margin tolerates
+    benign drift.
+    """
+
+    def __init__(self, memory: WeightMemory, margin: float = 1.0):
+        check_positive("margin", margin)
+        self.memory = memory
+        self.margin = float(margin)
+        # Profile the per-region magnitude bound from the current weights.
+        self._bounds = {
+            region.name: self.margin
+            * float(np.abs(region.parameter.data).max() or 1.0)
+            for region in memory.regions
+        }
+
+    def bounds(self) -> dict[str, float]:
+        """Per-region magnitude bounds (for reports)."""
+        return dict(self._bounds)
+
+    def filter(self, fault_set: FaultSet) -> FaultSet:
+        """Transform raw flips into the effective post-range-check faults.
+
+        Only OP_FLIP entries are range-checked (stuck-at entries model
+        permanent cell defects below the read path and pass through).
+        """
+        if len(fault_set) == 0:
+            return fault_set
+        flips = fault_set.operations == OP_FLIP
+        passthrough = fault_set.subset(~flips)
+        flip_set = fault_set.subset(flips)
+
+        surviving_bits: list[np.ndarray] = [passthrough.bit_indices]
+        surviving_ops: list[np.ndarray] = [passthrough.operations]
+
+        for region, words, bits in self.memory.locate(flip_set.bit_indices):
+            flat = region.parameter.data.reshape(-1)
+            # Apply the flips to a scratch copy to see the corrupted values.
+            unique_words, inverse = np.unique(words, return_inverse=True)
+            scratch = flat[unique_words].copy()
+            view = scratch.view(np.uint32)
+            for index, word in enumerate(unique_words):
+                word_bits = bits[inverse == index]
+                mask = np.uint32(0)
+                for bit in word_bits:
+                    mask |= np.uint32(1) << np.uint32(bit)
+                view[index] ^= mask
+            with np.errstate(invalid="ignore"):
+                corrupted = scratch
+                bound = self._bounds[region.name]
+                out_of_range = ~np.isfinite(corrupted) | (np.abs(corrupted) > bound)
+
+            # In-range flips pass through unchanged.
+            in_range_words = set(unique_words[~out_of_range].tolist())
+            keep = np.asarray(
+                [word in in_range_words for word in words], dtype=bool
+            )
+            kept_bits = region.bit_offset + words[keep] * WORD_BITS + bits[keep]
+            surviving_bits.append(kept_bits.astype(np.int64))
+            surviving_ops.append(np.full(kept_bits.shape, OP_FLIP, dtype=np.uint8))
+
+            # Out-of-range words are zeroed by the read path.
+            zeroed_words = unique_words[out_of_range]
+            if zeroed_words.size:
+                zero_bits = (
+                    region.bit_offset
+                    + (zeroed_words[:, None] * WORD_BITS + np.arange(WORD_BITS)[None, :])
+                ).reshape(-1)
+                surviving_bits.append(zero_bits.astype(np.int64))
+                surviving_ops.append(
+                    np.full(zero_bits.shape, OP_STUCK0, dtype=np.uint8)
+                )
+
+        all_bits = np.concatenate(surviving_bits)
+        all_ops = np.concatenate(surviving_ops)
+        order = np.argsort(all_bits, kind="stable")
+        return FaultSet(all_bits[order], all_ops[order])
+
+    def sample_effective(
+        self, memory: WeightMemory, fault_rate: float, rng: np.random.Generator
+    ) -> FaultSet:
+        """Campaign sampler: raw random flips filtered by the range check."""
+        if memory is not self.memory:
+            raise ValueError("range check is bound to a different memory")
+        raw = RandomBitFlip(fault_rate).sample(memory, rng)
+        return self.filter(raw)

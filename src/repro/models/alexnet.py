@@ -1,0 +1,92 @@
+"""CIFAR-10 AlexNet: 5 convolutional + 3 fully-connected layers.
+
+Matches the paper's description ("The AlexNet contains 5 CONV layer and
+3 FC layer", Section V-A) adapted to 32x32 inputs.  A ``width_mult``
+scales every channel/feature count so experiments fit a single CPU core;
+the layer *count and ordering* — which is what the per-layer resilience
+analysis depends on — is unchanged at any width.
+"""
+
+from __future__ import annotations
+
+from repro import nn
+from repro.utils.rng import SeedTree
+from repro.utils.validation import check_positive
+
+__all__ = ["CifarAlexNet", "build_alexnet"]
+
+# Full-size CIFAR-AlexNet channel plan (width_mult = 1.0).
+_CONV_CHANNELS = (64, 192, 384, 256, 256)
+_FC_FEATURES = (1024, 512)
+
+
+def _scaled(value: int, width_mult: float, minimum: int = 4) -> int:
+    """Scale a channel count, keeping at least ``minimum`` channels."""
+    return max(minimum, int(round(value * width_mult)))
+
+
+class CifarAlexNet(nn.Sequential):
+    """AlexNet topology for 3x32x32 inputs.
+
+    Structure (pooling after CONV-1, CONV-2 and CONV-5, as in AlexNet)::
+
+        CONV-1 -> ReLU -> MaxPool
+        CONV-2 -> ReLU -> MaxPool
+        CONV-3 -> ReLU
+        CONV-4 -> ReLU
+        CONV-5 -> ReLU -> MaxPool
+        Flatten -> FC-1 -> ReLU -> Dropout
+                -> FC-2 -> ReLU -> Dropout
+                -> FC-3 (logits)
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        width_mult: float = 1.0,
+        dropout: float = 0.5,
+        in_channels: int = 3,
+        image_size: int = 32,
+        seed: int = 0,
+    ):
+        check_positive("num_classes", num_classes)
+        check_positive("width_mult", width_mult)
+        check_positive("image_size", image_size)
+        tree = SeedTree(seed)
+        c1, c2, c3, c4, c5 = (_scaled(c, width_mult) for c in _CONV_CHANNELS)
+        f1, f2 = (_scaled(f, width_mult, minimum=16) for f in _FC_FEATURES)
+        # Three 2x2 max-pools halve the spatial size three times.
+        spatial = image_size // 8
+        if spatial < 1:
+            raise ValueError(f"image_size={image_size} too small for AlexNet")
+
+        super().__init__(
+            nn.Conv2d(in_channels, c1, 3, padding=1, seed=tree.generator("conv1")),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+            nn.Conv2d(c1, c2, 3, padding=1, seed=tree.generator("conv2")),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+            nn.Conv2d(c2, c3, 3, padding=1, seed=tree.generator("conv3")),
+            nn.ReLU(),
+            nn.Conv2d(c3, c4, 3, padding=1, seed=tree.generator("conv4")),
+            nn.ReLU(),
+            nn.Conv2d(c4, c5, 3, padding=1, seed=tree.generator("conv5")),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+            nn.Flatten(),
+            nn.Linear(c5 * spatial * spatial, f1, seed=tree.generator("fc1")),
+            nn.ReLU(),
+            nn.Dropout(dropout, seed=tree.generator("drop1")),
+            nn.Linear(f1, f2, seed=tree.generator("fc2")),
+            nn.ReLU(),
+            nn.Dropout(dropout, seed=tree.generator("drop2")),
+            nn.Linear(f2, num_classes, seed=tree.generator("fc3")),
+        )
+        self.num_classes = num_classes
+        self.width_mult = width_mult
+
+
+def build_alexnet(num_classes: int = 10, width_mult: float = 1.0, seed: int = 0) -> CifarAlexNet:
+    """Convenience constructor used by the registry."""
+    return CifarAlexNet(num_classes=num_classes, width_mult=width_mult, seed=seed)

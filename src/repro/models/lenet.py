@@ -1,0 +1,57 @@
+"""LeNet-5 (the network used in the paper's background Figure 2).
+
+Small enough to train in seconds; used throughout the test suite as a
+fast stand-in for the larger evaluation networks.
+"""
+
+from __future__ import annotations
+
+from repro import nn
+from repro.utils.rng import SeedTree
+from repro.utils.validation import check_positive
+
+__all__ = ["LeNet5", "build_lenet5"]
+
+
+class LeNet5(nn.Sequential):
+    """Classic CONV-POOL-CONV-POOL-FC-FC-FC stack, adapted to CHW inputs."""
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        image_size: int = 32,
+        seed: int = 0,
+    ):
+        check_positive("num_classes", num_classes)
+        check_positive("image_size", image_size)
+        tree = SeedTree(seed)
+        # Two 5x5 valid convolutions plus two 2x2 pools.
+        after_conv1 = image_size - 4
+        after_pool1 = after_conv1 // 2
+        after_conv2 = after_pool1 - 4
+        spatial = after_conv2 // 2
+        if spatial < 1:
+            raise ValueError(f"image_size={image_size} too small for LeNet-5")
+
+        super().__init__(
+            nn.Conv2d(in_channels, 6, 5, seed=tree.generator("conv1")),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+            nn.Conv2d(6, 16, 5, seed=tree.generator("conv2")),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+            nn.Flatten(),
+            nn.Linear(16 * spatial * spatial, 120, seed=tree.generator("fc1")),
+            nn.ReLU(),
+            nn.Linear(120, 84, seed=tree.generator("fc2")),
+            nn.ReLU(),
+            nn.Linear(84, num_classes, seed=tree.generator("fc3")),
+        )
+        self.num_classes = num_classes
+
+
+def build_lenet5(num_classes: int = 10, width_mult: float = 1.0, seed: int = 0) -> LeNet5:
+    """Registry constructor; ``width_mult`` is accepted but LeNet is fixed-size."""
+    del width_mult
+    return LeNet5(num_classes=num_classes, seed=seed)

@@ -1,0 +1,42 @@
+"""Configurable multi-layer perceptron (fixture network for tests)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro import nn
+from repro.utils.rng import SeedTree
+from repro.utils.validation import check_positive
+
+__all__ = ["MLP", "build_mlp"]
+
+
+class MLP(nn.Sequential):
+    """Flatten -> [Linear -> ReLU] * k -> Linear."""
+
+    def __init__(
+        self,
+        in_features: int,
+        num_classes: int,
+        hidden: Sequence[int] = (64,),
+        seed: int = 0,
+    ):
+        check_positive("in_features", in_features)
+        check_positive("num_classes", num_classes)
+        tree = SeedTree(seed)
+        layers: list[nn.Module] = [nn.Flatten()]
+        previous = int(in_features)
+        for index, width in enumerate(hidden):
+            check_positive("hidden width", width)
+            layers.append(nn.Linear(previous, int(width), seed=tree.generator(f"fc{index}")))
+            layers.append(nn.ReLU())
+            previous = int(width)
+        layers.append(nn.Linear(previous, num_classes, seed=tree.generator("head")))
+        super().__init__(*layers)
+        self.num_classes = num_classes
+
+
+def build_mlp(num_classes: int = 10, width_mult: float = 1.0, seed: int = 0) -> MLP:
+    """Registry constructor: a 3x32x32-input MLP with scaled hidden widths."""
+    hidden = (max(8, int(128 * width_mult)), max(8, int(64 * width_mult)))
+    return MLP(3 * 32 * 32, num_classes, hidden=hidden, seed=seed)

@@ -1,0 +1,89 @@
+"""CIFAR-10 VGG-16: 13 convolutional layers + 1 fully-connected layer.
+
+Matches the paper's description ("the base VGG-16 contains 13 CONV layer
+and 1 FC layer", Section V-A).  Batch normalization after each convolution
+makes the deep stack trainable from scratch on a CPU; BN parameters are
+*not* part of the weight memory targeted by default fault-injection runs
+(the paper injects into CONV/FC weights).
+"""
+
+from __future__ import annotations
+
+from repro import nn
+from repro.utils.rng import SeedTree
+from repro.utils.validation import check_positive
+
+__all__ = ["CifarVGG16", "build_vgg16", "VGG16_PLAN"]
+
+# The canonical VGG-16 configuration: channel counts with 'M' = 2x2 max-pool.
+VGG16_PLAN = (
+    64, 64, "M",
+    128, 128, "M",
+    256, 256, 256, "M",
+    512, 512, 512, "M",
+    512, 512, 512, "M",
+)
+
+
+def _scaled(value: int, width_mult: float, minimum: int = 4) -> int:
+    """Scale a channel count, keeping at least ``minimum`` channels."""
+    return max(minimum, int(round(value * width_mult)))
+
+
+class CifarVGG16(nn.Sequential):
+    """VGG-16 topology for 3x32x32 inputs, ending in a single FC layer."""
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        width_mult: float = 1.0,
+        batch_norm: bool = True,
+        in_channels: int = 3,
+        image_size: int = 32,
+        seed: int = 0,
+    ):
+        check_positive("num_classes", num_classes)
+        check_positive("width_mult", width_mult)
+        check_positive("image_size", image_size)
+        tree = SeedTree(seed)
+
+        layers: list[nn.Module] = []
+        channels = in_channels
+        spatial = image_size
+        conv_index = 0
+        for entry in VGG16_PLAN:
+            if entry == "M":
+                layers.append(nn.MaxPool2d(2))
+                spatial //= 2
+                continue
+            conv_index += 1
+            out_channels = _scaled(int(entry), width_mult)
+            layers.append(
+                nn.Conv2d(
+                    channels,
+                    out_channels,
+                    3,
+                    padding=1,
+                    seed=tree.generator(f"conv{conv_index}"),
+                )
+            )
+            if batch_norm:
+                layers.append(nn.BatchNorm2d(out_channels))
+            layers.append(nn.ReLU())
+            channels = out_channels
+        if spatial < 1:
+            raise ValueError(f"image_size={image_size} too small for VGG-16")
+
+        layers.append(nn.Flatten())
+        layers.append(
+            nn.Linear(channels * spatial * spatial, num_classes, seed=tree.generator("fc1"))
+        )
+        super().__init__(*layers)
+        self.num_classes = num_classes
+        self.width_mult = width_mult
+        self.batch_norm = batch_norm
+
+
+def build_vgg16(num_classes: int = 10, width_mult: float = 1.0, seed: int = 0) -> CifarVGG16:
+    """Convenience constructor used by the registry."""
+    return CifarVGG16(num_classes=num_classes, width_mult=width_mult, seed=seed)

@@ -1,0 +1,48 @@
+"""Inverted dropout (active only in training mode)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_probability
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Module):
+    """Zero each element with probability ``p`` and rescale by ``1/(1-p)``.
+
+    A no-op in eval mode, so fault-injection experiments (always run in
+    eval mode) see the deterministic network.
+    """
+
+    def __init__(self, p: float = 0.5, seed: "int | np.random.Generator | None" = None):
+        super().__init__()
+        check_probability("p", p)
+        if p >= 1.0:
+            raise ValueError("p must be strictly below 1 (p=1 drops everything)")
+        self.p = float(p)
+        self._rng = as_generator(seed)
+        self._mask: "np.ndarray | None" = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep).astype(np.float32) / keep
+        self._mask = mask
+        return x * mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = np.asarray(grad_output, dtype=np.float32)
+        if not self.training or self.p == 0.0:
+            return grad
+        if self._mask is None:
+            raise RuntimeError("backward called before forward in training mode")
+        return grad * self._mask
+
+    def extra_repr(self) -> str:
+        return f"p={self.p}"

@@ -1,0 +1,30 @@
+"""Shape adapters between convolutional and fully-connected stages."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["Flatten"]
+
+
+class Flatten(Module):
+    """Collapse all non-batch dimensions: (N, ...) -> (N, prod(...))."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._input_shape: "tuple[int, ...] | None" = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        if x.ndim < 2:
+            raise ValueError(f"Flatten expects at least 2-D input, got shape {x.shape}")
+        if self.training:
+            self._input_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward in training mode")
+        return np.asarray(grad_output, dtype=np.float32).reshape(self._input_shape)

@@ -1,0 +1,127 @@
+"""Low-level array operations shared by the NN layers.
+
+The convolution layers use the classic im2col/col2im lowering: convolution
+becomes one large matrix multiply, which is the only way to get acceptable
+throughput out of pure numpy on a CPU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "conv_output_size",
+    "pad_nchw",
+    "im2col",
+    "col2im",
+    "softmax",
+    "log_softmax",
+    "one_hot",
+]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution/pooling along one axis."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive output size: input={size} kernel={kernel} "
+            f"stride={stride} padding={padding}"
+        )
+    return out
+
+
+def pad_nchw(x: np.ndarray, padding: tuple[int, int]) -> np.ndarray:
+    """Zero-pad the two spatial axes of an NCHW tensor."""
+    pad_h, pad_w = padding
+    if pad_h == 0 and pad_w == 0:
+        return x
+    return np.pad(x, ((0, 0), (0, 0), (pad_h, pad_h), (pad_w, pad_w)))
+
+
+def im2col(
+    x: np.ndarray,
+    kernel: tuple[int, int],
+    stride: tuple[int, int],
+    padding: tuple[int, int],
+) -> tuple[np.ndarray, tuple[int, int]]:
+    """Lower an NCHW tensor into patch-matrix form.
+
+    Returns ``(cols, (out_h, out_w))`` where ``cols`` has shape
+    ``(N * out_h * out_w, C * kh * kw)``: one row per output pixel, one
+    column per weight of the receptive field.
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    sh, sw = stride
+    out_h = conv_output_size(h, kh, sh, padding[0])
+    out_w = conv_output_size(w, kw, sw, padding[1])
+    padded = pad_nchw(x, padding)
+
+    # Strided sliding-window view: (N, C, out_h, out_w, kh, kw), no copy.
+    ns, cs, hs, ws = padded.strides
+    windows = np.lib.stride_tricks.as_strided(
+        padded,
+        shape=(n, c, out_h, out_w, kh, kw),
+        strides=(ns, cs, hs * sh, ws * sw, hs, ws),
+        writeable=False,
+    )
+    # Reorder to (N, out_h, out_w, C, kh, kw) then flatten.
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * out_h * out_w, c * kh * kw)
+    return np.ascontiguousarray(cols), (out_h, out_w)
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    kernel: tuple[int, int],
+    stride: tuple[int, int],
+    padding: tuple[int, int],
+) -> np.ndarray:
+    """Scatter-add the inverse of :func:`im2col` (used by conv backward)."""
+    n, c, h, w = input_shape
+    kh, kw = kernel
+    sh, sw = stride
+    pad_h, pad_w = padding
+    out_h = conv_output_size(h, kh, sh, pad_h)
+    out_w = conv_output_size(w, kw, sw, pad_w)
+
+    padded = np.zeros((n, c, h + 2 * pad_h, w + 2 * pad_w), dtype=cols.dtype)
+    patches = cols.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 1, 2, 4, 5)
+    # Accumulate each kernel offset in a vectorised slice-add.
+    for i in range(kh):
+        i_end = i + sh * out_h
+        for j in range(kw):
+            j_end = j + sw * out_w
+            padded[:, :, i:i_end:sh, j:j_end:sw] += patches[:, :, :, :, i, j]
+    if pad_h == 0 and pad_w == 0:
+        return padded
+    return padded[:, :, pad_h : pad_h + h, pad_w : pad_w + w]
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically-stable softmax."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically-stable log-softmax."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Integer labels ``(N,)`` to one-hot float32 ``(N, num_classes)``."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError(
+            f"labels must lie in [0, {num_classes}), got range "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    encoded = np.zeros((labels.shape[0], num_classes), dtype=np.float32)
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded

@@ -1,0 +1,150 @@
+"""Spatial pooling layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import conv_output_size, im2col, col2im
+from repro.nn.module import Module
+from repro.utils.validation import as_pair
+
+__all__ = ["MaxPool2d", "AvgPool2d", "GlobalAvgPool2d"]
+
+
+class _Pool2d(Module):
+    """Shared bookkeeping for window-based pooling layers."""
+
+    def __init__(
+        self,
+        kernel_size: "int | tuple[int, int]",
+        stride: "int | tuple[int, int] | None" = None,
+        padding: "int | tuple[int, int]" = 0,
+    ):
+        super().__init__()
+        self.kernel_size = as_pair("kernel_size", kernel_size)
+        self.stride = as_pair("stride", stride) if stride is not None else self.kernel_size
+        self.padding = as_pair("padding", padding)
+        if min(self.kernel_size) <= 0 or min(self.stride) <= 0:
+            raise ValueError("kernel_size and stride must be positive")
+        if min(self.padding) < 0:
+            raise ValueError(f"padding must be non-negative, got {self.padding}")
+
+    def _windows(self, x: np.ndarray) -> tuple[np.ndarray, tuple[int, int]]:
+        """Lower to per-channel patch rows: (N*C*out_h*out_w, kh*kw)."""
+        n, c, h, w = x.shape
+        # Treat channels as batch so pooling is per-channel.
+        reshaped = x.reshape(n * c, 1, h, w)
+        cols, out_hw = im2col(reshaped, self.kernel_size, self.stride, self.padding)
+        return cols, out_hw
+
+    def extra_repr(self) -> str:
+        return (
+            f"kernel_size={self.kernel_size}, stride={self.stride}, "
+            f"padding={self.padding}"
+        )
+
+
+class MaxPool2d(_Pool2d):
+    """Max pooling; backward routes gradients to the argmax positions."""
+
+    def __init__(
+        self,
+        kernel_size: "int | tuple[int, int]",
+        stride: "int | tuple[int, int] | None" = None,
+        padding: "int | tuple[int, int]" = 0,
+    ):
+        super().__init__(kernel_size, stride, padding)
+        self._argmax: "np.ndarray | None" = None
+        self._input_shape: "tuple[int, int, int, int] | None" = None
+        self._out_hw: "tuple[int, int] | None" = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        if x.ndim != 4:
+            raise ValueError(f"MaxPool2d expects NCHW input, got shape {x.shape}")
+        n, c = x.shape[:2]
+        cols, (out_h, out_w) = self._windows(x)
+        argmax = cols.argmax(axis=1)
+        out = cols[np.arange(cols.shape[0]), argmax]
+        if self.training:
+            self._argmax = argmax
+            self._input_shape = x.shape  # type: ignore[assignment]
+            self._out_hw = (out_h, out_w)
+        return out.reshape(n, c, out_h, out_w)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._argmax is None or self._input_shape is None or self._out_hw is None:
+            raise RuntimeError("backward called before forward in training mode")
+        n, c, h, w = self._input_shape
+        out_h, out_w = self._out_hw
+        grad_flat = np.asarray(grad_output, dtype=np.float32).reshape(-1)
+        grad_cols = np.zeros(
+            (n * c * out_h * out_w, self.kernel_size[0] * self.kernel_size[1]),
+            dtype=np.float32,
+        )
+        grad_cols[np.arange(grad_cols.shape[0]), self._argmax] = grad_flat
+        grad_input = col2im(
+            grad_cols, (n * c, 1, h, w), self.kernel_size, self.stride, self.padding
+        )
+        return grad_input.reshape(n, c, h, w)
+
+
+class AvgPool2d(_Pool2d):
+    """Average pooling; backward spreads gradients uniformly over the window."""
+
+    def __init__(
+        self,
+        kernel_size: "int | tuple[int, int]",
+        stride: "int | tuple[int, int] | None" = None,
+        padding: "int | tuple[int, int]" = 0,
+    ):
+        super().__init__(kernel_size, stride, padding)
+        self._input_shape: "tuple[int, int, int, int] | None" = None
+        self._out_hw: "tuple[int, int] | None" = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        if x.ndim != 4:
+            raise ValueError(f"AvgPool2d expects NCHW input, got shape {x.shape}")
+        n, c = x.shape[:2]
+        cols, (out_h, out_w) = self._windows(x)
+        out = cols.mean(axis=1)
+        if self.training:
+            self._input_shape = x.shape  # type: ignore[assignment]
+            self._out_hw = (out_h, out_w)
+        return out.reshape(n, c, out_h, out_w)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None or self._out_hw is None:
+            raise RuntimeError("backward called before forward in training mode")
+        n, c, h, w = self._input_shape
+        window = self.kernel_size[0] * self.kernel_size[1]
+        grad_flat = np.asarray(grad_output, dtype=np.float32).reshape(-1, 1)
+        grad_cols = np.repeat(grad_flat / window, window, axis=1).astype(np.float32)
+        grad_input = col2im(
+            grad_cols, (n * c, 1, h, w), self.kernel_size, self.stride, self.padding
+        )
+        return grad_input.reshape(n, c, h, w)
+
+
+class GlobalAvgPool2d(Module):
+    """Collapse each channel's spatial map to its mean: (N,C,H,W) -> (N,C)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._input_shape: "tuple[int, int, int, int] | None" = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        if x.ndim != 4:
+            raise ValueError(f"GlobalAvgPool2d expects NCHW input, got shape {x.shape}")
+        if self.training:
+            self._input_shape = x.shape  # type: ignore[assignment]
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward in training mode")
+        n, c, h, w = self._input_shape
+        grad = np.asarray(grad_output, dtype=np.float32) / (h * w)
+        return np.broadcast_to(grad[:, :, None, None], (n, c, h, w)).astype(np.float32)

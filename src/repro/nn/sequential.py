@@ -1,0 +1,82 @@
+"""Sequential container with layer replacement support.
+
+Layer replacement (``replace``) is what the FT-ClipAct methodology uses to
+swap unbounded activations for clipped ones without rebuilding the model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["Sequential"]
+
+
+class Sequential(Module):
+    """Run child modules in order; backward chains them in reverse."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        for index, layer in enumerate(layers):
+            if not isinstance(layer, Module):
+                raise TypeError(
+                    f"Sequential layers must be Modules, got "
+                    f"{type(layer).__name__} at position {index}"
+                )
+            setattr(self, str(index), layer)
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __getitem__(self, index: int) -> Module:
+        return self._modules[str(self._normalize_index(index))]
+
+    def _normalize_index(self, index: int) -> int:
+        length = len(self._modules)
+        if index < 0:
+            index += length
+        if not 0 <= index < length:
+            raise IndexError(f"index {index} out of range for {length} layers")
+        return index
+
+    def append(self, layer: Module) -> "Sequential":
+        """Add a layer at the end; returns self for chaining."""
+        if not isinstance(layer, Module):
+            raise TypeError(f"expected a Module, got {type(layer).__name__}")
+        setattr(self, str(len(self._modules)), layer)
+        return self
+
+    def replace(self, index: int, layer: Module) -> Module:
+        """Swap the layer at ``index`` for ``layer``; returns the old layer."""
+        if not isinstance(layer, Module):
+            raise TypeError(f"expected a Module, got {type(layer).__name__}")
+        index = self._normalize_index(index)
+        old = self._modules[str(index)]
+        layer.train(self.training)
+        setattr(self, str(index), layer)
+        return old
+
+    def index_of(self, layer: Module) -> int:
+        """Position of ``layer`` (by identity); raises ValueError if absent."""
+        for index, candidate in enumerate(self._modules.values()):
+            if candidate is layer:
+                return index
+        raise ValueError("layer is not a direct child of this Sequential")
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = x
+        for layer in self._modules.values():
+            out = layer(out)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = grad_output
+        for layer in reversed(list(self._modules.values())):
+            grad = layer.backward(grad)
+        return grad

@@ -1,0 +1,33 @@
+"""Optimizers, LR schedules and the training loop."""
+
+from repro.optim.adam import Adam
+from repro.optim.optimizer import Optimizer
+from repro.optim.schedules import (
+    ConstantLR,
+    CosineAnnealingLR,
+    LRSchedule,
+    StepLR,
+    WarmupWrapper,
+)
+from repro.optim.sgd import SGD
+from repro.optim.trainer import (
+    EpochStats,
+    Trainer,
+    TrainingHistory,
+    evaluate_accuracy,
+)
+
+__all__ = [
+    "Adam",
+    "ConstantLR",
+    "CosineAnnealingLR",
+    "EpochStats",
+    "LRSchedule",
+    "Optimizer",
+    "SGD",
+    "StepLR",
+    "Trainer",
+    "TrainingHistory",
+    "WarmupWrapper",
+    "evaluate_accuracy",
+]

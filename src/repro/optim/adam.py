@@ -1,0 +1,66 @@
+"""Adam optimizer."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.optimizer import Optimizer
+
+__all__ = ["Adam"]
+
+
+class Adam(Optimizer):
+    """Adam with bias correction and optional decoupled weight decay (AdamW)."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+        decoupled: bool = True,
+    ):
+        super().__init__(parameters, lr)
+        beta1, beta2 = betas
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"betas must lie in [0, 1), got {betas}")
+        if eps <= 0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self.weight_decay = self._check_hyper("weight_decay", weight_decay)
+        self.decoupled = bool(decoupled)
+        self._step_count = 0
+        self._moment1: list["np.ndarray | None"] = [None] * len(self.parameters)
+        self._moment2: list["np.ndarray | None"] = [None] * len(self.parameters)
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1**self._step_count
+        bias2 = 1.0 - self.beta2**self._step_count
+        for index, param in enumerate(self.parameters):
+            if param.grad is None or not param.requires_grad:
+                continue
+            grad = param.grad
+            if self.weight_decay and not self.decoupled:
+                grad = grad + self.weight_decay * param.data
+
+            m = self._moment1[index]
+            v = self._moment2[index]
+            if m is None or v is None:
+                m = np.zeros_like(param.data)
+                v = np.zeros_like(param.data)
+            m = self.beta1 * m + (1.0 - self.beta1) * grad
+            v = self.beta2 * v + (1.0 - self.beta2) * grad**2
+            self._moment1[index] = m
+            self._moment2[index] = v
+
+            update = (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+            if self.weight_decay and self.decoupled:
+                update = update + self.weight_decay * param.data
+            param.data -= (self.lr * update).astype(np.float32)

@@ -1,0 +1,41 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.nn.module import Parameter
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = ["Optimizer"]
+
+
+class Optimizer:
+    """Holds a parameter list and applies per-parameter update rules."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float):
+        self.parameters: Sequence[Parameter] = tuple(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        for param in self.parameters:
+            if not isinstance(param, Parameter):
+                raise TypeError(
+                    f"expected Parameter instances, got {type(param).__name__}"
+                )
+        check_positive("lr", lr)
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        """Clear gradients on all managed parameters."""
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update using the currently accumulated gradients."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _check_hyper(name: str, value: float) -> float:
+        """Validate a non-negative hyper-parameter."""
+        check_non_negative(name, value)
+        return float(value)

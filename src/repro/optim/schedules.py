@@ -1,0 +1,87 @@
+"""Learning-rate schedules.
+
+Schedules mutate ``optimizer.lr`` in place; call :meth:`step` once per epoch
+(or per iteration, at the caller's choice).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.optim.optimizer import Optimizer
+from repro.utils.validation import check_positive
+
+__all__ = ["LRSchedule", "ConstantLR", "StepLR", "CosineAnnealingLR", "WarmupWrapper"]
+
+
+class LRSchedule:
+    """Base class: tracks the epoch counter and the optimizer's base LR."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def lr_at(self, epoch: int) -> float:
+        """The learning rate this schedule prescribes for ``epoch``."""
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one epoch and apply the new LR; returns it."""
+        self.epoch += 1
+        new_lr = self.lr_at(self.epoch)
+        self.optimizer.lr = new_lr
+        return new_lr
+
+
+class ConstantLR(LRSchedule):
+    """No-op schedule (keeps the base LR)."""
+
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr
+
+
+class StepLR(LRSchedule):
+    """Multiply the LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer)
+        check_positive("step_size", step_size)
+        check_positive("gamma", gamma)
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class CosineAnnealingLR(LRSchedule):
+    """Cosine decay from the base LR to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0):
+        super().__init__(optimizer)
+        check_positive("total_epochs", total_epochs)
+        if min_lr < 0:
+            raise ValueError(f"min_lr must be non-negative, got {min_lr}")
+        self.total_epochs = int(total_epochs)
+        self.min_lr = float(min_lr)
+
+    def lr_at(self, epoch: int) -> float:
+        progress = min(epoch, self.total_epochs) / self.total_epochs
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine
+
+
+class WarmupWrapper(LRSchedule):
+    """Linear warm-up for the first ``warmup_epochs``, then an inner schedule."""
+
+    def __init__(self, inner: LRSchedule, warmup_epochs: int):
+        super().__init__(inner.optimizer)
+        check_positive("warmup_epochs", warmup_epochs)
+        self.inner = inner
+        self.warmup_epochs = int(warmup_epochs)
+
+    def lr_at(self, epoch: int) -> float:
+        if epoch < self.warmup_epochs:
+            return self.base_lr * (epoch + 1) / self.warmup_epochs
+        return self.inner.lr_at(epoch - self.warmup_epochs)

@@ -1,0 +1,85 @@
+"""Model and experiment serialization.
+
+Models are persisted as ``.npz`` archives holding one array per named
+parameter/buffer plus a small JSON metadata blob (architecture name and
+constructor kwargs).  The zoo (:mod:`repro.models.zoo`) uses this to cache
+trained models so experiments never retrain unnecessarily.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Mapping
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.nn.module import Module
+
+__all__ = [
+    "save_state_dict",
+    "load_state_dict",
+    "save_model",
+    "load_model_state",
+]
+
+_META_KEY = "__repro_meta__"
+
+
+def save_state_dict(
+    path: "str | Path",
+    state: Mapping[str, np.ndarray],
+    metadata: "Mapping[str, Any] | None" = None,
+) -> Path:
+    """Write a name→array mapping (plus optional JSON metadata) to ``path``.
+
+    Parent directories are created as needed.  Returns the resolved path.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    arrays: dict[str, np.ndarray] = {}
+    for name, array in state.items():
+        if name == _META_KEY:
+            raise ValueError(f"state key {name!r} is reserved")
+        arrays[name] = np.asarray(array)
+    meta_json = json.dumps(dict(metadata or {}), sort_keys=True)
+    arrays[_META_KEY] = np.frombuffer(meta_json.encode("utf-8"), dtype=np.uint8)
+    np.savez(target, **arrays)
+    return target
+
+
+def load_state_dict(path: "str | Path") -> tuple[dict[str, np.ndarray], dict[str, Any]]:
+    """Read back a ``(state, metadata)`` pair written by :func:`save_state_dict`."""
+    source = Path(path)
+    if not source.exists():
+        raise FileNotFoundError(f"no such model file: {source}")
+    with np.load(source) as archive:
+        metadata: dict[str, Any] = {}
+        state: dict[str, np.ndarray] = {}
+        for name in archive.files:
+            if name == _META_KEY:
+                metadata = json.loads(bytes(archive[name]).decode("utf-8"))
+            else:
+                state[name] = archive[name]
+    return state, metadata
+
+
+def save_model(
+    path: "str | Path",
+    model: "Module",
+    metadata: "Mapping[str, Any] | None" = None,
+) -> Path:
+    """Persist ``model.state_dict()`` together with ``metadata``."""
+    return save_state_dict(path, model.state_dict(), metadata)
+
+
+def load_model_state(path: "str | Path", model: "Module") -> dict[str, Any]:
+    """Load parameters from ``path`` into ``model`` in place.
+
+    Returns the metadata stored alongside the parameters.  Raises if the
+    archive's parameter names or shapes do not match the model.
+    """
+    state, metadata = load_state_dict(path)
+    model.load_state_dict(state)
+    return metadata

@@ -1,0 +1,81 @@
+"""Tests for activation-distribution capture under faults (Fig. 3 panels)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.activations import capture_activation_distribution
+
+
+class TestCaptureDistribution:
+    def test_clean_rate_matches_direct_forward(self, trained_mlp, mlp_eval_arrays):
+        images, _ = mlp_eval_arrays
+        stats = capture_activation_distribution(
+            trained_mlp, "FC-1", images[:32], fault_rates=[0.0], seed=0
+        )
+        assert len(stats) == 1
+        record = stats[0]
+        assert record.fault_rate == 0.0
+        assert record.layer_name == "FC-1"
+        assert np.isfinite(record.act_max)
+        assert record.num_values == 32 * 64  # batch x hidden width
+
+    def test_act_max_explodes_with_fault_rate(self, trained_mlp, mlp_eval_arrays):
+        """The paper's Fig. 3 observation: ACT_max jumps by tens of orders
+        of magnitude once exponent bits get flipped."""
+        images, _ = mlp_eval_arrays
+        stats = capture_activation_distribution(
+            trained_mlp, "FC-1", images[:32], fault_rates=[0.0, 3e-3], seed=1
+        )
+        clean, faulty = stats
+        assert faulty.act_max > clean.act_max * 1e6
+
+    def test_histogram_well_formed(self, trained_mlp, mlp_eval_arrays):
+        images, _ = mlp_eval_arrays
+        (record,) = capture_activation_distribution(
+            trained_mlp, "FC-1", images[:16], fault_rates=[1e-3], seed=0, bins=20
+        )
+        assert record.histogram_counts.size == 20
+        assert record.histogram_edges.size == 21
+        assert record.histogram_counts.sum() == record.num_values
+
+    def test_weights_restored(self, trained_mlp, mlp_eval_arrays):
+        images, _ = mlp_eval_arrays
+        before = trained_mlp.state_dict()
+        capture_activation_distribution(
+            trained_mlp, "FC-1", images[:16], fault_rates=[1e-3, 1e-2], seed=0
+        )
+        after = trained_mlp.state_dict()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key])
+
+    def test_unknown_layer_rejected(self, trained_mlp, mlp_eval_arrays):
+        images, _ = mlp_eval_arrays
+        with pytest.raises(KeyError):
+            capture_activation_distribution(
+                trained_mlp, "CONV-9", images[:8], fault_rates=[0.0]
+            )
+
+    def test_negative_rate_rejected(self, trained_mlp, mlp_eval_arrays):
+        images, _ = mlp_eval_arrays
+        with pytest.raises(ValueError):
+            capture_activation_distribution(
+                trained_mlp, "FC-1", images[:8], fault_rates=[-1e-6]
+            )
+
+    def test_fraction_extreme_grows(self, trained_mlp, mlp_eval_arrays):
+        images, _ = mlp_eval_arrays
+        stats = capture_activation_distribution(
+            trained_mlp, "FC-1", images[:32], fault_rates=[0.0, 5e-3], seed=2
+        )
+        assert stats[1].fraction_extreme >= stats[0].fraction_extreme
+
+    def test_deterministic(self, trained_mlp, mlp_eval_arrays):
+        images, _ = mlp_eval_arrays
+        a = capture_activation_distribution(
+            trained_mlp, "FC-1", images[:16], fault_rates=[1e-3], seed=5
+        )
+        b = capture_activation_distribution(
+            trained_mlp, "FC-1", images[:16], fault_rates=[1e-3], seed=5
+        )
+        assert a[0].act_max == b[0].act_max
+        np.testing.assert_array_equal(a[0].histogram_counts, b[0].histogram_counts)

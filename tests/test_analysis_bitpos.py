@@ -1,0 +1,69 @@
+"""Tests for the bit-position sensitivity study."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bitpos import run_bit_position_study
+from repro.hw.bits import SIGN_BIT
+
+
+class TestBitPositionStudy:
+    @pytest.fixture(scope="class")
+    def study(self, trained_mlp, mlp_eval_arrays):
+        images, labels = mlp_eval_arrays
+        return run_bit_position_study(
+            trained_mlp,
+            images,
+            labels,
+            n_faults=20,
+            trials=3,
+            seed=0,
+            positions=[0, 10, 22, 25, 28, 30, SIGN_BIT],
+        )
+
+    def test_shapes(self, study):
+        assert study.bit_positions.size == 7
+        assert study.accuracies.shape == (7, 3)
+        assert study.n_faults == 20
+
+    def test_exponent_msb_most_damaging(self, study):
+        """Paper Section III: MSB exponent flips dominate the damage."""
+        means = dict(zip(study.bit_positions.tolist(), study.mean_by_position()))
+        assert means[30] < means[0] - 0.1  # exponent MSB << mantissa LSB
+        assert means[30] <= means[10] + 1e-9
+
+    def test_mantissa_flips_nearly_harmless(self, study):
+        means = dict(zip(study.bit_positions.tolist(), study.mean_by_position()))
+        assert means[0] >= study.clean_accuracy - 0.05
+
+    def test_mean_by_field(self, study):
+        fields = study.mean_by_field()
+        assert set(fields) == {"sign", "exponent", "mantissa"}
+        assert fields["exponent"] < fields["mantissa"]
+
+    def test_most_damaging_positions(self, study):
+        worst = study.most_damaging_positions(k=2)
+        assert 30 in worst  # the exponent MSB must be among the worst
+
+    def test_weights_unchanged(self, trained_mlp, mlp_eval_arrays):
+        images, labels = mlp_eval_arrays
+        before = trained_mlp.state_dict()
+        run_bit_position_study(
+            trained_mlp, images, labels, n_faults=5, trials=1, seed=0, positions=[30]
+        )
+        after = trained_mlp.state_dict()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key])
+
+    def test_validation(self, trained_mlp, mlp_eval_arrays):
+        images, labels = mlp_eval_arrays
+        with pytest.raises(ValueError):
+            run_bit_position_study(trained_mlp, images, labels, n_faults=0)
+        with pytest.raises(ValueError):
+            run_bit_position_study(
+                trained_mlp, images, labels, n_faults=1, positions=[33]
+            )
+        with pytest.raises(ValueError):
+            run_bit_position_study(
+                trained_mlp, images, labels, n_faults=1, positions=[]
+            )

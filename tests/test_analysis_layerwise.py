@@ -1,0 +1,87 @@
+"""Tests for per-layer resilience analysis (paper Fig. 3a/e/i)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.layerwise import (
+    cliff_fault_rate,
+    run_layerwise_analysis,
+)
+from repro.core.campaign import CampaignConfig
+from repro.core.metrics import ResilienceCurve
+
+
+@pytest.fixture
+def fast_config():
+    return CampaignConfig(fault_rates=(1e-4, 1e-3), trials=2, seed=0, batch_size=96)
+
+
+class TestLayerwise:
+    def test_all_layers_by_default(self, trained_mlp, mlp_eval_arrays, fast_config):
+        images, labels = mlp_eval_arrays
+        result = run_layerwise_analysis(trained_mlp, images, labels, fast_config)
+        assert result.ordered_layers() == ["FC-1", "FC-2", "FC-3"]
+        assert set(result.bits_per_layer) == {"FC-1", "FC-2", "FC-3"}
+
+    def test_layer_selection(self, trained_mlp, mlp_eval_arrays, fast_config):
+        images, labels = mlp_eval_arrays
+        result = run_layerwise_analysis(
+            trained_mlp, images, labels, fast_config, layers=["FC-2"]
+        )
+        assert result.ordered_layers() == ["FC-2"]
+
+    def test_unknown_layer_rejected(self, trained_mlp, mlp_eval_arrays, fast_config):
+        images, labels = mlp_eval_arrays
+        with pytest.raises(ValueError, match="unknown layers"):
+            run_layerwise_analysis(
+                trained_mlp, images, labels, fast_config, layers=["CONV-1"]
+            )
+
+    def test_faults_scoped_to_layer(self, trained_mlp, mlp_eval_arrays, fast_config):
+        """Layer bit counts must match each layer's own parameters."""
+        images, labels = mlp_eval_arrays
+        result = run_layerwise_analysis(trained_mlp, images, labels, fast_config)
+        sizes = [p.size for p in trained_mlp.parameters()]
+        # FC-1 holds weight+bias of the first linear layer.
+        assert result.bits_per_layer["FC-1"] == (sizes[0] + sizes[1]) * 32
+
+    def test_weights_unchanged_after_analysis(self, trained_mlp, mlp_eval_arrays, fast_config):
+        images, labels = mlp_eval_arrays
+        before = trained_mlp.state_dict()
+        run_layerwise_analysis(trained_mlp, images, labels, fast_config)
+        after = trained_mlp.state_dict()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key])
+
+    def test_curves_are_resilience_curves(self, trained_mlp, mlp_eval_arrays, fast_config):
+        images, labels = mlp_eval_arrays
+        result = run_layerwise_analysis(
+            trained_mlp, images, labels, fast_config, layers=["FC-1"]
+        )
+        curve = result.curves["FC-1"]
+        assert curve.accuracies.shape == (2, 2)
+        assert curve.label == "FC-1"
+
+
+class TestCliffRate:
+    def _curve(self, means):
+        rates = np.logspace(-7, -4, len(means))
+        accs = np.asarray(means)[:, None]
+        return ResilienceCurve(rates, accs, clean_accuracy=0.9)
+
+    def test_first_crossing_found(self):
+        curve = self._curve([0.89, 0.85, 0.5, 0.2])
+        assert cliff_fault_rate(curve, drop=0.1) == pytest.approx(1e-5)
+
+    def test_no_crossing_is_inf(self):
+        curve = self._curve([0.89, 0.88, 0.87, 0.86])
+        assert cliff_fault_rate(curve, drop=0.1) == float("inf")
+
+    def test_cliff_rates_helper(self, trained_mlp, mlp_eval_arrays):
+        images, labels = mlp_eval_arrays
+        config = CampaignConfig(fault_rates=(1e-5, 1e-3), trials=2, seed=0)
+        result = run_layerwise_analysis(
+            trained_mlp, images, labels, config, layers=["FC-1"]
+        )
+        rates = result.cliff_rates(drop=0.2)
+        assert "FC-1" in rates

@@ -1,0 +1,109 @@
+"""Tests for the fault-outcome taxonomy (masked / benign / SDC / DUE)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.outcomes import (
+    OutcomeBreakdown,
+    OutcomeCounts,
+    run_outcome_analysis,
+)
+from repro.core.campaign import CampaignConfig
+from repro.core.swap import swap_activations
+from repro.hw.memory import WeightMemory
+from repro.models import MLP
+
+
+class TestOutcomeCounts:
+    def test_total_and_rates(self):
+        counts = OutcomeCounts(masked=70, benign=10, sdc=15, due=5)
+        assert counts.total == 100
+        assert counts.rate("masked") == pytest.approx(0.70)
+        assert counts.rate("sdc") == pytest.approx(0.15)
+        assert counts.rate("due") == pytest.approx(0.05)
+
+    def test_empty_rates_zero(self):
+        counts = OutcomeCounts(0, 0, 0, 0)
+        assert counts.rate("sdc") == 0.0
+
+
+@pytest.fixture
+def analysis_parts(trained_mlp, mlp_eval_arrays):
+    images, labels = mlp_eval_arrays
+    memory = WeightMemory.from_model(trained_mlp)
+    config = CampaignConfig(fault_rates=(1e-5, 1e-3), trials=3, seed=4, batch_size=96)
+    return trained_mlp, memory, images, labels, config
+
+
+class TestRunOutcomeAnalysis:
+    def test_partition_is_complete(self, analysis_parts):
+        model, memory, images, labels, config = analysis_parts
+        breakdown = run_outcome_analysis(model, memory, images, labels, config)
+        expected = images.shape[0] * config.trials
+        for counts in breakdown.counts:
+            assert counts.total == expected
+
+    def test_low_rate_mostly_masked(self, analysis_parts):
+        model, memory, images, labels, config = analysis_parts
+        breakdown = run_outcome_analysis(model, memory, images, labels, config)
+        assert breakdown.masked_rates()[0] > 0.9
+
+    def test_sdc_grows_with_rate(self, analysis_parts):
+        model, memory, images, labels, config = analysis_parts
+        breakdown = run_outcome_analysis(model, memory, images, labels, config)
+        sdc = breakdown.sdc_rates()
+        assert sdc[-1] > sdc[0]
+        assert sdc[-1] > 0.05  # the high rate produces real SDCs
+
+    def test_deterministic(self, analysis_parts):
+        model, memory, images, labels, config = analysis_parts
+        a = run_outcome_analysis(model, memory, images, labels, config)
+        b = run_outcome_analysis(model, memory, images, labels, config)
+        np.testing.assert_array_equal(a.sdc_rates(), b.sdc_rates())
+        np.testing.assert_array_equal(a.due_rates(), b.due_rates())
+
+    def test_weights_restored(self, analysis_parts):
+        model, memory, images, labels, config = analysis_parts
+        before = model.state_dict()
+        run_outcome_analysis(model, memory, images, labels, config)
+        after = model.state_dict()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key])
+
+    def test_clipping_reduces_sdc(self, trained_mlp, mlp_eval_arrays):
+        """The taxonomy-level version of the paper's claim: clipping turns
+        silent corruptions into masked outcomes."""
+        images, labels = mlp_eval_arrays
+        config = CampaignConfig(fault_rates=(3e-4, 1e-3), trials=4, seed=6)
+
+        plain = MLP(3 * 8 * 8, 10, hidden=(64, 32), seed=0)
+        plain.load_state_dict(trained_mlp.state_dict())
+        plain.eval()
+        plain_breakdown = run_outcome_analysis(
+            plain, WeightMemory.from_model(plain), images, labels, config
+        )
+
+        clipped = MLP(3 * 8 * 8, 10, hidden=(64, 32), seed=0)
+        clipped.load_state_dict(trained_mlp.state_dict())
+        clipped.eval()
+        swap_activations(clipped, 30.0)
+        clipped_breakdown = run_outcome_analysis(
+            clipped, WeightMemory.from_model(clipped), images, labels, config
+        )
+
+        assert (
+            clipped_breakdown.sdc_rates()[-1] < plain_breakdown.sdc_rates()[-1]
+        )
+        assert (
+            clipped_breakdown.masked_rates()[-1]
+            > plain_breakdown.masked_rates()[-1]
+        )
+
+    def test_summary_rows(self, analysis_parts):
+        model, memory, images, labels, config = analysis_parts
+        breakdown = run_outcome_analysis(model, memory, images, labels, config)
+        rows = breakdown.summary_rows()
+        assert len(rows) == 2
+        for row in rows:
+            # masked + benign + sdc + due == 1
+            assert sum(row[1:]) == pytest.approx(1.0)

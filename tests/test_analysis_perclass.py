@@ -1,0 +1,65 @@
+"""Tests for per-class vulnerability analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.perclass import PerClassResult, run_per_class_analysis
+from repro.core.campaign import CampaignConfig
+from repro.hw.memory import WeightMemory
+
+
+@pytest.fixture
+def analysis(trained_mlp, mlp_eval_arrays):
+    images, labels = mlp_eval_arrays
+    memory = WeightMemory.from_model(trained_mlp)
+    config = CampaignConfig(fault_rates=(1e-5, 1e-3), trials=3, seed=2, batch_size=96)
+    return run_per_class_analysis(trained_mlp, memory, images, labels, config)
+
+
+class TestPerClassAnalysis:
+    def test_shapes(self, analysis):
+        assert analysis.recall.shape == (2, 10)
+        assert analysis.prediction_share.shape == (2, 10)
+        assert analysis.clean_recall.shape == (10,)
+
+    def test_recall_in_unit_interval(self, analysis):
+        assert (analysis.recall >= 0).all() and (analysis.recall <= 1).all()
+        assert (analysis.clean_recall >= 0).all()
+
+    def test_prediction_share_sums_to_one(self, analysis):
+        np.testing.assert_allclose(analysis.prediction_share.sum(axis=1), 1.0, rtol=1e-9)
+
+    def test_low_rate_recall_near_clean(self, analysis):
+        assert np.abs(analysis.recall[0] - analysis.clean_recall).mean() < 0.1
+
+    def test_high_rate_mean_recall_degrades(self, analysis):
+        assert analysis.recall[1].mean() < analysis.recall[0].mean()
+
+    def test_prediction_collapse_grows(self, analysis):
+        """Heavy faults concentrate predictions into fewer classes."""
+        assert analysis.prediction_collapse(1) >= analysis.prediction_collapse(0) - 0.05
+
+    def test_most_vulnerable_classes(self, analysis):
+        worst = analysis.most_vulnerable_classes(rate_index=1, k=3)
+        assert len(worst) == 3
+        assert all(0 <= cls < 10 for cls in worst)
+
+    def test_weights_restored(self, trained_mlp, mlp_eval_arrays):
+        images, labels = mlp_eval_arrays
+        memory = WeightMemory.from_model(trained_mlp)
+        before = trained_mlp.state_dict()
+        run_per_class_analysis(
+            trained_mlp, memory, images, labels,
+            CampaignConfig(fault_rates=(1e-3,), trials=2, seed=0),
+        )
+        after = trained_mlp.state_dict()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key])
+
+    def test_deterministic(self, trained_mlp, mlp_eval_arrays):
+        images, labels = mlp_eval_arrays
+        memory = WeightMemory.from_model(trained_mlp)
+        config = CampaignConfig(fault_rates=(1e-3,), trials=2, seed=9)
+        a = run_per_class_analysis(trained_mlp, memory, images, labels, config)
+        b = run_per_class_analysis(trained_mlp, memory, images, labels, config)
+        np.testing.assert_array_equal(a.recall, b.recall)

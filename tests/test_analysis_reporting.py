@@ -1,0 +1,94 @@
+"""Tests for text reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import (
+    format_box_table,
+    format_comparison_table,
+    format_curve_table,
+    format_histogram,
+    format_rate,
+    format_table,
+)
+from repro.core.metrics import ResilienceCurve
+
+
+def _curve(label=""):
+    rates = np.asarray([1e-7, 1e-6])
+    accs = np.asarray([[0.9, 0.8], [0.5, 0.4]])
+    return ResilienceCurve(rates, accs, clean_accuracy=0.95, label=label)
+
+
+class TestFormatRate:
+    def test_zero(self):
+        assert format_rate(0.0) == "0"
+
+    def test_scientific(self):
+        assert format_rate(5e-7) == "5.0e-07"
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [30, 0.125]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "2.5000" in text and "30" in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_small_floats_scientific(self):
+        text = format_table(["x"], [[1e-7]])
+        assert "1.000e-07" in text
+
+
+class TestCurveTables:
+    def test_curve_table_has_clean_row(self):
+        text = format_curve_table(_curve("demo"))
+        assert text.splitlines()[0] == "curve: demo"
+        assert "0.9500" in text  # clean accuracy row
+        assert "1.0e-07" in text
+
+    def test_comparison_table(self):
+        text = format_comparison_table(
+            [_curve(), _curve()], labels=["unprotected", "clipped"]
+        )
+        assert "unprotected" in text and "clipped" in text
+        assert "AUC" in text
+
+    def test_comparison_rejects_mismatched_grids(self):
+        other = ResilienceCurve(
+            np.asarray([1e-5, 1e-4]), np.asarray([[0.5], [0.4]]), 0.9
+        )
+        with pytest.raises(ValueError):
+            format_comparison_table([_curve(), other])
+
+    def test_comparison_rejects_empty(self):
+        with pytest.raises(ValueError):
+            format_comparison_table([])
+
+    def test_box_table(self):
+        text = format_box_table(_curve(), title="boxes")
+        assert "median" in text
+        assert "boxes" in text
+
+
+class TestHistogram:
+    def test_bars_scale(self):
+        counts = np.asarray([1, 10])
+        edges = np.asarray([0.0, 1.0, 2.0])
+        text = format_histogram(counts, edges, width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 1
+
+    def test_mismatched_edges_rejected(self):
+        with pytest.raises(ValueError):
+            format_histogram(np.asarray([1, 2]), np.asarray([0.0, 1.0]))
+
+    def test_empty_counts_safe(self):
+        text = format_histogram(np.asarray([0, 0]), np.asarray([0.0, 1.0, 2.0]))
+        assert "#" not in text

@@ -1,0 +1,168 @@
+"""Tests for the command-line interface.
+
+CLI commands run against a deliberately tiny override of the canonical
+configs (monkeypatched EXPERIMENT_CONFIGS) so no full-size training runs.
+"""
+
+import json
+
+import pytest
+
+import repro.experiments as experiments
+from repro.cli import build_parser, main
+from repro.models import ZooConfig
+
+TINY = ZooConfig(
+    model="lenet5",
+    width_mult=1.0,
+    n_train=200,
+    n_val=100,
+    n_test=80,
+    epochs=2,
+    seed=7,
+)
+
+
+@pytest.fixture(autouse=True)
+def tiny_configs(monkeypatch):
+    monkeypatch.setitem(experiments.EXPERIMENT_CONFIGS, "lenet5", TINY)
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explode"])
+
+    def test_model_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--model", "resnet"])
+
+
+class TestCommands:
+    def test_train(self, capsys):
+        assert main(["train", "--model", "lenet5"]) == 0
+        out = capsys.readouterr().out
+        assert "clean test accuracy" in out
+
+    def test_profile(self, capsys):
+        assert main(["profile", "--model", "lenet5", "--images", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "ACT_max" in out and "CONV-1" in out
+
+    def test_campaign_unprotected(self, capsys):
+        assert (
+            main(
+                [
+                    "campaign",
+                    "--model",
+                    "lenet5",
+                    "--trials",
+                    "2",
+                    "--eval-images",
+                    "48",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "AUC =" in out and "fault_rate" in out
+
+    def test_campaign_int8(self, capsys):
+        assert (
+            main(
+                [
+                    "campaign",
+                    "--model",
+                    "lenet5",
+                    "--variant",
+                    "int8",
+                    "--trials",
+                    "2",
+                    "--eval-images",
+                    "48",
+                ]
+            )
+            == 0
+        )
+        assert "int8" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("variant", ["relu6", "ecc", "dmr", "tmr"])
+    def test_campaign_variants(self, capsys, variant):
+        assert (
+            main(
+                [
+                    "campaign",
+                    "--model",
+                    "lenet5",
+                    "--variant",
+                    variant,
+                    "--trials",
+                    "1",
+                    "--eval-images",
+                    "32",
+                ]
+            )
+            == 0
+        )
+        assert variant in capsys.readouterr().out
+
+    def test_layerwise(self, capsys):
+        assert (
+            main(
+                [
+                    "layerwise",
+                    "--model",
+                    "lenet5",
+                    "--layers",
+                    "CONV-1",
+                    "--trials",
+                    "1",
+                    "--eval-images",
+                    "32",
+                ]
+            )
+            == 0
+        )
+        assert "CONV-1" in capsys.readouterr().out
+
+    def test_bitpos(self, capsys):
+        assert (
+            main(
+                [
+                    "bitpos",
+                    "--model",
+                    "lenet5",
+                    "--faults",
+                    "4",
+                    "--trials",
+                    "1",
+                    "--eval-images",
+                    "32",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "mean accuracy" in out
+
+    def test_outcomes(self, capsys):
+        assert (
+            main(
+                [
+                    "outcomes",
+                    "--model",
+                    "lenet5",
+                    "--trials",
+                    "1",
+                    "--eval-images",
+                    "32",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "SDC" in out and "masked" in out

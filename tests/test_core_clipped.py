@@ -1,0 +1,121 @@
+"""Tests for the clipped activation functions (paper Section IV-A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.clipped import ClampedReLU, ClippedLeakyReLU, ClippedReLU
+
+FLOATS = hnp.arrays(
+    np.float32,
+    st.integers(1, 40),
+    elements=st.floats(-1e6, 1e6, width=32, allow_nan=False),
+)
+
+
+class TestClippedReLU:
+    def test_paper_equation(self):
+        """f(x) = x for 0 <= x <= T, else 0."""
+        layer = ClippedReLU(threshold=2.0)
+        x = np.asarray([-1.0, 0.0, 1.5, 2.0, 2.1, 1e30], dtype=np.float32)
+        np.testing.assert_array_equal(layer(x), [0.0, 0.0, 1.5, 2.0, 0.0, 0.0])
+
+    def test_squashes_faulty_magnitudes_to_zero(self):
+        """The mitigation property: huge (faulty) values map to exactly 0,
+        not to T — they carry no information."""
+        layer = ClippedReLU(threshold=5.0)
+        x = np.asarray([1e38, np.inf], dtype=np.float32)
+        np.testing.assert_array_equal(layer(x), [0.0, 0.0])
+
+    @given(FLOATS, st.floats(0.1, 100.0))
+    def test_output_bounded_by_threshold(self, x, threshold):
+        out = ClippedReLU(threshold)(x)
+        assert (out >= 0).all() and (out <= np.float32(threshold)).all()
+
+    @given(FLOATS)
+    def test_within_range_identity(self, x):
+        threshold = 10.0
+        layer = ClippedReLU(threshold)
+        inside = (x >= 0) & (x <= threshold)
+        out = layer(x)
+        np.testing.assert_array_equal(out[inside], x[inside])
+
+    def test_threshold_mutable(self):
+        layer = ClippedReLU(1.0)
+        layer.threshold = 3.0
+        assert layer.threshold == 3.0
+        x = np.asarray([2.0], dtype=np.float32)
+        np.testing.assert_array_equal(layer(x), [2.0])
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("inf"), float("nan")])
+    def test_invalid_threshold_rejected(self, bad):
+        with pytest.raises(ValueError):
+            ClippedReLU(bad)
+        layer = ClippedReLU(1.0)
+        with pytest.raises(ValueError):
+            layer.threshold = bad
+
+    def test_backward_masks_outside(self):
+        layer = ClippedReLU(2.0)
+        layer.train()
+        x = np.asarray([-1.0, 1.0, 3.0], dtype=np.float32)
+        layer(x)
+        grad = layer.backward(np.ones(3, dtype=np.float32))
+        np.testing.assert_array_equal(grad, [0.0, 1.0, 0.0])
+
+    def test_backward_before_forward(self):
+        layer = ClippedReLU(1.0)
+        layer.train()
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros(1, dtype=np.float32))
+
+    def test_repr_shows_threshold(self):
+        assert "1.5" in repr(ClippedReLU(1.5))
+
+
+class TestClampedReLU:
+    def test_saturates_instead_of_zeroing(self):
+        layer = ClampedReLU(threshold=2.0)
+        x = np.asarray([-1.0, 1.0, 5.0, 1e30], dtype=np.float32)
+        np.testing.assert_array_equal(layer(x), [0.0, 1.0, 2.0, 2.0])
+
+    def test_differs_from_clip_above_threshold(self):
+        """The ablation contrast: clip->0 vs clamp->T."""
+        x = np.asarray([10.0], dtype=np.float32)
+        assert ClippedReLU(2.0)(x)[0] == 0.0
+        assert ClampedReLU(2.0)(x)[0] == 2.0
+
+    @given(FLOATS, st.floats(0.1, 100.0))
+    def test_bounded(self, x, threshold):
+        out = ClampedReLU(threshold)(x)
+        assert (out >= 0).all() and (out <= np.float32(threshold) + 1e-6).all()
+
+    def test_backward(self):
+        layer = ClampedReLU(2.0)
+        layer.train()
+        x = np.asarray([-1.0, 1.0, 3.0], dtype=np.float32)
+        layer(x)
+        grad = layer.backward(np.ones(3, dtype=np.float32))
+        np.testing.assert_array_equal(grad, [0.0, 1.0, 0.0])
+
+
+class TestClippedLeakyReLU:
+    def test_negative_slope_below_zero(self):
+        layer = ClippedLeakyReLU(threshold=2.0, negative_slope=0.1)
+        x = np.asarray([-10.0, 1.0, 5.0], dtype=np.float32)
+        np.testing.assert_allclose(layer(x), [-1.0, 1.0, 0.0], rtol=1e-6)
+
+    def test_backward(self):
+        layer = ClippedLeakyReLU(threshold=2.0, negative_slope=0.1)
+        layer.train()
+        x = np.asarray([-1.0, 1.0, 5.0], dtype=np.float32)
+        layer(x)
+        grad = layer.backward(np.ones(3, dtype=np.float32))
+        np.testing.assert_allclose(grad, [0.1, 1.0, 0.0], rtol=1e-6)
+
+    def test_threshold_setter(self):
+        layer = ClippedLeakyReLU(1.0)
+        layer.threshold = 4.0
+        x = np.asarray([3.0], dtype=np.float32)
+        np.testing.assert_array_equal(layer(x), [3.0])

@@ -1,0 +1,124 @@
+"""Tests for activation profiling (Step 1)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.profiling import (
+    ActivationProfiler,
+    LayerActivationStats,
+    profile_activations,
+)
+from repro.data import ArrayDataset, DataLoader
+from repro.models import LeNet5
+
+
+def _loader(n=32, seed=0):
+    rng = np.random.default_rng(seed)
+    images = rng.random((n, 3, 32, 32)).astype(np.float32)
+    labels = rng.integers(0, 10, size=n).astype(np.int64)
+    return DataLoader(ArrayDataset(images, labels), batch_size=16)
+
+
+class TestLayerActivationStats:
+    def test_streaming_max_min_mean(self):
+        stats = LayerActivationStats("L")
+        rng = np.random.default_rng(0)
+        all_values = []
+        for _ in range(5):
+            chunk = rng.standard_normal(100).astype(np.float32)
+            all_values.append(chunk)
+            stats.update(chunk, rng)
+        pooled = np.concatenate(all_values)
+        assert stats.count == 500
+        assert stats.act_max == pytest.approx(float(pooled.max()))
+        assert stats.act_min == pytest.approx(float(pooled.min()))
+        assert stats.mean == pytest.approx(float(pooled.mean()), rel=1e-5)
+        assert stats.std == pytest.approx(float(pooled.std()), rel=1e-3)
+
+    def test_percentiles_from_subsample(self):
+        stats = LayerActivationStats("L")
+        rng = np.random.default_rng(1)
+        values = rng.random(10_000).astype(np.float32)
+        stats.update(values, rng)
+        assert stats.percentile(50) == pytest.approx(0.5, abs=0.05)
+
+    def test_sample_budget_respected(self):
+        stats = LayerActivationStats("L", _sample_budget=100)
+        rng = np.random.default_rng(2)
+        stats.update(rng.random(1000), rng)
+        stats.update(rng.random(1000), rng)
+        retained = sum(chunk.size for chunk in stats._samples)
+        assert retained == 100
+
+    def test_empty_update_noop(self):
+        stats = LayerActivationStats("L")
+        stats.update(np.empty(0), np.random.default_rng(0))
+        assert stats.count == 0
+
+    def test_percentile_without_samples_raises(self):
+        with pytest.raises(ValueError):
+            LayerActivationStats("L").percentile(50)
+
+    def test_histogram(self):
+        stats = LayerActivationStats("L")
+        rng = np.random.default_rng(3)
+        stats.update(rng.random(1000), rng)
+        counts, edges = stats.histogram(bins=10)
+        assert counts.sum() == 1000
+        assert edges.size == 11
+
+
+class TestProfiler:
+    def test_act_max_matches_direct_observation(self, trained_lenet):
+        loader = _loader()
+        profile = profile_activations(trained_lenet, loader, seed=0)
+        # Directly observe CONV-1's post-ReLU output on the same data.
+        relu1 = trained_lenet[1]
+        seen = []
+        handle = relu1.register_forward_hook(lambda m, i, o: seen.append(o.max()))
+        for images, _ in loader:
+            trained_lenet(images)
+        handle.remove()
+        assert profile.act_max["CONV-1"] == pytest.approx(float(max(seen)), rel=1e-6)
+
+    def test_profiles_every_activation_site(self, trained_lenet):
+        profile = profile_activations(trained_lenet, _loader(), seed=0)
+        assert set(profile.act_max) == {"CONV-1", "CONV-2", "FC-1", "FC-2"}
+        assert all(v > 0 for v in profile.act_max.values())
+
+    def test_num_images_counted(self, trained_lenet):
+        profile = profile_activations(trained_lenet, _loader(48), seed=0)
+        assert profile.num_images == 48
+
+    def test_hooks_removed_after_one_shot(self, trained_lenet):
+        before = dict(trained_lenet[1]._forward_hooks)
+        profile_activations(trained_lenet, _loader(), seed=0)
+        after = dict(trained_lenet[1]._forward_hooks)
+        assert before == after
+
+    def test_context_manager_removes_hooks(self, trained_lenet):
+        with ActivationProfiler(trained_lenet, seed=0) as profiler:
+            profiler.run(_loader())
+        assert not trained_lenet[1]._forward_hooks
+
+    def test_model_mode_restored(self, trained_lenet):
+        trained_lenet.train()
+        profile_activations(trained_lenet, _loader(), seed=0)
+        assert trained_lenet.training
+        trained_lenet.eval()
+
+    def test_thresholds_at_percentile(self, trained_lenet):
+        profile = profile_activations(trained_lenet, _loader(), seed=0)
+        p99 = profile.thresholds_at_percentile(99)
+        for layer, act_max in profile.act_max.items():
+            assert p99[layer] <= act_max
+
+    def test_model_without_activations_rejected(self):
+        with pytest.raises(ValueError):
+            ActivationProfiler(nn.Sequential(nn.Linear(4, 2, seed=0)))
+
+    def test_deterministic(self, trained_lenet):
+        a = profile_activations(trained_lenet, _loader(), seed=0).act_max
+        b = profile_activations(trained_lenet, _loader(), seed=0).act_max
+        assert a == b

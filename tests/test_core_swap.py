@@ -1,0 +1,146 @@
+"""Tests for activation-site discovery and swapping (Step 2)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.clipped import ClampedReLU, ClippedReLU
+from repro.core.swap import (
+    find_activation_sites,
+    get_thresholds,
+    set_thresholds,
+    swap_activations,
+)
+from repro.models import CifarAlexNet, CifarVGG16, LeNet5
+
+
+class TestFindActivationSites:
+    def test_lenet_sites(self):
+        sites = find_activation_sites(LeNet5(seed=0))
+        layer_names = [s.layer_name for s in sites]
+        # FC-3 (the logits layer) has no trailing activation.
+        assert layer_names == ["CONV-1", "CONV-2", "FC-1", "FC-2"]
+
+    def test_alexnet_sites(self):
+        sites = find_activation_sites(CifarAlexNet(width_mult=0.125, seed=0))
+        layer_names = [s.layer_name for s in sites]
+        assert layer_names == [
+            "CONV-1", "CONV-2", "CONV-3", "CONV-4", "CONV-5", "FC-1", "FC-2",
+        ]
+
+    def test_vgg_sites_skip_batchnorm(self):
+        """BatchNorm between conv and ReLU must not break the association."""
+        sites = find_activation_sites(CifarVGG16(width_mult=0.0625, seed=0))
+        layer_names = [s.layer_name for s in sites]
+        assert layer_names == [f"CONV-{i}" for i in range(1, 14)]
+
+    def test_activation_before_any_layer_skipped(self):
+        model = nn.Sequential(nn.ReLU(), nn.Linear(4, 2, seed=0), nn.ReLU())
+        sites = find_activation_sites(model)
+        assert [s.layer_name for s in sites] == ["FC-1"]
+
+
+class TestSwapActivations:
+    def test_swap_with_mapping(self):
+        model = LeNet5(seed=0)
+        thresholds = {"CONV-1": 1.0, "CONV-2": 2.0, "FC-1": 3.0, "FC-2": 4.0}
+        result = swap_activations(model, thresholds)
+        assert result.replaced == 4
+        assert result.layer_names() == list(thresholds)
+        assert get_thresholds(model) == thresholds
+        # The swapped modules are live in the model.
+        assert isinstance(model[1], ClippedReLU)
+        assert model[1].threshold == 1.0
+
+    def test_swap_with_scalar(self):
+        model = LeNet5(seed=0)
+        result = swap_activations(model, 5.0)
+        assert all(m.threshold == 5.0 for m in result.clipped.values())
+
+    def test_clamp_variant(self):
+        model = LeNet5(seed=0)
+        swap_activations(model, 5.0, variant="clamp")
+        assert isinstance(model[1], ClampedReLU)
+
+    def test_invalid_variant(self):
+        with pytest.raises(ValueError):
+            swap_activations(LeNet5(seed=0), 5.0, variant="bogus")
+
+    def test_missing_threshold_rejected(self):
+        with pytest.raises(KeyError, match="CONV-2"):
+            swap_activations(LeNet5(seed=0), {"CONV-1": 1.0, "FC-1": 1.0, "FC-2": 1.0})
+
+    def test_no_activations_rejected(self):
+        model = nn.Sequential(nn.Linear(4, 2, seed=0))
+        with pytest.raises(ValueError, match="no swappable"):
+            swap_activations(model, 1.0)
+
+    def test_swap_preserves_eval_mode(self):
+        model = LeNet5(seed=0)
+        model.eval()
+        result = swap_activations(model, 1.0)
+        assert all(not m.training for m in result.clipped.values())
+
+    def test_swap_changes_forward_behaviour(self):
+        model = LeNet5(seed=0)
+        model.eval()
+        x = np.random.default_rng(0).random((2, 3, 32, 32)).astype(np.float32)
+        before = model(x)
+        swap_activations(model, 1e-6)  # clip almost everything
+        after = model(x)
+        assert not np.allclose(before, after)
+
+    def test_relu6_also_swappable(self):
+        model = nn.Sequential(nn.Linear(4, 4, seed=0), nn.ReLU6(), nn.Linear(4, 2, seed=1))
+        result = swap_activations(model, 2.0)
+        assert result.replaced == 1
+        assert isinstance(model[1], ClippedReLU)
+
+
+class TestThresholdAccessors:
+    def test_set_thresholds_updates(self):
+        model = LeNet5(seed=0)
+        swap_activations(model, 1.0)
+        set_thresholds(model, {"CONV-1": 9.0})
+        assert get_thresholds(model)["CONV-1"] == 9.0
+        assert get_thresholds(model)["CONV-2"] == 1.0
+
+    def test_set_thresholds_unknown_layer(self):
+        model = LeNet5(seed=0)
+        swap_activations(model, 1.0)
+        with pytest.raises(KeyError):
+            set_thresholds(model, {"CONV-9": 1.0})
+
+    def test_get_thresholds_empty_before_swap(self):
+        assert get_thresholds(LeNet5(seed=0)) == {}
+
+
+class TestLeakySwap:
+    def test_leaky_relu_swaps_to_clipped_leaky(self):
+        from repro.core.clipped import ClippedLeakyReLU
+
+        model = nn.Sequential(
+            nn.Linear(4, 4, seed=0), nn.LeakyReLU(0.2), nn.Linear(4, 2, seed=1)
+        )
+        result = swap_activations(model, 3.0)
+        clipped = result.clipped["FC-1"]
+        assert isinstance(clipped, ClippedLeakyReLU)
+        assert clipped.negative_slope == 0.2
+        assert clipped.threshold == 3.0
+
+    def test_leaky_thresholds_settable(self):
+        model = nn.Sequential(
+            nn.Linear(4, 4, seed=0), nn.LeakyReLU(0.2), nn.Linear(4, 2, seed=1)
+        )
+        swap_activations(model, 3.0)
+        set_thresholds(model, {"FC-1": 1.5})
+        assert get_thresholds(model)["FC-1"] == 1.5
+
+    def test_leaky_clamp_variant_uses_clamp(self):
+        from repro.core.clipped import ClampedReLU
+
+        model = nn.Sequential(
+            nn.Linear(4, 4, seed=0), nn.LeakyReLU(0.2), nn.Linear(4, 2, seed=1)
+        )
+        result = swap_activations(model, 3.0, variant="clamp")
+        assert isinstance(result.clipped["FC-1"], ClampedReLU)

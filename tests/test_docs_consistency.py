@@ -1,0 +1,76 @@
+"""Documentation consistency: the docs must reference real artifacts."""
+
+import pathlib
+import re
+
+import pytest
+
+ROOT = pathlib.Path(__file__).parent.parent
+
+
+class TestDocsExist:
+    @pytest.mark.parametrize(
+        "name", ["README.md", "DESIGN.md", "EXPERIMENTS.md", "pyproject.toml"]
+    )
+    def test_file_present_and_nonempty(self, name):
+        path = ROOT / name
+        assert path.exists(), f"{name} missing"
+        assert len(path.read_text()) > 500
+
+
+class TestBenchmarkIndex:
+    def _bench_files(self):
+        return {p.name for p in (ROOT / "benchmarks").glob("test_*.py")}
+
+    def test_design_references_real_benchmarks(self):
+        text = (ROOT / "DESIGN.md").read_text()
+        referenced = set(re.findall(r"benchmarks/(test_\w+\.py)", text))
+        assert referenced, "DESIGN.md references no benchmarks"
+        missing = referenced - self._bench_files()
+        assert not missing, f"DESIGN.md references missing benches: {missing}"
+
+    def test_every_figure_bench_indexed_in_design(self):
+        text = (ROOT / "DESIGN.md").read_text()
+        for bench in self._bench_files():
+            if bench.startswith("test_fig") or bench.startswith("test_headline"):
+                assert bench in text, f"{bench} not indexed in DESIGN.md"
+
+    def test_readme_references_real_benchmarks(self):
+        text = (ROOT / "README.md").read_text()
+        referenced = set(re.findall(r"benchmarks/(test_\w+\.py)", text))
+        missing = referenced - self._bench_files()
+        assert not missing, f"README references missing benches: {missing}"
+
+    def test_experiments_references_real_result_names(self):
+        """EXPERIMENTS.md result names must match what benches record."""
+        text = (ROOT / "EXPERIMENTS.md").read_text()
+        referenced = set(re.findall(r"results/(\w+)\.txt", text))
+        recorded = set()
+        for bench in (ROOT / "benchmarks").glob("test_*.py"):
+            recorded |= set(re.findall(r'record_result\(\s*"(\w+)"', bench.read_text()))
+        missing = referenced - recorded
+        assert not missing, f"EXPERIMENTS.md references unrecorded results: {missing}"
+
+
+class TestExamplesIndexed:
+    def test_readme_lists_every_example(self):
+        text = (ROOT / "README.md").read_text()
+        for example in (ROOT / "examples").glob("*.py"):
+            assert example.stem in text, f"{example.name} not mentioned in README"
+
+
+class TestPaperFigureCoverage:
+    def test_all_paper_figures_have_bench(self):
+        """Every evaluation figure of the paper maps to a bench file."""
+        benches = {p.name for p in (ROOT / "benchmarks").glob("test_*.py")}
+        required = {
+            "test_fig1b_alexnet_unprotected.py",
+            "test_fig3_layerwise.py",
+            "test_fig3_activation_distributions.py",
+            "test_fig5_auc_vs_threshold.py",
+            "test_fig6_finetune_trace.py",
+            "test_fig7_alexnet.py",
+            "test_fig8_vgg16.py",
+            "test_headline_numbers.py",
+        }
+        assert required <= benches

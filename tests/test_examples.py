@@ -1,0 +1,47 @@
+"""Smoke tests for the example scripts.
+
+Each example must parse, expose a --help, and reference only public API
+symbols (checked by compiling and running help without side effects).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+class TestExamples:
+    def test_compiles(self, script):
+        source = script.read_text()
+        compile(source, str(script), "exec")
+
+    def test_help_runs(self, script):
+        result = subprocess.run(
+            [sys.executable, str(script), "--help"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "usage" in result.stdout.lower()
+
+    def test_has_module_docstring(self, script):
+        source = script.read_text()
+        assert source.lstrip().startswith(('"""', "#!"))
+
+
+def test_expected_example_set():
+    names = {script.name for script in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "per_layer_resilience.py",
+        "harden_pretrained_dnn.py",
+        "compare_mitigations.py",
+        "bit_position_study.py",
+    } <= names
+    assert len(names) >= 5

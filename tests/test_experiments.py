@@ -1,0 +1,109 @@
+"""Tests for the canonical experiment setup module."""
+
+import numpy as np
+import pytest
+
+from repro.core.clipped import ClippedReLU
+from repro.experiments import (
+    EXPERIMENT_CONFIGS,
+    clone_model,
+    default_harden_config,
+    experiment_bundle,
+    hardened_clone,
+    paper_fault_rates,
+)
+from repro.models import ZooConfig
+from repro.utils.cache import ArtifactCache
+
+# A tiny override so experiment tests never train the full AlexNet.
+FAST_OVERRIDES = dict(
+    n_train=200, n_val=120, n_test=80, epochs=2, width_mult=0.0625
+)
+
+
+class TestConfigs:
+    def test_canonical_networks_registered(self):
+        assert set(EXPERIMENT_CONFIGS) == {"alexnet", "vgg16", "lenet5"}
+        for config in EXPERIMENT_CONFIGS.values():
+            assert isinstance(config, ZooConfig)
+
+    def test_fault_rate_grid(self):
+        rates = paper_fault_rates()
+        assert rates[0] == pytest.approx(1e-7)
+        assert rates[-1] == pytest.approx(1e-4)
+        assert all(a < b for a, b in zip(rates, rates[1:]))
+
+    def test_default_harden_config_valid(self):
+        config = default_harden_config()
+        assert config.tune_scope == "layer"
+        assert config.fine_tune
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(ValueError, match="unknown experiment network"):
+            experiment_bundle("resnet")
+
+
+class TestBundlesAndClones:
+    def test_overrides_reach_zoo(self, tmp_path):
+        bundle = experiment_bundle(
+            "alexnet", cache=ArtifactCache(tmp_path), **FAST_OVERRIDES
+        )
+        assert bundle.config.n_train == 200
+        assert bundle.config.model == "alexnet"
+
+    def test_clone_matches_original(self, tmp_path):
+        bundle = experiment_bundle(
+            "alexnet", cache=ArtifactCache(tmp_path), **FAST_OVERRIDES
+        )
+        clone = clone_model(bundle)
+        assert clone is not bundle.model
+        x = bundle.test_set.arrays()[0][:4]
+        np.testing.assert_array_equal(clone(x), bundle.model(x))
+
+    def test_clone_mutation_does_not_leak(self, tmp_path):
+        bundle = experiment_bundle(
+            "alexnet", cache=ArtifactCache(tmp_path), **FAST_OVERRIDES
+        )
+        clone = clone_model(bundle)
+        next(clone.parameters()).data[:] = 0.0
+        assert float(np.abs(next(bundle.model.parameters()).data).sum()) > 0
+
+
+class TestHardenedClone:
+    def _fast_harden_config(self):
+        from repro.core.finetune import FineTuneConfig
+        from repro.core.pipeline import FTClipActConfig
+
+        return FTClipActConfig(
+            profile_images=48,
+            eval_images=48,
+            trials=1,
+            fault_rates=(1e-4,),
+            seed=0,
+            finetune=FineTuneConfig(max_iterations=1, min_iterations=1, tolerance=0.0),
+        )
+
+    def test_produces_clipped_model_and_caches(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        bundle = experiment_bundle("alexnet", cache=cache, **FAST_OVERRIDES)
+        config = self._fast_harden_config()
+
+        model_a, thresholds_a, act_max_a = hardened_clone(bundle, config, cache=cache)
+        assert any(isinstance(m, ClippedReLU) for m in model_a.modules())
+        assert set(thresholds_a) == set(act_max_a)
+
+        # Second call must come from the threshold cache and agree exactly.
+        model_b, thresholds_b, act_max_b = hardened_clone(bundle, config, cache=cache)
+        assert thresholds_b == pytest.approx(thresholds_a)
+        assert act_max_b == pytest.approx(act_max_a)
+        x = bundle.test_set.arrays()[0][:4]
+        np.testing.assert_array_equal(model_a(x), model_b(x))
+
+    def test_thresholds_below_act_max(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        bundle = experiment_bundle("alexnet", cache=cache, **FAST_OVERRIDES)
+        _, thresholds, act_max = hardened_clone(
+            bundle, self._fast_harden_config(), cache=cache
+        )
+        for layer, threshold in thresholds.items():
+            assert 0 < threshold <= act_max[layer] + 1e-6

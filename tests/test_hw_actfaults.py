@@ -1,0 +1,122 @@
+"""Tests for activation-memory fault injection."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.metrics import evaluate_accuracy_arrays
+from repro.core.swap import swap_activations
+from repro.hw.actfaults import ActivationFaultInjector, flip_activation_bits
+from repro.models import MLP
+
+
+class TestFlipActivationBits:
+    def test_flips_expected_count(self):
+        rng = np.random.default_rng(0)
+        values = np.zeros(1000, dtype=np.float32)
+        flips = flip_activation_bits(values, 0.01, rng)
+        assert flips > 0
+        # Each flip changes exactly one bit of a zero word -> non-zero words.
+        assert np.count_nonzero(values) <= flips
+
+    def test_rate_zero_noop(self):
+        values = np.ones(100, dtype=np.float32)
+        assert flip_activation_bits(values, 0.0, np.random.default_rng(0)) == 0
+        np.testing.assert_array_equal(values, np.ones(100))
+
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(ValueError):
+            flip_activation_bits(
+                np.zeros(10, dtype=np.float64), 0.1, np.random.default_rng(0)
+            )
+
+    def test_rejects_non_contiguous(self):
+        values = np.zeros((10, 10), dtype=np.float32)[:, ::2]
+        with pytest.raises(ValueError, match="contiguous"):
+            flip_activation_bits(values, 0.1, np.random.default_rng(0))
+
+    def test_mutates_in_place(self):
+        values = np.zeros((4, 4), dtype=np.float32)
+        flip_activation_bits(values, 0.5, np.random.default_rng(1))
+        assert np.count_nonzero(values) > 0
+
+
+class TestActivationFaultInjector:
+    def test_dormant_by_default(self, trained_mlp, mlp_eval_arrays):
+        images, labels = mlp_eval_arrays
+        clean = evaluate_accuracy_arrays(trained_mlp, images, labels)
+        with ActivationFaultInjector(trained_mlp) as injector:
+            assert not injector.armed
+            unchanged = evaluate_accuracy_arrays(trained_mlp, images, labels)
+        assert unchanged == clean
+
+    def test_session_degrades_accuracy(self, trained_mlp, mlp_eval_arrays):
+        images, labels = mlp_eval_arrays
+        clean = evaluate_accuracy_arrays(trained_mlp, images, labels)
+        with ActivationFaultInjector(trained_mlp) as injector:
+            with injector.session(1e-3, rng=0):
+                with np.errstate(over="ignore", invalid="ignore"):
+                    faulty = evaluate_accuracy_arrays(trained_mlp, images, labels)
+            assert injector.flips_this_session > 0
+        assert faulty < clean
+
+    def test_transient_no_lasting_damage(self, trained_mlp, mlp_eval_arrays):
+        images, labels = mlp_eval_arrays
+        clean = evaluate_accuracy_arrays(trained_mlp, images, labels)
+        with ActivationFaultInjector(trained_mlp) as injector:
+            with injector.session(1e-2, rng=1):
+                with np.errstate(over="ignore", invalid="ignore"):
+                    evaluate_accuracy_arrays(trained_mlp, images, labels)
+            after = evaluate_accuracy_arrays(trained_mlp, images, labels)
+        assert after == clean
+        for param in trained_mlp.parameters():
+            assert np.isfinite(param.data).all()
+
+    def test_layer_scoping(self, trained_mlp):
+        with ActivationFaultInjector(trained_mlp, layers=["FC-1"]) as injector:
+            assert injector.layer_names == ["FC-1"]
+        with pytest.raises(ValueError, match="unknown layer"):
+            ActivationFaultInjector(trained_mlp, layers=["CONV-1"])
+
+    def test_nested_session_rejected(self, trained_mlp):
+        with ActivationFaultInjector(trained_mlp) as injector:
+            with injector.session(1e-3, rng=0):
+                with pytest.raises(RuntimeError):
+                    injector.session(1e-3, rng=0).__enter__()
+
+    def test_remove_makes_inert(self, trained_mlp, mlp_eval_arrays):
+        images, labels = mlp_eval_arrays
+        injector = ActivationFaultInjector(trained_mlp)
+        injector.remove()
+        clean = evaluate_accuracy_arrays(trained_mlp, images, labels)
+        with injector.session(1e-2, rng=0):
+            same = evaluate_accuracy_arrays(trained_mlp, images, labels)
+        assert same == clean
+
+    def test_clipping_mitigates_activation_faults(self, trained_mlp, mlp_eval_arrays):
+        """Clipped activations bound activation-memory corruption too:
+        the faults land on layer outputs *before* the activation function."""
+        images, labels = mlp_eval_arrays
+
+        plain = MLP(3 * 8 * 8, 10, hidden=(64, 32), seed=0)
+        plain.load_state_dict(trained_mlp.state_dict())
+        plain.eval()
+        clipped = MLP(3 * 8 * 8, 10, hidden=(64, 32), seed=0)
+        clipped.load_state_dict(trained_mlp.state_dict())
+        clipped.eval()
+        swap_activations(clipped, 30.0)
+
+        rate = 3e-4
+
+        def mean_accuracy(model):
+            values = []
+            with ActivationFaultInjector(model) as injector:
+                for trial in range(5):
+                    with injector.session(rate, rng=trial):
+                        with np.errstate(over="ignore", invalid="ignore"):
+                            values.append(
+                                evaluate_accuracy_arrays(model, images, labels)
+                            )
+            return float(np.mean(values))
+
+        assert mean_accuracy(clipped) > mean_accuracy(plain)

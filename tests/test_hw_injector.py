@@ -1,0 +1,162 @@
+"""Tests for the reversible fault injector."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.hw.faultmodels import (
+    OP_STUCK0,
+    FaultSet,
+    RandomBitFlip,
+    StuckAt,
+)
+from repro.hw.injector import FaultInjector
+from repro.hw.memory import WeightMemory
+from repro.models import LeNet5
+
+
+def _setup(words=100, seed=0):
+    rng = np.random.default_rng(seed)
+    param = nn.Parameter(rng.standard_normal(words).astype(np.float32))
+    memory = WeightMemory.from_parameters([("p", param)])
+    return param, memory, FaultInjector(memory)
+
+
+class TestInjectRestore:
+    def test_flip_changes_then_restore_exact(self):
+        param, memory, injector = _setup()
+        original = param.data.copy()
+        fault_set = RandomBitFlip(0.01).sample(memory, np.random.default_rng(1))
+        assert len(fault_set) > 0
+        record = injector.inject(fault_set)
+        assert not np.array_equal(param.data, original)
+        injector.restore(record)
+        np.testing.assert_array_equal(param.data, original)
+
+    def test_stuck_at_restore_exact(self):
+        param, memory, injector = _setup()
+        original = param.data.copy()
+        fault_set = StuckAt(0.02, value=1).sample(memory, np.random.default_rng(2))
+        record = injector.inject(fault_set)
+        injector.restore(record)
+        np.testing.assert_array_equal(param.data, original)
+
+    def test_mixed_operations(self):
+        param, memory, injector = _setup()
+        original = param.data.copy()
+        bits = np.asarray([0, 40, 70])
+        ops = np.asarray([0, 1, 2], dtype=np.uint8)  # flip, stuck0, stuck1
+        record = injector.inject(FaultSet(bits, ops))
+        injector.restore(record)
+        np.testing.assert_array_equal(param.data, original)
+
+    def test_nested_injections_restore_lifo(self):
+        param, memory, injector = _setup()
+        original = param.data.copy()
+        first = injector.inject(RandomBitFlip(0.01).sample(memory, np.random.default_rng(3)))
+        second = injector.inject(RandomBitFlip(0.01).sample(memory, np.random.default_rng(4)))
+        injector.restore(second)
+        injector.restore(first)
+        np.testing.assert_array_equal(param.data, original)
+
+    def test_restore_all(self):
+        param, memory, injector = _setup()
+        original = param.data.copy()
+        for seed in range(3):
+            injector.inject(RandomBitFlip(0.01).sample(memory, np.random.default_rng(seed)))
+        injector.restore_all()
+        np.testing.assert_array_equal(param.data, original)
+        assert injector.active_records == ()
+
+    def test_restore_without_inject_raises(self):
+        _, _, injector = _setup()
+        with pytest.raises(RuntimeError):
+            injector.restore()
+
+    def test_restore_foreign_record_raises(self):
+        param, memory, injector = _setup()
+        other_injector = FaultInjector(memory)
+        record = injector.inject(FaultSet.flips(np.asarray([0])))
+        with pytest.raises(RuntimeError):
+            other_injector.restore(record)
+        injector.restore(record)
+
+    def test_empty_fault_set_noop(self):
+        param, memory, injector = _setup()
+        original = param.data.copy()
+        record = injector.inject(FaultSet.empty())
+        np.testing.assert_array_equal(param.data, original)
+        assert record.num_faults == 0
+        injector.restore(record)
+
+
+class TestSessions:
+    def test_session_restores_on_exit(self):
+        param, memory, injector = _setup()
+        original = param.data.copy()
+        with injector.session(RandomBitFlip(0.05), rng=7) as record:
+            assert record.num_faults > 0
+            assert not np.array_equal(param.data, original)
+        np.testing.assert_array_equal(param.data, original)
+
+    def test_session_restores_on_exception(self):
+        param, memory, injector = _setup()
+        original = param.data.copy()
+        with pytest.raises(RuntimeError):
+            with injector.session(RandomBitFlip(0.05), rng=7):
+                raise RuntimeError("boom")
+        np.testing.assert_array_equal(param.data, original)
+
+    def test_apply_context_manager(self):
+        param, memory, injector = _setup()
+        original = param.data.copy()
+        with injector.apply(FaultSet.flips(np.asarray([31]))):
+            assert param.data[0] == -original[0]  # bit 31 = sign of word 0
+        np.testing.assert_array_equal(param.data, original)
+
+    def test_session_tolerates_inner_restore(self):
+        param, memory, injector = _setup()
+        with injector.session(RandomBitFlip(0.05), rng=7) as record:
+            injector.restore(record)
+        assert injector.active_records == ()
+
+
+class TestRecordMetadata:
+    def test_affected_layers(self):
+        model = LeNet5(seed=0)
+        memory = WeightMemory.from_model(model, layers=["CONV-1", "FC-3"])
+        injector = FaultInjector(memory)
+        # Put one fault in each layer's region.
+        conv1_bits = memory.regions[0].bit_offset
+        fc3_region = memory.region_for_layer("FC-3")[0]
+        record = injector.inject(
+            FaultSet.flips(np.asarray([conv1_bits, fc3_region.bit_offset + 5]))
+        )
+        assert record.affected_layers() == ["CONV-1", "FC-3"]
+        injector.restore(record)
+
+    def test_num_affected_words(self):
+        param, memory, injector = _setup()
+        # Two bits in word 0, one in word 3.
+        record = injector.inject(FaultSet.flips(np.asarray([0, 5, 3 * 32])))
+        assert record.num_affected_words == 2
+        assert record.num_faults == 3
+        injector.restore(record)
+
+
+class TestModelLevelInjection:
+    def test_exponent_flip_makes_huge_weight(self):
+        """End-to-end check of the paper's mechanism through the injector."""
+        model = LeNet5(seed=0)
+        memory = WeightMemory.from_model(model, layers=["CONV-1"])
+        injector = FaultInjector(memory)
+        conv1 = dict(model.named_modules())["0"]
+        flat = conv1.weight.data.reshape(-1)
+        target_word = 10
+        # Bit 30 (exponent MSB) of the chosen weight word.
+        bit_index = target_word * 32 + 30
+        before = float(flat[target_word])
+        with injector.apply(FaultSet.flips(np.asarray([bit_index]))):
+            after = float(conv1.weight.data.reshape(-1)[target_word])
+            assert abs(after) > 1e30 or abs(after) < 1e-30  # 2^±128 scaling
+        assert float(conv1.weight.data.reshape(-1)[target_word]) == before

@@ -1,0 +1,135 @@
+"""Tests for the bit-addressable weight memory."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.hw.memory import MemoryRegion, WeightMemory
+from repro.models import CifarVGG16, LeNet5
+
+
+class TestConstruction:
+    def test_from_model_covers_all_comp_layers(self):
+        model = LeNet5(seed=0)
+        memory = WeightMemory.from_model(model)
+        assert memory.layer_names() == ["CONV-1", "CONV-2", "FC-1", "FC-2", "FC-3"]
+        expected_words = sum(p.size for p in model.parameters())
+        assert memory.total_words == expected_words
+        assert memory.total_bits == expected_words * 32
+
+    def test_layer_scoping(self):
+        model = LeNet5(seed=0)
+        memory = WeightMemory.from_model(model, layers=["CONV-2"])
+        assert memory.layer_names() == ["CONV-2"]
+        conv2 = dict(model.named_modules())["3"]
+        assert memory.total_words == conv2.weight.size + conv2.bias.size
+
+    def test_unknown_layer_rejected(self):
+        with pytest.raises(ValueError, match="unknown layer"):
+            WeightMemory.from_model(LeNet5(seed=0), layers=["CONV-9"])
+
+    def test_exclude_bias(self):
+        model = LeNet5(seed=0)
+        with_bias = WeightMemory.from_model(model)
+        without_bias = WeightMemory.from_model(model, include_bias=False)
+        assert without_bias.total_words < with_bias.total_words
+
+    def test_batchnorm_params_excluded(self):
+        model = CifarVGG16(width_mult=0.0625, seed=0)
+        memory = WeightMemory.from_model(model)
+        conv_linear_words = sum(
+            p.size
+            for m in model.modules()
+            if isinstance(m, (nn.Conv2d, nn.Linear))
+            for p in [m.weight] + ([m.bias] if m.bias is not None else [])
+        )
+        assert memory.total_words == conv_linear_words
+
+    def test_from_parameters(self):
+        params = [("a", nn.Parameter(np.zeros(10))), ("b", nn.Parameter(np.zeros(5)))]
+        memory = WeightMemory.from_parameters(params)
+        assert memory.total_words == 15
+        assert memory.regions[1].bit_offset == 10 * 32
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            WeightMemory([])
+
+    def test_non_contiguous_rejected(self):
+        param = nn.Parameter(np.zeros(4))
+        regions = [
+            MemoryRegion("a", "a", param, 0),
+            MemoryRegion("b", "b", param, 4 * 32 + 32),  # gap
+        ]
+        with pytest.raises(ValueError, match="contiguous"):
+            WeightMemory(regions)
+
+
+class TestLocate:
+    def _memory(self):
+        params = [("a", nn.Parameter(np.zeros(2))), ("b", nn.Parameter(np.zeros(3)))]
+        return WeightMemory.from_parameters(params)
+
+    def test_locates_first_region(self):
+        memory = self._memory()
+        results = memory.locate(np.asarray([0, 33]))
+        assert len(results) == 1
+        region, words, bits = results[0]
+        assert region.name == "a"
+        np.testing.assert_array_equal(words, [0, 1])
+        np.testing.assert_array_equal(bits, [0, 1])
+
+    def test_locates_across_regions(self):
+        memory = self._memory()
+        results = memory.locate(np.asarray([10, 64, 100]))
+        names = [region.name for region, _, _ in results]
+        assert names == ["a", "b"]
+        region_b = results[1]
+        np.testing.assert_array_equal(region_b[1], [0, 1])  # words 0,1 of b
+        np.testing.assert_array_equal(region_b[2], [0, 36 - 32])
+
+    def test_out_of_range(self):
+        memory = self._memory()
+        with pytest.raises(IndexError):
+            memory.locate(np.asarray([5 * 32]))
+        with pytest.raises(IndexError):
+            memory.locate(np.asarray([-1]))
+
+    def test_empty_input(self):
+        assert self._memory().locate(np.asarray([], dtype=np.int64)) == []
+
+
+class TestHelpers:
+    def test_bits_per_layer(self):
+        model = LeNet5(seed=0)
+        memory = WeightMemory.from_model(model)
+        per_layer = memory.bits_per_layer()
+        assert sum(per_layer.values()) == memory.total_bits
+        assert set(per_layer) == set(memory.layer_names())
+
+    def test_region_for_layer(self):
+        model = LeNet5(seed=0)
+        memory = WeightMemory.from_model(model)
+        regions = memory.region_for_layer("FC-1")
+        assert {r.name for r in regions} == {"FC-1.weight", "FC-1.bias"}
+        with pytest.raises(KeyError):
+            memory.region_for_layer("FC-9")
+
+    def test_snapshot_restore(self):
+        model = LeNet5(seed=0)
+        memory = WeightMemory.from_model(model)
+        snapshot = memory.snapshot()
+        first_param = memory.regions[0].parameter
+        first_param.data[:] = 99.0
+        memory.restore(snapshot)
+        assert first_param.data.max() < 99.0
+
+    def test_restore_validates(self):
+        model = LeNet5(seed=0)
+        memory = WeightMemory.from_model(model)
+        with pytest.raises(ValueError):
+            memory.restore([np.zeros(1)])
+
+    def test_repr(self):
+        memory = WeightMemory.from_model(LeNet5(seed=0))
+        assert "WeightMemory" in repr(memory)

@@ -1,0 +1,130 @@
+"""Cross-module integration tests: the full paper workflow on LeNet-5.
+
+These exercise the exact chain the benchmarks use: zoo training ->
+profiling -> swap -> fine-tune -> campaigns -> analysis, on a model large
+enough to show the paper's phenomena but small enough for CI.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.layerwise import run_layerwise_analysis
+from repro.core.campaign import CampaignConfig, run_campaign
+from repro.core.metrics import evaluate_accuracy_arrays
+from repro.core.pipeline import FTClipActConfig, harden_model
+from repro.core.swap import get_thresholds
+from repro.hw.memory import WeightMemory
+from repro.models import LeNet5
+
+RATES = (1e-6, 1e-5, 1e-4, 1e-3)
+
+
+@pytest.fixture(scope="module")
+def lenet_setup(trained_lenet, small_splits, eval_arrays):
+    """A hardened clone + an unprotected clone of the trained LeNet."""
+    _, val, _ = small_splits
+    images, labels = eval_arrays
+
+    unprotected = LeNet5(seed=0)
+    unprotected.load_state_dict(trained_lenet.state_dict())
+    unprotected.eval()
+
+    hardened = LeNet5(seed=0)
+    hardened.load_state_dict(trained_lenet.state_dict())
+    hardened.eval()
+    report = harden_model(
+        hardened,
+        val,
+        FTClipActConfig(
+            profile_images=128,
+            eval_images=96,
+            trials=3,
+            fault_rates=(1e-5, 1e-4),
+            seed=5,
+            finetune=__import__(
+                "repro.core.finetune", fromlist=["FineTuneConfig"]
+            ).FineTuneConfig(max_iterations=3, min_iterations=2, tolerance=0.005),
+        ),
+    )
+    return unprotected, hardened, report, images, labels
+
+
+class TestEndToEndHardening:
+    def test_thresholds_at_most_act_max(self, lenet_setup):
+        _, _, report, _, _ = lenet_setup
+        for layer, threshold in report.thresholds.items():
+            assert 0 < threshold <= report.act_max[layer] + 1e-6
+
+    def test_clean_accuracy_survives_hardening(self, lenet_setup):
+        unprotected, hardened, _, images, labels = lenet_setup
+        base = evaluate_accuracy_arrays(unprotected, images, labels)
+        hard = evaluate_accuracy_arrays(hardened, images, labels)
+        assert hard >= base - 0.08
+
+    def test_hardened_dominates_under_faults(self, lenet_setup):
+        """The headline paper result at LeNet scale."""
+        unprotected, hardened, _, images, labels = lenet_setup
+        config = CampaignConfig(fault_rates=RATES, trials=5, seed=99)
+        base_curve = run_campaign(
+            unprotected, WeightMemory.from_model(unprotected), images, labels, config
+        )
+        hard_curve = run_campaign(
+            hardened, WeightMemory.from_model(hardened), images, labels, config
+        )
+        assert hard_curve.auc() > base_curve.auc() + 0.05
+        # At mid rates the gap must be substantial (paper reports ~18-69%).
+        mid_gap = hard_curve.mean_accuracies()[2] - base_curve.mean_accuracies()[2]
+        assert mid_gap > 0.1
+
+    def test_worst_case_improved(self, lenet_setup):
+        """Fig. 7b/7c: the clipped network's box-plot minimum stays near the
+        baseline at moderate rates while the unprotected one collapses."""
+        unprotected, hardened, _, images, labels = lenet_setup
+        config = CampaignConfig(fault_rates=(1e-5, 1e-4), trials=6, seed=7)
+        base_curve = run_campaign(
+            unprotected, WeightMemory.from_model(unprotected), images, labels, config
+        )
+        hard_curve = run_campaign(
+            hardened, WeightMemory.from_model(hardened), images, labels, config
+        )
+        assert hard_curve.worst_case()[0] >= base_curve.worst_case()[0]
+
+    def test_monotone_degradation(self, lenet_setup):
+        """Paper Fig. 1b/3: accuracy decreases (weakly) with fault rate."""
+        unprotected, _, _, images, labels = lenet_setup
+        config = CampaignConfig(fault_rates=RATES, trials=6, seed=3)
+        curve = run_campaign(
+            unprotected, WeightMemory.from_model(unprotected), images, labels, config
+        )
+        means = curve.mean_accuracies()
+        # Allow small non-monotonic noise between adjacent points.
+        assert means[0] >= means[-1]
+        assert all(means[i] >= means[i + 1] - 0.08 for i in range(len(means) - 1))
+
+
+class TestLayerwiseOrdering:
+    def test_larger_layers_cliff_earlier_in_absolute_faults(
+        self, trained_lenet, eval_arrays
+    ):
+        """Per-layer curves exist for every layer and bigger layers have
+        more bits (the paper's explanation for differing per-layer cliffs)."""
+        images, labels = eval_arrays
+        config = CampaignConfig(fault_rates=(1e-4, 1e-3), trials=2, seed=0)
+        result = run_layerwise_analysis(
+            trained_lenet, images, labels, config, layers=["CONV-1", "FC-1"]
+        )
+        assert result.bits_per_layer["FC-1"] > result.bits_per_layer["CONV-1"]
+        for curve in result.curves.values():
+            assert curve.accuracies.shape == (2, 2)
+
+
+class TestThresholdsPersistAfterCampaigns:
+    def test_campaigns_do_not_touch_thresholds(self, lenet_setup):
+        _, hardened, report, images, labels = lenet_setup
+        before = get_thresholds(hardened)
+        config = CampaignConfig(fault_rates=(1e-4,), trials=2, seed=0)
+        run_campaign(
+            hardened, WeightMemory.from_model(hardened), images, labels, config
+        )
+        assert get_thresholds(hardened) == before
+        assert before == pytest.approx(report.thresholds)

@@ -1,0 +1,145 @@
+"""Tests for Conv2d: forward against a naive reference, backward against
+numerical gradients."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from tests.conftest import numerical_gradient
+
+
+def naive_conv2d(x, weight, bias, stride, padding):
+    """Direct-loop cross-correlation reference."""
+    n, c_in, h, w = x.shape
+    c_out, _, kh, kw = weight.shape
+    sh, sw = stride
+    ph, pw = padding
+    padded = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    out_h = (h + 2 * ph - kh) // sh + 1
+    out_w = (w + 2 * pw - kw) // sw + 1
+    out = np.zeros((n, c_out, out_h, out_w), dtype=np.float64)
+    for b in range(n):
+        for o in range(c_out):
+            for i in range(out_h):
+                for j in range(out_w):
+                    patch = padded[b, :, i * sh : i * sh + kh, j * sw : j * sw + kw]
+                    out[b, o, i, j] = float((patch * weight[o]).sum())
+            if bias is not None:
+                out[b, o] += bias[o]
+    return out.astype(np.float32)
+
+
+class TestConvForward:
+    @pytest.mark.parametrize(
+        "stride,padding", [((1, 1), (0, 0)), ((1, 1), (1, 1)), ((2, 2), (1, 1)), ((2, 1), (0, 1))]
+    )
+    def test_matches_naive(self, stride, padding):
+        rng = np.random.default_rng(0)
+        conv = nn.Conv2d(3, 4, 3, stride=stride, padding=padding, seed=1)
+        x = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        want = naive_conv2d(
+            x, conv.weight.data, conv.bias.data, conv.stride, conv.padding
+        )
+        np.testing.assert_allclose(conv(x), want, rtol=1e-4, atol=1e-5)
+
+    def test_no_bias(self):
+        conv = nn.Conv2d(2, 3, 3, bias=False, seed=0)
+        assert conv.bias is None
+        x = np.random.default_rng(0).standard_normal((1, 2, 5, 5)).astype(np.float32)
+        want = naive_conv2d(x, conv.weight.data, None, conv.stride, conv.padding)
+        np.testing.assert_allclose(conv(x), want, rtol=1e-4, atol=1e-5)
+
+    def test_wrong_channels_rejected(self):
+        conv = nn.Conv2d(3, 4, 3, seed=0)
+        with pytest.raises(ValueError, match="input channels"):
+            conv(np.zeros((1, 2, 8, 8), dtype=np.float32))
+
+    def test_wrong_ndim_rejected(self):
+        conv = nn.Conv2d(3, 4, 3, seed=0)
+        with pytest.raises(ValueError, match="NCHW"):
+            conv(np.zeros((3, 8, 8), dtype=np.float32))
+
+    def test_output_shape(self):
+        conv = nn.Conv2d(3, 8, 3, stride=2, padding=1, seed=0)
+        out = conv(np.zeros((4, 3, 32, 32), dtype=np.float32))
+        assert out.shape == (4, 8, 16, 16)
+
+    def test_deterministic_init(self):
+        a = nn.Conv2d(3, 4, 3, seed=7)
+        b = nn.Conv2d(3, 4, 3, seed=7)
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+
+class TestConvBackward:
+    def _setup(self):
+        conv = nn.Conv2d(2, 3, 3, stride=1, padding=1, seed=0)
+        conv.train()
+        x = np.random.default_rng(3).standard_normal((2, 2, 5, 5)).astype(np.float32) * 0.5
+        return conv, x
+
+    def test_input_gradient_numerical(self):
+        conv, x = self._setup()
+
+        def loss(x_in):
+            conv_eval = nn.Conv2d(2, 3, 3, stride=1, padding=1, seed=0)
+            conv_eval.eval()
+            return float((conv_eval(x_in) ** 2).sum() / 2.0)
+
+        out = conv(x)
+        grad_in = conv.backward(out)  # d/dx of sum(out^2)/2 is backward(out)
+        numeric = numerical_gradient(loss, x, eps=1e-2)
+        np.testing.assert_allclose(grad_in, numeric, rtol=5e-2, atol=5e-2)
+
+    def test_weight_gradient_numerical(self):
+        conv, x = self._setup()
+        out = conv(x)
+        conv.backward(out)
+        analytic = conv.weight.grad.copy()
+
+        base_weight = conv.weight.data.copy()
+
+        def loss(weight):
+            probe = nn.Conv2d(2, 3, 3, stride=1, padding=1, seed=0)
+            probe.weight.data = weight.astype(np.float32)
+            probe.bias.data = conv.bias.data
+            probe.eval()
+            return float((probe(x) ** 2).sum() / 2.0)
+
+        numeric = numerical_gradient(loss, base_weight, eps=1e-2)
+        np.testing.assert_allclose(analytic, numeric, rtol=5e-2, atol=5e-2)
+
+    def test_bias_gradient_is_output_sum(self):
+        conv, x = self._setup()
+        out = conv(x)
+        grad_out = np.ones_like(out)
+        conv.backward(grad_out)
+        np.testing.assert_allclose(
+            conv.bias.grad, grad_out.sum(axis=(0, 2, 3)), rtol=1e-5
+        )
+
+    def test_backward_before_forward_raises(self):
+        conv = nn.Conv2d(2, 3, 3, seed=0)
+        conv.train()
+        with pytest.raises(RuntimeError):
+            conv.backward(np.zeros((1, 3, 3, 3), dtype=np.float32))
+
+    def test_eval_mode_does_not_cache(self):
+        conv = nn.Conv2d(2, 3, 3, seed=0)
+        conv.eval()
+        conv(np.zeros((1, 2, 5, 5), dtype=np.float32))
+        with pytest.raises(RuntimeError):
+            conv.backward(np.zeros((1, 3, 3, 3), dtype=np.float32))
+
+
+class TestConvValidation:
+    def test_bad_padding_rejected(self):
+        with pytest.raises(ValueError):
+            nn.Conv2d(1, 1, 3, padding=-1)
+
+    def test_bad_channels_rejected(self):
+        with pytest.raises(ValueError):
+            nn.Conv2d(0, 1, 3)
+
+    def test_extra_repr(self):
+        text = repr(nn.Conv2d(3, 8, 3, stride=2, seed=0))
+        assert "stride=(2, 2)" in text

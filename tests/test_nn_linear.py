@@ -1,0 +1,90 @@
+"""Tests for the Linear layer."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from tests.conftest import numerical_gradient
+
+
+class TestLinearForward:
+    def test_matches_matmul(self):
+        layer = nn.Linear(4, 3, seed=0)
+        x = np.random.default_rng(0).standard_normal((5, 4)).astype(np.float32)
+        want = x @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(layer(x), want, rtol=1e-6)
+
+    def test_no_bias(self):
+        layer = nn.Linear(4, 3, bias=False, seed=0)
+        assert layer.bias is None
+        x = np.ones((2, 4), dtype=np.float32)
+        np.testing.assert_allclose(layer(x), x @ layer.weight.data.T, rtol=1e-6)
+
+    def test_wrong_features_rejected(self):
+        layer = nn.Linear(4, 3, seed=0)
+        with pytest.raises(ValueError, match="input features"):
+            layer(np.zeros((2, 5), dtype=np.float32))
+
+    def test_wrong_ndim_rejected(self):
+        layer = nn.Linear(4, 3, seed=0)
+        with pytest.raises(ValueError):
+            layer(np.zeros(4, dtype=np.float32))
+
+    def test_deterministic_init(self):
+        a = nn.Linear(4, 3, seed=5)
+        b = nn.Linear(4, 3, seed=5)
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+
+class TestLinearBackward:
+    def test_gradients_numerical(self):
+        layer = nn.Linear(3, 2, seed=1)
+        layer.train()
+        x = np.random.default_rng(2).standard_normal((4, 3)).astype(np.float32)
+        out = layer(x)
+        grad_in = layer.backward(out)
+
+        weight0 = layer.weight.data.copy()
+        bias0 = layer.bias.data.copy()
+
+        def loss_x(x_in):
+            return float(((x_in @ weight0.T + bias0) ** 2).sum() / 2.0)
+
+        def loss_w(weight):
+            return float(((x @ weight.T + bias0) ** 2).sum() / 2.0)
+
+        def loss_b(bias):
+            return float(((x @ weight0.T + bias) ** 2).sum() / 2.0)
+
+        np.testing.assert_allclose(
+            grad_in, numerical_gradient(loss_x, x), rtol=2e-2, atol=2e-2
+        )
+        np.testing.assert_allclose(
+            layer.weight.grad, numerical_gradient(loss_w, weight0), rtol=2e-2, atol=2e-2
+        )
+        np.testing.assert_allclose(
+            layer.bias.grad, numerical_gradient(loss_b, bias0), rtol=2e-2, atol=2e-2
+        )
+
+    def test_grad_accumulates_over_calls(self):
+        layer = nn.Linear(3, 2, seed=1)
+        layer.train()
+        x = np.ones((1, 3), dtype=np.float32)
+        out = layer(x)
+        layer.backward(np.ones_like(out))
+        first = layer.weight.grad.copy()
+        layer(x)
+        layer.backward(np.ones_like(out))
+        np.testing.assert_allclose(layer.weight.grad, 2 * first, rtol=1e-6)
+
+    def test_backward_before_forward_raises(self):
+        layer = nn.Linear(3, 2, seed=0)
+        layer.train()
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2), dtype=np.float32))
+
+    def test_validation_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            nn.Linear(0, 2)
+        with pytest.raises(ValueError):
+            nn.Linear(2, 0)

@@ -1,0 +1,191 @@
+"""Tests for the Module/Parameter base machinery."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class TestParameter:
+    def test_casts_to_float32(self):
+        param = nn.Parameter(np.arange(4, dtype=np.float64))
+        assert param.data.dtype == np.float32
+
+    def test_accumulate_grad(self):
+        param = nn.Parameter(np.zeros(3))
+        param.accumulate_grad(np.ones(3))
+        param.accumulate_grad(np.ones(3))
+        np.testing.assert_array_equal(param.grad, 2 * np.ones(3))
+
+    def test_accumulate_grad_shape_checked(self):
+        param = nn.Parameter(np.zeros(3))
+        with pytest.raises(ValueError):
+            param.accumulate_grad(np.ones(4))
+
+    def test_requires_grad_false_ignores(self):
+        param = nn.Parameter(np.zeros(3), requires_grad=False)
+        param.accumulate_grad(np.ones(3))
+        assert param.grad is None
+
+    def test_zero_grad(self):
+        param = nn.Parameter(np.zeros(3))
+        param.accumulate_grad(np.ones(3))
+        param.zero_grad()
+        assert param.grad is None
+
+    def test_size_and_shape(self):
+        param = nn.Parameter(np.zeros((2, 3)))
+        assert param.size == 6
+        assert param.shape == (2, 3)
+
+
+class _Leaf(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.weight = nn.Parameter(np.ones(2))
+        self.register_buffer("running", np.zeros(2))
+
+    def forward(self, x):
+        return x + self.weight.data
+
+
+class _Tree(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.left = _Leaf()
+        self.right = _Leaf()
+
+    def forward(self, x):
+        return self.right(self.left(x))
+
+
+class TestModuleRegistration:
+    def test_parameters_discovered(self):
+        tree = _Tree()
+        names = dict(tree.named_parameters())
+        assert set(names) == {"left.weight", "right.weight"}
+
+    def test_buffers_discovered(self):
+        tree = _Tree()
+        names = dict(tree.named_buffers())
+        assert set(names) == {"left.running", "right.running"}
+
+    def test_num_parameters(self):
+        assert _Tree().num_parameters() == 4
+
+    def test_modules_iteration(self):
+        tree = _Tree()
+        kinds = [type(m).__name__ for m in tree.modules()]
+        assert kinds == ["_Tree", "_Leaf", "_Leaf"]
+
+    def test_reassigning_attribute_replaces_registration(self):
+        leaf = _Leaf()
+        leaf.weight = nn.Parameter(np.zeros(5))
+        assert dict(leaf.named_parameters())["weight"].size == 5
+
+    def test_set_buffer_unknown_name(self):
+        with pytest.raises(KeyError):
+            _Leaf().set_buffer("missing", np.zeros(2))
+
+
+class TestTrainEval:
+    def test_recursive_mode(self):
+        tree = _Tree()
+        tree.eval()
+        assert not tree.training
+        assert not tree.left.training
+        tree.train()
+        assert tree.right.training
+
+    def test_train_returns_self(self):
+        tree = _Tree()
+        assert tree.eval() is tree
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        source = _Tree()
+        source.left.weight.data[:] = 7.0
+        target = _Tree()
+        target.load_state_dict(source.state_dict())
+        np.testing.assert_array_equal(target.left.weight.data, source.left.weight.data)
+
+    def test_state_dict_is_copy(self):
+        tree = _Tree()
+        state = tree.state_dict()
+        state["left.weight"][:] = 99.0
+        assert tree.left.weight.data[0] == 1.0
+
+    def test_missing_key_rejected(self):
+        tree = _Tree()
+        state = tree.state_dict()
+        del state["left.weight"]
+        with pytest.raises(KeyError, match="missing"):
+            tree.load_state_dict(state)
+
+    def test_unexpected_key_rejected(self):
+        tree = _Tree()
+        state = tree.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError, match="unexpected"):
+            tree.load_state_dict(state)
+
+    def test_shape_mismatch_rejected(self):
+        tree = _Tree()
+        state = tree.state_dict()
+        state["left.weight"] = np.zeros(9)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            tree.load_state_dict(state)
+
+    def test_buffer_loaded(self):
+        source = _Tree()
+        source.left.set_buffer("running", np.full(2, 5.0))
+        target = _Tree()
+        target.load_state_dict(source.state_dict())
+        np.testing.assert_array_equal(target.left.running, np.full(2, 5.0))
+
+
+class TestHooks:
+    def test_hook_called_with_output(self):
+        leaf = _Leaf()
+        seen = []
+        leaf.register_forward_hook(lambda m, i, o: seen.append((m, o.copy())))
+        out = leaf(np.zeros(2, dtype=np.float32))
+        assert seen[0][0] is leaf
+        np.testing.assert_array_equal(seen[0][1], out)
+
+    def test_hook_remove(self):
+        leaf = _Leaf()
+        seen = []
+        handle = leaf.register_forward_hook(lambda m, i, o: seen.append(1))
+        handle.remove()
+        leaf(np.zeros(2, dtype=np.float32))
+        assert seen == []
+
+    def test_remove_idempotent(self):
+        leaf = _Leaf()
+        handle = leaf.register_forward_hook(lambda m, i, o: None)
+        handle.remove()
+        handle.remove()  # no error
+
+    def test_multiple_hooks_order(self):
+        leaf = _Leaf()
+        calls = []
+        leaf.register_forward_hook(lambda m, i, o: calls.append("a"))
+        leaf.register_forward_hook(lambda m, i, o: calls.append("b"))
+        leaf(np.zeros(2, dtype=np.float32))
+        assert calls == ["a", "b"]
+
+
+class TestBaseErrors:
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            nn.Module()(np.zeros(1))
+
+    def test_backward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            _Leaf().backward(np.zeros(2))
+
+    def test_repr_contains_children(self):
+        text = repr(_Tree())
+        assert "left" in text and "_Leaf" in text

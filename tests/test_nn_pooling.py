@@ -1,0 +1,105 @@
+"""Tests for pooling layers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+def naive_maxpool(x, k, s):
+    n, c, h, w = x.shape
+    out_h = (h - k) // s + 1
+    out_w = (w - k) // s + 1
+    out = np.zeros((n, c, out_h, out_w), dtype=np.float32)
+    for i in range(out_h):
+        for j in range(out_w):
+            out[:, :, i, j] = x[:, :, i * s : i * s + k, j * s : j * s + k].max(axis=(2, 3))
+    return out
+
+
+class TestMaxPool:
+    @pytest.mark.parametrize("k,s", [(2, 2), (3, 1), (2, 1), (3, 3)])
+    def test_matches_naive(self, k, s):
+        pool = nn.MaxPool2d(k, stride=s)
+        x = np.random.default_rng(0).standard_normal((2, 3, 8, 8)).astype(np.float32)
+        np.testing.assert_array_equal(pool(x), naive_maxpool(x, k, s))
+
+    def test_default_stride_equals_kernel(self):
+        pool = nn.MaxPool2d(2)
+        assert pool.stride == (2, 2)
+
+    def test_backward_routes_to_argmax(self):
+        pool = nn.MaxPool2d(2)
+        pool.train()
+        x = np.asarray(
+            [[[[1.0, 2.0], [3.0, 4.0]]]], dtype=np.float32
+        )
+        out = pool(x)
+        assert out.item() == 4.0
+        grad = pool.backward(np.asarray([[[[5.0]]]], dtype=np.float32))
+        np.testing.assert_array_equal(
+            grad, [[[[0.0, 0.0], [0.0, 5.0]]]]
+        )
+
+    def test_backward_shape(self):
+        pool = nn.MaxPool2d(2)
+        pool.train()
+        x = np.random.default_rng(1).standard_normal((2, 3, 8, 8)).astype(np.float32)
+        out = pool(x)
+        grad = pool.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+        # Each 2x2 window contributes exactly one gradient unit.
+        assert grad.sum() == pytest.approx(out.size)
+
+    def test_wrong_ndim_rejected(self):
+        with pytest.raises(ValueError):
+            nn.MaxPool2d(2)(np.zeros((3, 8, 8), dtype=np.float32))
+
+    def test_backward_before_forward(self):
+        pool = nn.MaxPool2d(2)
+        pool.train()
+        with pytest.raises(RuntimeError):
+            pool.backward(np.zeros((1, 1, 1, 1), dtype=np.float32))
+
+
+class TestAvgPool:
+    def test_matches_mean(self):
+        pool = nn.AvgPool2d(2)
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = pool(x)
+        np.testing.assert_allclose(
+            out, [[[[2.5, 4.5], [10.5, 12.5]]]], rtol=1e-6
+        )
+
+    def test_backward_spreads_uniformly(self):
+        pool = nn.AvgPool2d(2)
+        pool.train()
+        x = np.zeros((1, 1, 4, 4), dtype=np.float32)
+        out = pool(x)
+        grad = pool.backward(np.full_like(out, 4.0))
+        np.testing.assert_allclose(grad, np.ones((1, 1, 4, 4)), rtol=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nn.AvgPool2d(0)
+        with pytest.raises(ValueError):
+            nn.AvgPool2d(2, padding=-1)
+
+
+class TestGlobalAvgPool:
+    def test_forward_is_channel_mean(self):
+        pool = nn.GlobalAvgPool2d()
+        x = np.random.default_rng(0).standard_normal((2, 3, 4, 4)).astype(np.float32)
+        np.testing.assert_allclose(pool(x), x.mean(axis=(2, 3)), rtol=1e-6)
+
+    def test_backward(self):
+        pool = nn.GlobalAvgPool2d()
+        pool.train()
+        x = np.zeros((2, 3, 4, 4), dtype=np.float32)
+        pool(x)
+        grad = pool.backward(np.ones((2, 3), dtype=np.float32))
+        np.testing.assert_allclose(grad, np.full((2, 3, 4, 4), 1.0 / 16.0), rtol=1e-6)
+
+    def test_wrong_ndim(self):
+        with pytest.raises(ValueError):
+            nn.GlobalAvgPool2d()(np.zeros((2, 3), dtype=np.float32))

@@ -1,0 +1,73 @@
+"""Tests for LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.optim import SGD, ConstantLR, CosineAnnealingLR, StepLR, WarmupWrapper
+
+
+def _optimizer(lr=1.0):
+    return SGD([nn.Parameter(np.zeros(1))], lr=lr)
+
+
+class TestConstantLR:
+    def test_never_changes(self):
+        optimizer = _optimizer(0.3)
+        schedule = ConstantLR(optimizer)
+        for _ in range(5):
+            schedule.step()
+        assert optimizer.lr == 0.3
+
+
+class TestStepLR:
+    def test_decays_at_steps(self):
+        optimizer = _optimizer(1.0)
+        schedule = StepLR(optimizer, step_size=2, gamma=0.1)
+        lrs = [schedule.step() for _ in range(5)]
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01, 0.01])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepLR(_optimizer(), step_size=0)
+        with pytest.raises(ValueError):
+            StepLR(_optimizer(), step_size=1, gamma=0.0)
+
+
+class TestCosineAnnealingLR:
+    def test_endpoints(self):
+        optimizer = _optimizer(1.0)
+        schedule = CosineAnnealingLR(optimizer, total_epochs=10, min_lr=0.1)
+        assert schedule.lr_at(0) == pytest.approx(1.0)
+        assert schedule.lr_at(10) == pytest.approx(0.1)
+
+    def test_monotone_decrease(self):
+        schedule = CosineAnnealingLR(_optimizer(1.0), total_epochs=20)
+        values = [schedule.lr_at(epoch) for epoch in range(21)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_clamps_beyond_total(self):
+        schedule = CosineAnnealingLR(_optimizer(1.0), total_epochs=5, min_lr=0.2)
+        assert schedule.lr_at(50) == pytest.approx(0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(_optimizer(), total_epochs=0)
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(_optimizer(), total_epochs=5, min_lr=-0.1)
+
+
+class TestWarmupWrapper:
+    def test_linear_ramp_then_inner(self):
+        optimizer = _optimizer(1.0)
+        inner = ConstantLR(optimizer)
+        schedule = WarmupWrapper(inner, warmup_epochs=4)
+        ramp = [schedule.lr_at(epoch) for epoch in range(4)]
+        assert ramp == pytest.approx([0.25, 0.5, 0.75, 1.0])
+        assert schedule.lr_at(10) == pytest.approx(1.0)
+
+    def test_applies_to_optimizer(self):
+        optimizer = _optimizer(1.0)
+        schedule = WarmupWrapper(ConstantLR(optimizer), warmup_epochs=2)
+        schedule.step()
+        assert optimizer.lr == pytest.approx(1.0)  # epoch 1 -> (1+1)/2

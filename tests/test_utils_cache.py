@@ -1,0 +1,62 @@
+"""Tests for the artifact cache."""
+
+import numpy as np
+import pytest
+
+from repro.utils.cache import ArtifactCache, config_fingerprint, default_cache_dir
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        config = {"a": 1, "b": [1, 2]}
+        assert config_fingerprint(config) == config_fingerprint(dict(config))
+
+    def test_key_order_irrelevant(self):
+        assert config_fingerprint({"a": 1, "b": 2}) == config_fingerprint({"b": 2, "a": 1})
+
+    def test_value_change_changes_fingerprint(self):
+        assert config_fingerprint({"a": 1}) != config_fingerprint({"a": 2})
+
+    def test_numpy_scalars_supported(self):
+        assert config_fingerprint({"a": np.float64(1.5)}) == config_fingerprint({"a": 1.5})
+
+    def test_sets_normalised(self):
+        assert config_fingerprint({"a": {3, 1}}) == config_fingerprint({"a": [1, 3]})
+
+    def test_unfingerprintable_type_raises(self):
+        with pytest.raises(TypeError):
+            config_fingerprint({"a": object()})
+
+
+class TestArtifactCache:
+    def test_env_var_respected(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_cache_dir() == tmp_path / "custom"
+        assert ArtifactCache().directory == tmp_path / "custom"
+
+    def test_path_for_stable(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        a = cache.path_for("model", {"x": 1})
+        b = cache.path_for("model", {"x": 1})
+        assert a == b
+        assert a.parent == tmp_path
+
+    def test_distinct_configs_distinct_paths(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert cache.path_for("m", {"x": 1}) != cache.path_for("m", {"x": 2})
+
+    def test_has_and_remove(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        config = {"x": 1}
+        path = cache.path_for("m", config)
+        assert not cache.has("m", config)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"data")
+        assert cache.has("m", config)
+        assert cache.remove("m", config)
+        assert not cache.has("m", config)
+        assert not cache.remove("m", config)
+
+    def test_empty_name_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ArtifactCache(tmp_path).path_for("", {})
