@@ -17,6 +17,7 @@ from pathlib import Path
 import pytest
 
 from repro.experiments import (
+    campaign_workers,
     clone_model,
     default_harden_config,
     experiment_bundle,
@@ -30,6 +31,32 @@ RESULTS_DIR = Path(__file__).parent / "results"
 # CPU-minutes while leaving the mean/box statistics stable (common random
 # numbers across variants do the rest).
 TRIALS = 15
+
+
+BENCHMARKS_DIR = Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items):
+    """Every figure benchmark is end-to-end and slow by construction.
+
+    Marking them here (rather than per file) keeps ``-m "not slow"`` as
+    the fast inner loop without touching each benchmark module.  The
+    hook fires for the whole collection, so filter to this directory.
+    """
+    for item in items:
+        if BENCHMARKS_DIR in Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.slow)
+
+
+@pytest.fixture(scope="session")
+def bench_workers():
+    """Campaign worker processes for benchmarks (``REPRO_WORKERS`` env).
+
+    Every campaign is bit-deterministic at any worker count (see
+    :mod:`repro.core.executor`), so the recorded tables are identical
+    whether a benchmark runs serially or fanned across cores.
+    """
+    return campaign_workers(default=1)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,85 @@
+"""Campaign executor throughput: serial vs 2-worker wall clock.
+
+Not a paper figure — an infrastructure benchmark.  It runs the *same*
+fixed campaign once serially and once across two worker processes,
+asserts the two curves are bit-identical (the executor's determinism
+contract), and records both wall-clock times to
+``benchmarks/results/BENCH_campaign.json`` so future PRs can track the
+speedup trajectory.  On a single-core machine the parallel run is
+expected to be slower (pool setup + weight shipping with no cores to
+win back); the JSON records ``cpus`` so readers can interpret the ratio.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.core.campaign import CampaignConfig, run_campaign
+from repro.data import SyntheticCIFAR10
+from repro.hw.memory import WeightMemory
+from repro.models import LeNet5
+
+from .conftest import RESULTS_DIR
+
+# Fixed workload: a full-size LeNet-5 on 32x32 images, heavy enough that
+# per-cell evaluation dominates pool overhead on a multi-core box, small
+# enough to stay in CPU-seconds.  Weight training is irrelevant to
+# throughput, so the model keeps its freshly initialised weights.
+RATES = (1e-5, 3e-5, 1e-4, 3e-4, 1e-3)
+TRIALS = 8
+EVAL_IMAGES = 256
+SEED = 2020
+
+
+def _model_and_eval_set():
+    model = LeNet5(seed=0)
+    model.eval()
+    images, labels = SyntheticCIFAR10(seed=3).generate(EVAL_IMAGES, "test")
+    return model, images, labels
+
+
+def test_bench_campaign_serial_vs_two_workers(record_result, bench_workers):
+    model, images, labels = _model_and_eval_set()
+    memory = WeightMemory.from_model(model)
+    config = CampaignConfig(fault_rates=RATES, trials=TRIALS, seed=SEED)
+    # Fixed 2-worker comparison by default so the JSON stays comparable
+    # across PRs; REPRO_WORKERS>1 swaps in a wider pool to explore.
+    workers = bench_workers if bench_workers > 1 else 2
+
+    start = time.perf_counter()
+    serial = run_campaign(model, memory, images, labels, config, workers=1)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_campaign(model, memory, images, labels, config, workers=workers)
+    parallel_seconds = time.perf_counter() - start
+
+    # The headline guarantee: parallelism never changes the science.
+    np.testing.assert_array_equal(serial.accuracies, parallel.accuracies)
+    assert serial.clean_accuracy == parallel.clean_accuracy
+
+    payload = {
+        "benchmark": "campaign_executor",
+        "cells": len(RATES) * TRIALS,
+        "eval_images": EVAL_IMAGES,
+        "cpus": os.cpu_count(),
+        "workers": workers,
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "speedup": round(serial_seconds / parallel_seconds, 3),
+        "bit_identical": True,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_campaign.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    record_result(
+        "BENCH_campaign",
+        "campaign executor: serial {serial_seconds}s vs {workers}-worker "
+        "{parallel_seconds}s (speedup {speedup}x on {cpus} CPUs, "
+        "bit-identical curves)".format(**payload),
+    )

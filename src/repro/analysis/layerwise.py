@@ -58,11 +58,14 @@ def run_layerwise_analysis(
     config: "CampaignConfig | None" = None,
     layers: "Iterable[str] | None" = None,
     sampler: "FaultSampler | None" = None,
+    workers: int = 1,
 ) -> LayerwiseResult:
     """Per-layer fault injection: one scoped campaign per CONV/FC layer.
 
     ``layers`` restricts the analysis (e.g. the paper's CONV-1 / CONV-5 /
-    FC-1 selection); default is every computational layer.
+    FC-1 selection); default is every computational layer.  ``workers``
+    parallelizes each layer's campaign grid (0 = cpu_count) without
+    changing any curve.
     """
     available = layer_names(model)
     selected: Sequence[str] = list(layers) if layers is not None else available
@@ -85,5 +88,6 @@ def run_layerwise_analysis(
             config=config,
             sampler=sampler,
             label=layer,
+            workers=workers,
         )
     return LayerwiseResult(curves=curves, bits_per_layer=bits)

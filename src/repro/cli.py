@@ -35,6 +35,15 @@ def build_parser() -> argparse.ArgumentParser:
     def add_model_arg(p: argparse.ArgumentParser) -> None:
         p.add_argument("--model", default="lenet5", choices=_MODELS)
 
+    def add_workers_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="campaign worker processes (0 = one per CPU core); results "
+            "are bit-identical at any worker count",
+        )
+
     p_train = sub.add_parser("train", help="train or load a canonical network")
     add_model_arg(p_train)
     p_train.add_argument("--retrain", action="store_true", help="ignore the cache")
@@ -45,11 +54,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_harden = sub.add_parser("harden", help="Steps 1-3: tuned clipping thresholds")
     add_model_arg(p_harden)
+    add_workers_arg(p_harden)
     p_harden.add_argument("--json", dest="json_path", default=None,
                           help="write thresholds to this JSON file")
 
     p_campaign = sub.add_parser("campaign", help="fault-injection sweep")
     add_model_arg(p_campaign)
+    add_workers_arg(p_campaign)
     p_campaign.add_argument(
         "--variant",
         default="unprotected",
@@ -58,9 +69,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_campaign.add_argument("--trials", type=int, default=10)
     p_campaign.add_argument("--eval-images", type=int, default=200)
     p_campaign.add_argument("--seed", type=int, default=42)
+    p_campaign.add_argument(
+        "--checkpoint",
+        default=None,
+        help="JSON file recording completed cells; re-running with the same "
+        "configuration resumes the sweep",
+    )
+    p_campaign.add_argument(
+        "--progress", action="store_true", help="print one line per completed cell"
+    )
 
     p_layer = sub.add_parser("layerwise", help="per-layer sensitivity (Fig. 3)")
     add_model_arg(p_layer)
+    add_workers_arg(p_layer)
     p_layer.add_argument("--layers", nargs="*", default=None)
     p_layer.add_argument("--trials", type=int, default=5)
     p_layer.add_argument("--eval-images", type=int, default=128)
@@ -124,10 +145,16 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 def _cmd_harden(args: argparse.Namespace) -> int:
     from repro.analysis.reporting import format_table
-    from repro.experiments import experiment_bundle, hardened_clone
+    from repro.experiments import (
+        default_harden_config,
+        experiment_bundle,
+        hardened_clone,
+    )
 
     bundle = experiment_bundle(args.model)
-    _, thresholds, act_max = hardened_clone(bundle)
+    _, thresholds, act_max = hardened_clone(
+        bundle, default_harden_config(workers=args.workers)
+    )
     rows = [
         [layer, f"{act_max[layer]:.4f}", f"{threshold:.4f}"]
         for layer, threshold in thresholds.items()
@@ -170,7 +197,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
     sampler = None
     if args.variant == "ftclipact":
-        model, _, _ = hardened_clone(bundle)
+        from repro.experiments import default_harden_config
+
+        # Thread --workers into the hardening step too: on a cold cache
+        # Algorithm 1's fine-tuning campaigns dominate this command.
+        model, _, _ = hardened_clone(
+            bundle, default_harden_config(workers=args.workers)
+        )
     else:
         model = clone_model(bundle)
         if args.variant == "relu6":
@@ -182,14 +215,47 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         elif args.variant == "dmr":
             sampler = dmr_sampler()
 
+    progress = None
+    if args.progress:
+
+        def progress(cell):
+            resumed = " (checkpointed)" if cell.from_checkpoint else ""
+            print(
+                f"[{cell.completed}/{cell.total}] rate={cell.fault_rate:.2e} "
+                f"trial={cell.trial} accuracy={cell.accuracy:.4f}{resumed}"
+            )
+
     memory = WeightMemory.from_model(model)
     if args.variant == "int8":
+        ignored = [
+            flag
+            for flag, used in (
+                ("--workers", args.workers != 1),
+                ("--checkpoint", args.checkpoint is not None),
+                ("--progress", args.progress),
+            )
+            if used
+        ]
+        if ignored:
+            print(
+                f"note: {', '.join(ignored)} not supported by the int8 "
+                "campaign (it runs its own serial loop)"
+            )
         curve = run_quantized_campaign(
             model, memory, images, labels, config, label=args.variant
         )
     else:
         curve = run_campaign(
-            model, memory, images, labels, config, sampler=sampler, label=args.variant
+            model,
+            memory,
+            images,
+            labels,
+            config,
+            sampler=sampler,
+            label=args.variant,
+            workers=args.workers,
+            progress=progress,
+            checkpoint=args.checkpoint,
         )
     print(
         format_curve_table(
@@ -214,7 +280,8 @@ def _cmd_layerwise(args: argparse.Namespace) -> int:
         fault_rates=paper_fault_rates(), trials=args.trials, seed=3
     )
     result = run_layerwise_analysis(
-        model, images, labels, config, layers=args.layers or None
+        model, images, labels, config, layers=args.layers or None,
+        workers=args.workers,
     )
     rows = []
     cliffs = result.cliff_rates(drop=0.1)

@@ -20,6 +20,11 @@ from repro.core.campaign import (
     run_campaign,
 )
 from repro.core.clipped import ClampedReLU, ClippedLeakyReLU, ClippedReLU
+from repro.core.executor import (
+    CampaignExecutor,
+    CellResult,
+    resolve_workers,
+)
 from repro.core.fat import FaultAwareTrainer
 from repro.core.quantized import run_quantized_campaign
 from repro.core.finetune import (
@@ -59,6 +64,8 @@ __all__ = [
     "ActivationSwapResult",
     "BoxStats",
     "CampaignConfig",
+    "CampaignExecutor",
+    "CellResult",
     "ClampedReLU",
     "ClippedLeakyReLU",
     "ClippedReLU",
@@ -93,6 +100,7 @@ __all__ = [
     "predict_labels",
     "profile_activations",
     "random_bitflip_sampler",
+    "resolve_workers",
     "run_campaign",
     "run_quantized_campaign",
     "set_thresholds",

@@ -31,6 +31,7 @@ from repro.nn.activations import ReLU6
 
 __all__ = [
     "apply_relu6",
+    "FilterSampler",
     "range_check_sampler",
     "apply_actmax_clipping",
     "apply_clamping",
@@ -69,24 +70,30 @@ def apply_clamping(model: nn.Module, thresholds: Mapping[str, float]) -> None:
     swap_activations(model, thresholds, variant="clamp")
 
 
+class FilterSampler:
+    """A :data:`FaultSampler` delegating to a protection filter.
+
+    A module-level class (not a closure) so protected campaigns pickle
+    and can run under a parallel :class:`~repro.core.executor.CampaignExecutor`.
+    """
+
+    def __init__(self, filter_) -> None:
+        self.filter = filter_
+
+    def __call__(
+        self, memory: WeightMemory, rate: float, rng: np.random.Generator
+    ) -> FaultSet:
+        return self.filter.sample_effective(memory, rate, rng)
+
+
 def ecc_sampler(due_policy: str = "zero") -> FaultSampler:
     """Fault sampler seen by a SEC-DED-protected weight memory."""
-    ecc = ECCFilter(due_policy=due_policy)
-
-    def sample(memory: WeightMemory, rate: float, rng: np.random.Generator) -> FaultSet:
-        return ecc.sample_effective(memory, rate, rng)
-
-    return sample
+    return FilterSampler(ECCFilter(due_policy=due_policy))
 
 
 def tmr_sampler() -> FaultSampler:
     """Fault sampler seen by a bitwise-TMR-protected weight memory."""
-    tmr = TMRFilter()
-
-    def sample(memory: WeightMemory, rate: float, rng: np.random.Generator) -> FaultSet:
-        return tmr.sample_effective(memory, rate, rng)
-
-    return sample
+    return FilterSampler(TMRFilter())
 
 
 def range_check_sampler(memory: WeightMemory, margin: float = 1.0) -> FaultSampler:
@@ -95,22 +102,12 @@ def range_check_sampler(memory: WeightMemory, margin: float = 1.0) -> FaultSampl
     Unlike the redundancy samplers this one is *bound to a memory*: the
     per-region bounds are profiled from that memory's current weights.
     """
-    check = WeightRangeCheck(memory, margin=margin)
-
-    def sample(mem: WeightMemory, rate: float, rng: np.random.Generator) -> FaultSet:
-        return check.sample_effective(mem, rate, rng)
-
-    return sample
+    return FilterSampler(WeightRangeCheck(memory, margin=margin))
 
 
 def dmr_sampler() -> FaultSampler:
     """Fault sampler seen by a DMR (detect-and-zero) weight memory."""
-    dmr = DMRFilter()
-
-    def sample(memory: WeightMemory, rate: float, rng: np.random.Generator) -> FaultSet:
-        return dmr.sample_effective(memory, rate, rng)
-
-    return sample
+    return FilterSampler(DMRFilter())
 
 
 # Registry used by the mitigation-comparison benchmark.  "unprotected",

@@ -21,11 +21,12 @@ from repro.core.metrics import ResilienceCurve, evaluate_accuracy_arrays
 from repro.hw.faultmodels import FaultModel, FaultSet, RandomBitFlip
 from repro.hw.injector import FaultInjector
 from repro.hw.memory import WeightMemory
-from repro.utils.rng import SeedTree
 from repro.utils.validation import check_positive
 
 __all__ = [
     "FaultSampler",
+    "RandomBitFlipSampler",
+    "FaultModelSampler",
     "random_bitflip_sampler",
     "fault_model_sampler",
     "CampaignConfig",
@@ -37,29 +38,46 @@ __all__ = [
 # A fault sampler draws the *effective* fault set for one trial at one rate.
 # Protection baselines (ECC/TMR) plug in here: they sample raw faults over
 # their enlarged protected bit space and return only the survivors.
+#
+# Samplers are expressed as module-level callable classes rather than
+# closures so they pickle — a parallel campaign (workers > 1) ships its
+# sampler to every worker process.
 FaultSampler = Callable[[WeightMemory, float, np.random.Generator], FaultSet]
+
+
+class RandomBitFlipSampler:
+    """The paper's fault model: independent random bit flips."""
+
+    def __call__(
+        self, memory: WeightMemory, rate: float, rng: np.random.Generator
+    ) -> FaultSet:
+        return RandomBitFlip(rate).sample(memory, rng)
+
+
+class FaultModelSampler:
+    """Adapts a rate->FaultModel factory into a :data:`FaultSampler`.
+
+    Picklable whenever ``factory`` is (module-level functions and
+    functools.partial over them are; lambdas are not).
+    """
+
+    def __init__(self, factory: Callable[[float], FaultModel]):
+        self.factory = factory
+
+    def __call__(
+        self, memory: WeightMemory, rate: float, rng: np.random.Generator
+    ) -> FaultSet:
+        return self.factory(rate).sample(memory, rng)
 
 
 def random_bitflip_sampler() -> FaultSampler:
     """The paper's fault model: independent random bit flips."""
-
-    def sample(
-        memory: WeightMemory, rate: float, rng: np.random.Generator
-    ) -> FaultSet:
-        return RandomBitFlip(rate).sample(memory, rng)
-
-    return sample
+    return RandomBitFlipSampler()
 
 
 def fault_model_sampler(factory: Callable[[float], FaultModel]) -> FaultSampler:
     """Adapt a rate->FaultModel factory into a :data:`FaultSampler`."""
-
-    def sample(
-        memory: WeightMemory, rate: float, rng: np.random.Generator
-    ) -> FaultSet:
-        return factory(rate).sample(memory, rng)
-
-    return sample
+    return FaultModelSampler(factory)
 
 
 def default_fault_rates(
@@ -140,6 +158,9 @@ class FaultInjectionCampaign:
         self,
         sampler: "FaultSampler | None" = None,
         label: str = "",
+        workers: int = 1,
+        progress: "Callable | None" = None,
+        checkpoint: "str | None" = None,
     ) -> ResilienceCurve:
         """Execute the full (rates x trials) sweep.
 
@@ -147,27 +168,20 @@ class FaultInjectionCampaign:
         the (rate index, trial index) pair — not on the sampler — so
         different mitigation variants evaluated with the same config see
         identical raw randomness (common random numbers).
-        """
-        sampler = sampler if sampler is not None else random_bitflip_sampler()
-        config = self.config
-        tree = SeedTree(config.seed)
-        rates = np.asarray(config.fault_rates, dtype=np.float64)
-        accuracies = np.empty((rates.size, config.trials), dtype=np.float64)
 
-        for rate_index, rate in enumerate(rates):
-            for trial in range(config.trials):
-                rng = tree.generator(f"rate/{rate_index}/trial/{trial}")
-                fault_set = sampler(self.memory, float(rate), rng)
-                with self.injector.apply(fault_set):
-                    accuracies[rate_index, trial] = evaluate_accuracy_arrays(
-                        self.model, self.images, self.labels, config.batch_size
-                    )
-        return ResilienceCurve(
-            fault_rates=rates,
-            accuracies=accuracies,
-            clean_accuracy=self.clean_accuracy,
-            label=label,
+        ``workers`` fans the grid across a process pool (``0`` = one per
+        CPU core); the result is bit-identical to the serial run.
+        ``progress`` receives a :class:`~repro.core.executor.CellResult`
+        per completed cell and ``checkpoint`` names a JSON file enabling
+        resume of an interrupted sweep — see
+        :class:`~repro.core.executor.CampaignExecutor`.
+        """
+        from repro.core.executor import CampaignExecutor
+
+        executor = CampaignExecutor(
+            workers=workers, progress=progress, checkpoint=checkpoint
         )
+        return executor.run(self, sampler=sampler, label=label)
 
 
 def run_campaign(
@@ -178,7 +192,16 @@ def run_campaign(
     config: "CampaignConfig | None" = None,
     sampler: "FaultSampler | None" = None,
     label: str = "",
+    workers: int = 1,
+    progress: "Callable | None" = None,
+    checkpoint: "str | None" = None,
 ) -> ResilienceCurve:
     """Functional one-shot wrapper around :class:`FaultInjectionCampaign`."""
     campaign = FaultInjectionCampaign(model, memory, images, labels, config)
-    return campaign.run(sampler=sampler, label=label)
+    return campaign.run(
+        sampler=sampler,
+        label=label,
+        workers=workers,
+        progress=progress,
+        checkpoint=checkpoint,
+    )

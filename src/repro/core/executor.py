@@ -1,0 +1,510 @@
+"""Parallel campaign execution: deterministic fan-out of (rate, trial) cells.
+
+:class:`CampaignExecutor` runs the grid of a
+:class:`~repro.core.campaign.FaultInjectionCampaign` either in-process
+(``workers=1``, the default — exactly the historical serial loop) or across
+a :class:`concurrent.futures.ProcessPoolExecutor` worker pool.
+
+Design
+------
+
+**Weight shipping.**  Each worker process holds its own deserialized model
+and :class:`~repro.hw.memory.WeightMemory`.  The parent pickles the
+``(model, memory, images, labels, sampler)`` tuple *once* into a payload
+blob (reused as the checkpoint fingerprint's CRC input) and hands it to
+every worker through the pool's ``initializer`` — not per task — so a
+sweep of hundreds of cells ships the weights exactly ``workers`` times.  Pickling the model and the memory in
+one payload preserves their aliasing: the worker's memory regions point at
+the worker's own parameter arrays, so fault injection in a worker mutates
+(and restores) only that worker's copy.
+
+**Determinism.**  The per-cell seed depends only on
+``(campaign seed, rate index, trial index)`` via
+:class:`~repro.utils.rng.SeedTree` (path ``rate/<i>/trial/<j>``), never on
+which worker evaluates the cell or in which order cells complete.  Worker
+models are bit-exact copies of the parent's float32 weights and the
+evaluation is pure single-threaded NumPy, so a parallel run produces a
+:class:`~repro.core.metrics.ResilienceCurve` *bit-identical* to the serial
+run — the common-random-numbers contract of ``campaign.py`` survives
+parallelism unchanged.
+
+**Dispatch.**  Cells are enumerated rate-major (the serial order), split
+into contiguous chunks of ``chunk_size`` (default: about four chunks per
+worker) and submitted eagerly; results are written back into the
+``(n_rates, n_trials)`` accuracy grid by index, so completion order is
+irrelevant.
+
+**Streaming and resume.**  An optional per-cell ``progress`` callback
+receives a :class:`CellResult` as each accuracy lands, and an optional
+``checkpoint`` JSON file records completed cells so an interrupted sweep
+restarted with the same configuration re-runs only the missing cells.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import warnings
+import zlib
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Sequence
+
+import numpy as np
+
+from repro.core.metrics import ResilienceCurve, evaluate_accuracy_arrays
+from repro.utils.rng import SeedTree
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.campaign import CampaignConfig, FaultInjectionCampaign, FaultSampler
+
+__all__ = [
+    "CellResult",
+    "ProgressCallback",
+    "CampaignExecutor",
+    "resolve_workers",
+    "cell_seed_path",
+]
+
+_CHECKPOINT_VERSION = 1
+
+
+def cell_seed_path(rate_index: int, trial: int) -> str:
+    """The :class:`SeedTree` path of one campaign cell.
+
+    This string is the determinism contract between the serial loop and
+    the worker pool: both derive the cell's generator from it.
+    """
+    return f"rate/{rate_index}/trial/{trial}"
+
+
+def resolve_workers(workers: int) -> int:
+    """Normalize a worker count: ``0`` means one worker per CPU core."""
+    if not isinstance(workers, (int, np.integer)):
+        raise TypeError(f"workers must be an int, got {type(workers).__name__}")
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0 (0 = cpu_count), got {workers}")
+    if workers == 0:
+        try:
+            return len(os.sched_getaffinity(0)) or 1
+        except AttributeError:  # pragma: no cover - non-Linux fallback
+            return os.cpu_count() or 1
+    return int(workers)
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One completed (rate, trial) cell, streamed to progress callbacks."""
+
+    rate_index: int
+    trial: int
+    fault_rate: float
+    accuracy: float
+    completed: int  # cells finished so far (including checkpointed ones)
+    total: int  # total cells in the grid
+    from_checkpoint: bool = False
+
+
+ProgressCallback = Callable[[CellResult], None]
+
+
+# --------------------------------------------------------------------- #
+# worker-side machinery
+# --------------------------------------------------------------------- #
+
+# Per-process campaign state, set once by _init_worker.  Plain module
+# globals: ProcessPoolExecutor workers are single-threaded and each
+# process runs exactly one campaign at a time.
+_WORKER_STATE: "dict | None" = None
+
+
+def _init_worker(payload: bytes, config: "CampaignConfig") -> None:
+    """Pool initializer: deserialize the campaign payload once per worker."""
+    global _WORKER_STATE
+    from repro.hw.injector import FaultInjector
+
+    model, memory, images, labels, sampler = pickle.loads(payload)
+    _WORKER_STATE = {
+        "model": model,
+        "memory": memory,
+        "images": images,
+        "labels": labels,
+        "config": config,
+        "sampler": sampler,
+        "injector": FaultInjector(memory),
+        "tree": SeedTree(config.seed),
+        "rates": np.asarray(config.fault_rates, dtype=np.float64),
+    }
+
+
+def _run_cells(cells: Sequence[tuple[int, int]]) -> list[tuple[int, int, float]]:
+    """Evaluate a chunk of (rate_index, trial) cells in this worker."""
+    state = _WORKER_STATE
+    if state is None:  # pragma: no cover - defensive: initializer always ran
+        raise RuntimeError("campaign worker used before initialization")
+    out: list[tuple[int, int, float]] = []
+    for rate_index, trial in cells:
+        accuracy = _evaluate_cell(
+            state["model"],
+            state["memory"],
+            state["injector"],
+            state["images"],
+            state["labels"],
+            state["config"],
+            state["sampler"],
+            state["tree"],
+            rate_index,
+            trial,
+        )
+        out.append((rate_index, trial, accuracy))
+    return out
+
+
+def _evaluate_cell(
+    model,
+    memory,
+    injector,
+    images,
+    labels,
+    config: "CampaignConfig",
+    sampler: "FaultSampler",
+    tree: SeedTree,
+    rate_index: int,
+    trial: int,
+) -> float:
+    """One campaign cell: sample faults, inject, evaluate, restore.
+
+    Shared verbatim by the serial path and the worker pool — determinism
+    by construction rather than by keeping two loops in sync.
+    """
+    rate = float(config.fault_rates[rate_index])
+    rng = tree.generator(cell_seed_path(rate_index, trial))
+    fault_set = sampler(memory, rate, rng)
+    with injector.apply(fault_set):
+        return evaluate_accuracy_arrays(model, images, labels, config.batch_size)
+
+
+# --------------------------------------------------------------------- #
+# checkpoint file
+# --------------------------------------------------------------------- #
+
+
+def _pickle_state(
+    campaign: "FaultInjectionCampaign", sampler: "FaultSampler"
+) -> "tuple[bytes | None, Exception | None]":
+    """Serialize the campaign state (model, memory, eval set, sampler) once.
+
+    The same blob feeds both the checkpoint fingerprint (CRC) and the
+    worker-pool payload, so large models are pickled exactly once per
+    run.  Returns ``(None, error)`` when the state is unpicklable (e.g.
+    a closure sampler): serial runs then fall back to config-level
+    checkpoint validation, and parallel runs raise a clear error.
+    """
+    try:
+        return (
+            pickle.dumps(
+                (
+                    campaign.model,
+                    campaign.memory,
+                    campaign.images,
+                    campaign.labels,
+                    sampler,
+                )
+            ),
+            None,
+        )
+    except Exception as error:
+        return None, error
+
+
+class _Checkpoint:
+    """A JSON record of completed cells, validated against the campaign.
+
+    The file stores a campaign fingerprint — the config grid (seed,
+    trials, fault rates) plus a CRC of the pickled campaign state — so a
+    checkpoint can never silently resume a *different* sweep (different
+    model, mitigation variant, sampler or evaluation set).
+    """
+
+    def __init__(
+        self,
+        path: "str | Path",
+        config: "CampaignConfig",
+        campaign_crc: "str | None" = None,
+    ):
+        self.path = Path(path)
+        self._fingerprint = {
+            "version": _CHECKPOINT_VERSION,
+            "seed": int(config.seed),
+            "trials": int(config.trials),
+            "batch_size": int(config.batch_size),
+            "fault_rates": [float(r) for r in config.fault_rates],
+            "campaign_crc": campaign_crc,
+        }
+        self.cells: dict[tuple[int, int], float] = {}
+        if self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        payload = json.loads(self.path.read_text())
+        stored = {key: payload.get(key) for key in self._fingerprint}
+        if stored != self._fingerprint:
+            raise ValueError(
+                f"checkpoint {self.path} was written by a different campaign "
+                f"configuration; delete it or use a fresh path "
+                f"(stored {stored}, expected {self._fingerprint})"
+            )
+        for key, accuracy in payload.get("cells", {}).items():
+            rate_index, trial = (int(part) for part in key.split("/"))
+            self.cells[(rate_index, trial)] = float(accuracy)
+
+    def record(self, rate_index: int, trial: int, accuracy: float) -> None:
+        self.cells[(rate_index, trial)] = float(accuracy)
+
+    def flush(self) -> None:
+        """Atomically rewrite the checkpoint file."""
+        payload = dict(self._fingerprint)
+        payload["cells"] = {
+            f"{rate_index}/{trial}": accuracy
+            for (rate_index, trial), accuracy in sorted(self.cells.items())
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=1))
+        os.replace(tmp, self.path)
+
+
+# --------------------------------------------------------------------- #
+# the executor
+# --------------------------------------------------------------------- #
+
+
+class CampaignExecutor:
+    """Runs a campaign's (rates x trials) grid, serially or in parallel.
+
+    Parameters
+    ----------
+    workers:
+        ``1`` (default) runs in-process with the campaign's own injector —
+        the historical serial path.  ``N > 1`` fans cells across ``N``
+        worker processes.  ``0`` means one worker per CPU core.
+    chunk_size:
+        Cells per dispatched task; ``0`` picks roughly four chunks per
+        worker.  Larger chunks amortize dispatch overhead, smaller chunks
+        stream progress sooner and balance load better.
+    progress:
+        Optional callback receiving a :class:`CellResult` per completed
+        cell (checkpointed cells are replayed with
+        ``from_checkpoint=True`` at the start of a resumed run).
+    checkpoint:
+        Optional JSON file path.  Completed cells are appended as they
+        finish; re-running with the same configuration skips them.
+    mp_context:
+        Optional :mod:`multiprocessing` start-method name (``"fork"``,
+        ``"spawn"``, ``"forkserver"``); default lets the platform choose.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        chunk_size: int = 0,
+        progress: "ProgressCallback | None" = None,
+        checkpoint: "str | Path | None" = None,
+        mp_context: "str | None" = None,
+    ):
+        self.workers = resolve_workers(workers)
+        if chunk_size < 0:
+            raise ValueError(f"chunk_size must be >= 0 (0 = auto), got {chunk_size}")
+        self.chunk_size = int(chunk_size)
+        self.progress = progress
+        self.checkpoint_path = checkpoint
+        self.mp_context = mp_context
+
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        campaign: "FaultInjectionCampaign",
+        sampler: "FaultSampler | None" = None,
+        label: str = "",
+    ) -> ResilienceCurve:
+        """Execute the full sweep for ``campaign`` and build its curve."""
+        from repro.core.campaign import random_bitflip_sampler
+
+        sampler = sampler if sampler is not None else random_bitflip_sampler()
+        config = campaign.config
+        rates = np.asarray(config.fault_rates, dtype=np.float64)
+        accuracies = np.full((rates.size, config.trials), np.nan, dtype=np.float64)
+        total = rates.size * config.trials
+
+        # One serialization serves both the checkpoint fingerprint and
+        # the worker payload.
+        state_blob: "bytes | None" = None
+        state_error: "Exception | None" = None
+        if self.checkpoint_path is not None or self.workers > 1:
+            state_blob, state_error = _pickle_state(campaign, sampler)
+
+        checkpoint = None
+        if self.checkpoint_path is not None:
+            if state_blob is None:
+                warnings.warn(
+                    "campaign state is not picklable; the checkpoint can "
+                    "validate only the config grid, not the model/sampler/"
+                    "eval set — resuming against different campaign content "
+                    f"would go undetected ({state_error})",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            crc = f"{zlib.crc32(state_blob):08x}" if state_blob is not None else None
+            checkpoint = _Checkpoint(self.checkpoint_path, config, crc)
+        completed = 0
+        if checkpoint is not None:
+            for (rate_index, trial), accuracy in sorted(checkpoint.cells.items()):
+                if rate_index < rates.size and trial < config.trials:
+                    accuracies[rate_index, trial] = accuracy
+                    completed += 1
+                    self._emit(
+                        rate_index, trial, rates, accuracy, completed, total,
+                        from_checkpoint=True,
+                    )
+
+        pending = [
+            (rate_index, trial)
+            for rate_index in range(rates.size)
+            for trial in range(config.trials)
+            if not np.isfinite(accuracies[rate_index, trial])
+        ]
+
+        if pending:
+            if self.workers == 1:
+                self._run_serial(
+                    campaign, sampler, pending, rates, accuracies,
+                    completed, total, checkpoint,
+                )
+            else:
+                self._run_parallel(
+                    campaign, state_blob, state_error, pending, rates,
+                    accuracies, completed, total, checkpoint,
+                )
+
+        return ResilienceCurve(
+            fault_rates=rates,
+            accuracies=accuracies,
+            clean_accuracy=campaign.clean_accuracy,
+            label=label,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _emit(
+        self,
+        rate_index: int,
+        trial: int,
+        rates: np.ndarray,
+        accuracy: float,
+        completed: int,
+        total: int,
+        from_checkpoint: bool = False,
+    ) -> None:
+        if self.progress is not None:
+            self.progress(
+                CellResult(
+                    rate_index=rate_index,
+                    trial=trial,
+                    fault_rate=float(rates[rate_index]),
+                    accuracy=float(accuracy),
+                    completed=completed,
+                    total=total,
+                    from_checkpoint=from_checkpoint,
+                )
+            )
+
+    def _run_serial(
+        self,
+        campaign: "FaultInjectionCampaign",
+        sampler: "FaultSampler",
+        pending: list[tuple[int, int]],
+        rates: np.ndarray,
+        accuracies: np.ndarray,
+        completed: int,
+        total: int,
+        checkpoint: "_Checkpoint | None",
+    ) -> None:
+        """The historical in-process loop, cell order unchanged."""
+        tree = SeedTree(campaign.config.seed)
+        for rate_index, trial in pending:
+            accuracy = _evaluate_cell(
+                campaign.model,
+                campaign.memory,
+                campaign.injector,
+                campaign.images,
+                campaign.labels,
+                campaign.config,
+                sampler,
+                tree,
+                rate_index,
+                trial,
+            )
+            accuracies[rate_index, trial] = accuracy
+            completed += 1
+            self._emit(rate_index, trial, rates, accuracy, completed, total)
+            if checkpoint is not None:
+                checkpoint.record(rate_index, trial, accuracy)
+                checkpoint.flush()
+
+    def _run_parallel(
+        self,
+        campaign: "FaultInjectionCampaign",
+        state_blob: "bytes | None",
+        state_error: "Exception | None",
+        pending: list[tuple[int, int]],
+        rates: np.ndarray,
+        accuracies: np.ndarray,
+        completed: int,
+        total: int,
+        checkpoint: "_Checkpoint | None",
+    ) -> None:
+        """Fan pending cells over a process pool (weights shipped once)."""
+        import multiprocessing
+
+        if state_blob is None:
+            raise ValueError(
+                "campaign state must be picklable for workers > 1; use a "
+                "picklable sampler (e.g. random_bitflip_sampler(), "
+                "ecc_sampler()) instead of a lambda/closure, or run with "
+                f"workers=1 ({state_error})"
+            ) from state_error
+
+        workers = min(self.workers, len(pending))
+        chunk_size = self.chunk_size or max(1, len(pending) // (workers * 4))
+        chunks = [
+            pending[start : start + chunk_size]
+            for start in range(0, len(pending), chunk_size)
+        ]
+        context = (
+            multiprocessing.get_context(self.mp_context)
+            if self.mp_context is not None
+            else None
+        )
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=context,
+            initializer=_init_worker,
+            initargs=(state_blob, campaign.config),
+        ) as pool:
+            futures = {pool.submit(_run_cells, chunk) for chunk in chunks}
+            while futures:
+                done, futures = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    for rate_index, trial, accuracy in future.result():
+                        accuracies[rate_index, trial] = accuracy
+                        completed += 1
+                        self._emit(
+                            rate_index, trial, rates, accuracy, completed, total
+                        )
+                        if checkpoint is not None:
+                            checkpoint.record(rate_index, trial, accuracy)
+                    if checkpoint is not None:
+                        checkpoint.flush()

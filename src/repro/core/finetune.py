@@ -173,6 +173,7 @@ def make_layer_auc_evaluator(
     campaign_config: CampaignConfig,
     sampler: "FaultSampler | None" = None,
     include_zero_rate: bool = True,
+    workers: int = 1,
 ) -> AUCEvaluator:
     """Build the AUC evaluator Algorithm 1 calls for one layer.
 
@@ -181,13 +182,24 @@ def make_layer_auc_evaluator(
     returns the curve's AUC.  ``memory`` controls the fault scope: pass a
     layer-scoped memory for the paper's per-layer analysis (Fig. 5) or a
     whole-network memory to tune against network-wide faults.
+    ``workers`` parallelizes each campaign's grid without changing its
+    result (the executor is bit-deterministic), so Algorithm 1's search
+    trajectory is identical at any worker count.  Each threshold
+    evaluation currently spins up (and re-ships weights to) a fresh
+    pool, so workers > 1 only pays off when the per-campaign grid is
+    substantially heavier than pool startup; a warm pool shared across
+    evaluations is a ROADMAP item.
     """
     campaign = FaultInjectionCampaign(model, memory, images, labels, campaign_config)
 
     def evaluate(threshold: float) -> float:
         set_thresholds(model, {layer_name: threshold})
         campaign.invalidate_clean_accuracy()
-        curve = campaign.run(sampler=sampler, label=f"{layer_name}@T={threshold:g}")
+        curve = campaign.run(
+            sampler=sampler,
+            label=f"{layer_name}@T={threshold:g}",
+            workers=workers,
+        )
         return curve.auc(include_zero_rate=include_zero_rate)
 
     return evaluate
@@ -210,6 +222,7 @@ class ThresholdFineTuner:
         campaign_config: CampaignConfig,
         finetune_config: "FineTuneConfig | None" = None,
         sampler: "FaultSampler | None" = None,
+        workers: int = 1,
     ):
         self.model = model
         self.memory_factory = memory_factory
@@ -220,6 +233,7 @@ class ThresholdFineTuner:
             finetune_config if finetune_config is not None else FineTuneConfig()
         )
         self.sampler = sampler
+        self.workers = workers
 
     def tune_layer(self, layer_name: str, act_max: float) -> FineTuneResult:
         """Fine-tune one layer, restoring its initial threshold afterwards."""
@@ -232,6 +246,7 @@ class ThresholdFineTuner:
             self.labels,
             self.campaign_config,
             sampler=self.sampler,
+            workers=self.workers,
         )
         try:
             return fine_tune_threshold(

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro import nn
 from repro.core.campaign import CampaignConfig, FaultSampler, default_fault_rates
+from repro.core.executor import resolve_workers
 from repro.core.finetune import FineTuneConfig, FineTuneResult, ThresholdFineTuner
 from repro.core.profiling import ProfileResult, profile_activations
 from repro.core.swap import ActivationSwapResult, get_thresholds, swap_activations
@@ -52,6 +53,10 @@ class FTClipActConfig:
     variant: str = "clip"
     # Skip Step 3 entirely (thresholds stay at ACT_max) when False.
     fine_tune: bool = True
+    # Worker processes per Step-3 campaign (0 = cpu_count).  Any value
+    # yields bit-identical thresholds: campaigns are deterministic under
+    # parallelism (see repro.core.executor).
+    workers: int = 1
 
     def __post_init__(self) -> None:
         check_positive("profile_images", self.profile_images)
@@ -60,6 +65,7 @@ class FTClipActConfig:
         check_positive("batch_size", self.batch_size)
         check_in_choices("tune_scope", self.tune_scope, ("layer", "network"))
         check_in_choices("variant", self.variant, ("clip", "clamp"))
+        resolve_workers(self.workers)  # shared validation; 0 resolves at run time
 
 
 @dataclass
@@ -146,6 +152,7 @@ class FTClipAct:
                 campaign_config=campaign_config,
                 finetune_config=config.finetune,
                 sampler=sampler,
+                workers=config.workers,
             )
             finetune_results = tuner.tune_all(act_max)
 

@@ -19,6 +19,7 @@ Scaling notes (see DESIGN.md for the full substitution table):
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import replace
 from typing import Any
 
@@ -37,6 +38,7 @@ __all__ = [
     "PAPER_LENET",
     "EXPERIMENT_CONFIGS",
     "paper_fault_rates",
+    "campaign_workers",
     "default_harden_config",
     "experiment_bundle",
     "clone_model",
@@ -93,8 +95,35 @@ def paper_fault_rates(points_per_decade: int = 2) -> tuple[float, ...]:
     return tuple(default_fault_rates(1e-7, 1e-4, points_per_decade))
 
 
-def default_harden_config(seed: int = 2020) -> FTClipActConfig:
-    """The FT-ClipAct pipeline configuration used by all benchmarks."""
+def campaign_workers(default: int = 1) -> int:
+    """The worker count campaigns should use, from ``REPRO_WORKERS``.
+
+    Campaigns are bit-deterministic at any worker count (see
+    :mod:`repro.core.executor`), so parallelism is an environment choice,
+    not an experiment parameter: ``REPRO_WORKERS=0`` uses every core,
+    ``REPRO_WORKERS=N`` uses N processes, unset falls back to ``default``.
+    """
+    value = os.environ.get("REPRO_WORKERS", "").strip()
+    if not value:
+        return default
+    try:
+        workers = int(value)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_WORKERS must be an integer (0 = cpu_count), got {value!r}"
+        ) from None
+    from repro.core.executor import resolve_workers
+
+    resolve_workers(workers)  # shared validation; 0 resolves at run time
+    return workers
+
+
+def default_harden_config(seed: int = 2020, workers: "int | None" = None) -> FTClipActConfig:
+    """The FT-ClipAct pipeline configuration used by all benchmarks.
+
+    ``workers`` defaults to :func:`campaign_workers` (the ``REPRO_WORKERS``
+    environment override); hardening results are identical either way.
+    """
     from repro.core.finetune import FineTuneConfig
 
     return FTClipActConfig(
@@ -105,6 +134,7 @@ def default_harden_config(seed: int = 2020) -> FTClipActConfig:
         seed=seed,
         tune_scope="layer",
         finetune=FineTuneConfig(max_iterations=4, min_iterations=2, tolerance=0.005),
+        workers=campaign_workers() if workers is None else workers,
     )
 
 

@@ -69,6 +69,16 @@ class FaultInjector:
 
     def inject(self, fault_set: FaultSet) -> InjectionRecord:
         """Apply ``fault_set`` to the live weights; returns the undo record."""
+        record = InjectionRecord(
+            fault_set=fault_set, saved=self._apply_faults(fault_set)
+        )
+        self._active.append(record)
+        return record
+
+    def _apply_faults(
+        self, fault_set: FaultSet
+    ) -> list[tuple[MemoryRegion, np.ndarray, np.ndarray]]:
+        """Apply ``fault_set``; return per-region undo state (words, values)."""
         saved: list[tuple[MemoryRegion, np.ndarray, np.ndarray]] = []
         for region, words, bits in self.memory.locate(fault_set.bit_indices):
             flat = region.parameter.data.reshape(-1)
@@ -90,9 +100,7 @@ class FaultInjector:
                 if mask.any():
                     apply_fn(words[mask], bits[mask])
             saved.append((region, unique_words, original))
-        record = InjectionRecord(fault_set=fault_set, saved=saved)
-        self._active.append(record)
-        return record
+        return saved
 
     def sample_and_inject(
         self, model: FaultModel, rng: "int | np.random.Generator | None"
@@ -101,15 +109,35 @@ class FaultInjector:
         return self.inject(model.sample(self.memory, as_generator(rng)))
 
     def restore(self, record: "InjectionRecord | None" = None) -> None:
-        """Undo one record (default: the most recent) exactly."""
+        """Undo one record (default: the most recent) exactly.
+
+        Restoring an *older* record while newer ones are still active is
+        also exact, even when their fault sets touch the same words: the
+        newer records are peeled back (newest first), the target is
+        undone, and the newer records are re-applied to the now-clean
+        words — refreshing their undo state, so a later ``restore_all``
+        still returns the memory bit-exactly to the original weights.
+        """
         if not self._active:
             raise RuntimeError("no active injections to restore")
         if record is None:
             record = self._active[-1]
         try:
-            self._active.remove(record)
+            # InjectionRecord compares by identity, so index() finds the
+            # exact record object (or raises for a foreign/stale one).
+            index = self._active.index(record)
         except ValueError:
             raise RuntimeError("record is not an active injection") from None
+        newer = self._active[index + 1 :]
+        for other in reversed(newer):
+            self._undo(other)
+        self._undo(record)
+        del self._active[index]
+        for other in newer:
+            other.saved = self._apply_faults(other.fault_set)
+
+    def _undo(self, record: InjectionRecord) -> None:
+        """Write a record's saved word values back into the parameters."""
         for region, words, original in record.saved:
             region.parameter.data.reshape(-1)[words] = original
 

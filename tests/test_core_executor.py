@@ -1,0 +1,305 @@
+"""Tests for the parallel campaign executor.
+
+The load-bearing guarantee is *bit-identical* results at any worker
+count: per-cell seeds depend only on (campaign seed, rate index, trial
+index), worker models are exact copies of the parent's weights, and the
+accuracy grid is assembled by cell index, never by completion order.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.campaign import (
+    CampaignConfig,
+    FaultInjectionCampaign,
+    RandomBitFlipSampler,
+    run_campaign,
+)
+from repro.core.executor import (
+    CampaignExecutor,
+    CellResult,
+    cell_seed_path,
+    resolve_workers,
+)
+from repro.hw.faultmodels import FaultSet
+from repro.hw.memory import WeightMemory
+
+RATES = (1e-5, 1e-4, 1e-3)
+
+
+@pytest.fixture
+def campaign_parts(trained_mlp, mlp_eval_arrays):
+    images, labels = mlp_eval_arrays
+    memory = WeightMemory.from_model(trained_mlp)
+    config = CampaignConfig(fault_rates=RATES, trials=4, seed=11, batch_size=96)
+    return trained_mlp, memory, images, labels, config
+
+
+class TestResolveWorkers:
+    def test_positive_passthrough(self):
+        assert resolve_workers(1) == 1
+        assert resolve_workers(7) == 7
+
+    def test_zero_means_cpu_count(self):
+        assert resolve_workers(0) >= 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-1)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(TypeError):
+            resolve_workers(2.5)
+
+
+class TestSeedPathContract:
+    def test_matches_campaign_derivation(self):
+        """The documented common-random-numbers path must never change:
+        existing curves and checkpoints depend on it."""
+        assert cell_seed_path(0, 0) == "rate/0/trial/0"
+        assert cell_seed_path(3, 17) == "rate/3/trial/17"
+
+
+class TestParallelDeterminism:
+    def test_two_workers_bit_identical_to_serial(self, campaign_parts):
+        """The ISSUE's acceptance criterion: workers=2 == workers=1, bitwise."""
+        model, memory, images, labels, config = campaign_parts
+        serial = run_campaign(model, memory, images, labels, config)
+        parallel = run_campaign(model, memory, images, labels, config, workers=2)
+        np.testing.assert_array_equal(serial.accuracies, parallel.accuracies)
+        assert serial.clean_accuracy == parallel.clean_accuracy
+        np.testing.assert_array_equal(serial.fault_rates, parallel.fault_rates)
+
+    def test_three_workers_and_chunk_size_one(self, campaign_parts):
+        """Extreme chunking (one cell per task) must not change anything."""
+        model, memory, images, labels, config = campaign_parts
+        campaign = FaultInjectionCampaign(model, memory, images, labels, config)
+        serial = campaign.run()
+        executor = CampaignExecutor(workers=3, chunk_size=1)
+        parallel = executor.run(campaign)
+        np.testing.assert_array_equal(serial.accuracies, parallel.accuracies)
+
+    def test_parallel_leaves_parent_weights_untouched(self, campaign_parts):
+        model, memory, images, labels, config = campaign_parts
+        before = memory.snapshot()
+        run_campaign(model, memory, images, labels, config, workers=2)
+        for old, new in zip(before, memory.snapshot()):
+            np.testing.assert_array_equal(old, new)
+
+    def test_picklable_protection_sampler(self, campaign_parts):
+        """Baseline samplers (ECC here) must survive the worker round-trip."""
+        from repro.core.baselines import ecc_sampler
+
+        model, memory, images, labels, _ = campaign_parts
+        config = CampaignConfig(fault_rates=(1e-4, 1e-3), trials=3, seed=5)
+        serial = run_campaign(
+            model, memory, images, labels, config, sampler=ecc_sampler()
+        )
+        parallel = run_campaign(
+            model, memory, images, labels, config, sampler=ecc_sampler(), workers=2
+        )
+        np.testing.assert_array_equal(serial.accuracies, parallel.accuracies)
+
+    def test_unpicklable_sampler_reports_clearly(self, campaign_parts):
+        model, memory, images, labels, config = campaign_parts
+        local_state = []
+
+        def closure_sampler(mem, rate, rng):  # closures cannot pickle
+            local_state.append(rate)
+            return FaultSet.empty()
+
+        with pytest.raises(ValueError, match="picklable"):
+            run_campaign(
+                model, memory, images, labels, config,
+                sampler=closure_sampler, workers=2,
+            )
+
+    def test_workers_zero_resolves_and_runs(self, campaign_parts):
+        model, memory, images, labels, _ = campaign_parts
+        config = CampaignConfig(fault_rates=(1e-4,), trials=2, seed=1)
+        serial = run_campaign(model, memory, images, labels, config)
+        auto = run_campaign(model, memory, images, labels, config, workers=0)
+        np.testing.assert_array_equal(serial.accuracies, auto.accuracies)
+
+
+class TestProgressStreaming:
+    def test_serial_progress_covers_grid_in_order(self, campaign_parts):
+        model, memory, images, labels, config = campaign_parts
+        seen: list[CellResult] = []
+        run_campaign(
+            model, memory, images, labels, config, progress=seen.append
+        )
+        total = len(RATES) * config.trials
+        assert len(seen) == total
+        assert [c.completed for c in seen] == list(range(1, total + 1))
+        assert all(c.total == total for c in seen)
+        # Serial order is rate-major, matching the historical loop.
+        assert [(c.rate_index, c.trial) for c in seen] == [
+            (i, j) for i in range(len(RATES)) for j in range(config.trials)
+        ]
+        assert not any(c.from_checkpoint for c in seen)
+
+    def test_parallel_progress_covers_grid(self, campaign_parts):
+        model, memory, images, labels, config = campaign_parts
+        seen: list[CellResult] = []
+        curve = run_campaign(
+            model, memory, images, labels, config, workers=2, progress=seen.append
+        )
+        total = len(RATES) * config.trials
+        assert len(seen) == total
+        assert sorted((c.rate_index, c.trial) for c in seen) == [
+            (i, j) for i in range(len(RATES)) for j in range(config.trials)
+        ]
+        # Streamed accuracies agree with the assembled grid.
+        for cell in seen:
+            assert curve.accuracies[cell.rate_index, cell.trial] == cell.accuracy
+
+
+class TestCheckpointResume:
+    def test_checkpoint_written_and_complete(self, campaign_parts, tmp_path):
+        model, memory, images, labels, config = campaign_parts
+        path = tmp_path / "sweep.json"
+        curve = run_campaign(
+            model, memory, images, labels, config, checkpoint=str(path)
+        )
+        payload = json.loads(path.read_text())
+        assert payload["seed"] == config.seed
+        assert len(payload["cells"]) == len(RATES) * config.trials
+        for key, accuracy in payload["cells"].items():
+            rate_index, trial = map(int, key.split("/"))
+            assert curve.accuracies[rate_index, trial] == accuracy
+
+    def test_resume_skips_completed_cells(self, campaign_parts, tmp_path):
+        model, memory, images, labels, config = campaign_parts
+        path = tmp_path / "sweep.json"
+        full = run_campaign(
+            model, memory, images, labels, config, checkpoint=str(path)
+        )
+        # Drop some cells from the checkpoint to simulate an interrupt.
+        payload = json.loads(path.read_text())
+        keys = sorted(payload["cells"])
+        removed = keys[::3]
+        for key in removed:
+            del payload["cells"][key]
+        path.write_text(json.dumps(payload))
+
+        recomputed: list[CellResult] = []
+
+        def progress(cell):
+            if not cell.from_checkpoint:
+                recomputed.append(cell)
+
+        resumed = run_campaign(
+            model, memory, images, labels, config,
+            checkpoint=str(path), progress=progress,
+        )
+        assert {(c.rate_index, c.trial) for c in recomputed} == {
+            tuple(map(int, key.split("/"))) for key in removed
+        }
+        np.testing.assert_array_equal(full.accuracies, resumed.accuracies)
+
+    def test_fully_checkpointed_run_recomputes_nothing(
+        self, campaign_parts, tmp_path
+    ):
+        model, memory, images, labels, config = campaign_parts
+        path = tmp_path / "sweep.json"
+        first = run_campaign(
+            model, memory, images, labels, config, checkpoint=str(path)
+        )
+        recomputed = []
+        second = run_campaign(
+            model, memory, images, labels, config, checkpoint=str(path),
+            progress=lambda cell: recomputed.append(cell)
+            if not cell.from_checkpoint else None,
+        )
+        assert recomputed == []
+        np.testing.assert_array_equal(first.accuracies, second.accuracies)
+
+    def test_parallel_resume_of_serial_checkpoint(self, campaign_parts, tmp_path):
+        """A sweep checkpointed serially can be finished by a worker pool."""
+        model, memory, images, labels, config = campaign_parts
+        serial = run_campaign(model, memory, images, labels, config)
+        path = tmp_path / "sweep.json"
+        run_campaign(model, memory, images, labels, config, checkpoint=str(path))
+        # Prune the checkpoint down to one completed cell.
+        payload = json.loads(path.read_text())
+        payload["cells"] = {"0/0": payload["cells"]["0/0"]}
+        path.write_text(json.dumps(payload))
+        resumed = run_campaign(
+            model, memory, images, labels, config,
+            workers=2, checkpoint=str(path),
+        )
+        np.testing.assert_array_equal(serial.accuracies, resumed.accuracies)
+
+    def test_mismatched_checkpoint_rejected(self, campaign_parts, tmp_path):
+        model, memory, images, labels, config = campaign_parts
+        path = tmp_path / "sweep.json"
+        run_campaign(model, memory, images, labels, config, checkpoint=str(path))
+        other = CampaignConfig(
+            fault_rates=RATES, trials=config.trials, seed=config.seed + 1
+        )
+        with pytest.raises(ValueError, match="different campaign"):
+            run_campaign(model, memory, images, labels, other, checkpoint=str(path))
+
+    def test_checkpoint_rejects_different_model_same_config(
+        self, campaign_parts, tmp_path
+    ):
+        """The fingerprint covers campaign *content*, not just the grid:
+        the same config on different weights must not resume."""
+        model, memory, images, labels, config = campaign_parts
+        path = tmp_path / "sweep.json"
+        run_campaign(model, memory, images, labels, config, checkpoint=str(path))
+
+        from repro.models import MLP
+
+        other_model = MLP(3 * 8 * 8, 10, hidden=(64, 32), seed=99)
+        other_model.eval()
+        other_memory = WeightMemory.from_model(other_model)
+        with pytest.raises(ValueError, match="different campaign"):
+            run_campaign(
+                other_model, other_memory, images, labels, config,
+                checkpoint=str(path),
+            )
+
+    def test_checkpoint_rejects_different_sampler_same_config(
+        self, campaign_parts, tmp_path
+    ):
+        from repro.core.baselines import ecc_sampler
+
+        model, memory, images, labels, config = campaign_parts
+        path = tmp_path / "sweep.json"
+        run_campaign(model, memory, images, labels, config, checkpoint=str(path))
+        with pytest.raises(ValueError, match="different campaign"):
+            run_campaign(
+                model, memory, images, labels, config,
+                sampler=ecc_sampler(), checkpoint=str(path),
+            )
+
+
+class TestExecutorValidation:
+    def test_negative_chunk_size_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignExecutor(chunk_size=-1)
+
+    def test_sampler_classes_are_picklable(self):
+        import pickle
+
+        from repro.core.baselines import dmr_sampler, ecc_sampler, tmr_sampler
+        from repro.core.campaign import fault_model_sampler, random_bitflip_sampler
+        from repro.hw.faultmodels import RandomBitFlip
+
+        for sampler in (
+            random_bitflip_sampler(),
+            fault_model_sampler(RandomBitFlip),
+            ecc_sampler(),
+            tmr_sampler(),
+            dmr_sampler(),
+        ):
+            assert isinstance(pickle.loads(pickle.dumps(sampler)), type(sampler))
+
+    def test_default_sampler_is_random_bitflip(self):
+        from repro.core.campaign import random_bitflip_sampler
+
+        assert isinstance(random_bitflip_sampler(), RandomBitFlipSampler)

@@ -44,6 +44,11 @@ class TestConfig:
             FTClipActConfig(tune_scope="galaxy")
         with pytest.raises(ValueError):
             FTClipActConfig(variant="fold")
+        with pytest.raises(ValueError):
+            FTClipActConfig(workers=-1)
+
+    def test_workers_zero_means_cpu_count(self):
+        FTClipActConfig(workers=0)  # valid: resolved at campaign time
 
 
 class TestHardenModel:

@@ -10,6 +10,8 @@ import sys
 
 import pytest
 
+pytestmark = pytest.mark.slow  # spawns one subprocess per example script
+
 EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
 EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
 

@@ -68,6 +68,75 @@ class TestInjectRestore:
         np.testing.assert_array_equal(param.data, original)
         assert injector.active_records == ()
 
+    def test_out_of_order_restore_disjoint_sets(self):
+        param, memory, injector = _setup()
+        original = param.data.copy()
+        first = injector.inject(FaultSet.flips(np.asarray([0, 33])))
+        second = injector.inject(FaultSet.flips(np.asarray([64, 97])))
+        injector.restore(first)  # older record first
+        injector.restore(second)
+        np.testing.assert_array_equal(param.data, original)
+
+    def test_out_of_order_restore_overlapping_words(self):
+        """Restoring the older of two records that fault the *same words*
+        must not resurrect its faults through the newer record's undo
+        state (the newer record snapshotted words already faulted by the
+        older one)."""
+        param, memory, injector = _setup()
+        original = param.data.copy()
+        # Same word (bits 0-31 live in word 0), overlapping and distinct bits.
+        first = injector.inject(FaultSet.flips(np.asarray([3, 40])))
+        second = injector.inject(FaultSet.flips(np.asarray([3, 17])))
+        injector.restore(first)
+        # Only the second record's faults remain now.
+        expected = param.data.copy()
+        injector.inject(FaultSet.flips(np.asarray([3, 17])))  # idempotence probe
+        injector.restore()
+        np.testing.assert_array_equal(param.data, expected)
+        injector.restore(second)
+        np.testing.assert_array_equal(param.data, original)
+
+    def test_out_of_order_restore_with_stuck_at(self):
+        """Stuck-at ops are not self-inverse, so out-of-order restore must
+        go through undo/re-apply rather than re-applying operations."""
+        param, memory, injector = _setup()
+        original = param.data.copy()
+        bits = np.asarray([5, 36])
+        first = injector.inject(
+            FaultSet(bits, np.full(2, OP_STUCK0, dtype=np.uint8))
+        )
+        second = injector.inject(FaultSet.flips(np.asarray([5, 68])))
+        injector.restore(first)
+        injector.restore(second)
+        np.testing.assert_array_equal(param.data, original)
+
+    def test_out_of_order_restore_middle_of_three(self):
+        param, memory, injector = _setup()
+        original = param.data.copy()
+        records = [
+            injector.inject(FaultSet.flips(np.asarray([bit, bit + 32])))
+            for bit in (1, 2, 3)
+        ]
+        injector.restore(records[1])
+        assert injector.active_records == (records[0], records[2])
+        injector.restore(records[2])
+        injector.restore(records[0])
+        np.testing.assert_array_equal(param.data, original)
+
+    def test_restore_all_after_stacked_apply_contexts(self):
+        """restore_all inside stacked apply() blocks returns the weights
+        bit-exactly; the unwinding context managers then see their records
+        as already restored and do nothing."""
+        param, memory, injector = _setup()
+        original = param.data.copy()
+        with injector.apply(FaultSet.flips(np.asarray([3, 40]))):
+            with injector.apply(FaultSet.flips(np.asarray([3, 17, 70]))):
+                assert len(injector.active_records) == 2
+                injector.restore_all()
+                np.testing.assert_array_equal(param.data, original)
+        np.testing.assert_array_equal(param.data, original)
+        assert injector.active_records == ()
+
     def test_restore_without_inject_raises(self):
         _, _, injector = _setup()
         with pytest.raises(RuntimeError):

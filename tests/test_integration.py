@@ -16,6 +16,8 @@ from repro.core.swap import get_thresholds
 from repro.hw.memory import WeightMemory
 from repro.models import LeNet5
 
+pytestmark = pytest.mark.slow  # full-workflow chain; not inner-loop material
+
 RATES = (1e-6, 1e-5, 1e-4, 1e-3)
 
 

@@ -6,6 +6,8 @@ import pytest
 from repro.models import ZooConfig, get_pretrained, train_model
 from repro.utils.cache import ArtifactCache
 
+pytestmark = pytest.mark.slow  # every test trains (or retrains) a network
+
 # A deliberately tiny config so zoo tests stay fast.
 TINY = ZooConfig(
     model="lenet5",

@@ -8,7 +8,7 @@ from repro import nn
 from repro.core.clipped import ClampedReLU, ClippedReLU
 from repro.core.finetune import FineTuneConfig, fine_tune_threshold
 from repro.core.metrics import auc_resilience
-from repro.hw.bits import flip_bits_in_words, float_to_bits
+from repro.hw.bits import bits_to_float, flip_bits_in_words, float_to_bits
 from repro.hw.ecc import hamming_decode, hamming_encode
 from repro.hw.faultmodels import FaultSet, RandomBitFlip
 from repro.hw.injector import FaultInjector
@@ -172,6 +172,63 @@ class TestFlipProperties:
         flip_bits_in_words(values, word_idx, bit_pos)
         flip_bits_in_words(values, word_idx, bit_pos)
         np.testing.assert_array_equal(values, original)
+
+
+def _random_words(rng: np.random.Generator, count: int) -> np.ndarray:
+    """Uniformly random uint32 words: every float32 bit pattern, including
+    ±0, ±inf, denormals and NaNs with arbitrary mantissa payloads."""
+    return rng.integers(0, 2**32, size=count, dtype=np.uint64).astype(np.uint32)
+
+
+class TestBitsRoundTripProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 1000), count=st.integers(1, 128))
+    def test_words_to_float_to_words_identity(self, seed, count):
+        """bits_to_float / float_to_bits round-trips *any* bit pattern,
+        NaN payloads included (word comparison sees through NaN != NaN)."""
+        words = _random_words(np.random.default_rng(seed), count)
+        np.testing.assert_array_equal(float_to_bits(bits_to_float(words)), words)
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 1000), count=st.integers(1, 128))
+    def test_float_to_words_to_float_bit_identity(self, seed, count):
+        values = np.random.default_rng(seed).standard_normal(count).astype(np.float32)
+        round_tripped = bits_to_float(float_to_bits(values))
+        np.testing.assert_array_equal(
+            round_tripped.view(np.uint32), values.view(np.uint32)
+        )
+
+    def test_special_values_round_trip(self):
+        """±0, ±inf and NaNs with distinct payloads survive bit-exactly."""
+        specials = np.asarray(
+            [0.0, -0.0, np.inf, -np.inf, np.nan, 1e-45, -1e-45], dtype=np.float32
+        )
+        payload_nans = bits_to_float(
+            np.asarray([0x7FC00001, 0x7F800123, 0xFFC0ABCD], dtype=np.uint32)
+        )
+        values = np.concatenate([specials, payload_nans])
+        words = float_to_bits(values)
+        np.testing.assert_array_equal(
+            bits_to_float(words).view(np.uint32), values.view(np.uint32)
+        )
+        # Signed zeros and NaN payloads are distinct at the word level.
+        assert words[0] != words[1]
+        assert len({int(w) for w in float_to_bits(payload_nans)}) == 3
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 1000), count=st.integers(1, 64))
+    def test_flip_twice_is_identity_on_any_pattern(self, seed, count):
+        """Involution must hold even when flips create or destroy NaNs/infs."""
+        rng = np.random.default_rng(seed)
+        values = bits_to_float(_random_words(rng, count))
+        original_words = values.view(np.uint32).copy()
+        k = int(rng.integers(1, count * 32 + 1))
+        bits = rng.choice(count * 32, size=k, replace=False)
+        word_idx = (bits // 32).astype(np.int64)
+        bit_pos = (bits % 32).astype(np.int64)
+        flip_bits_in_words(values, word_idx, bit_pos)
+        flip_bits_in_words(values, word_idx, bit_pos)
+        np.testing.assert_array_equal(values.view(np.uint32), original_words)
 
 
 class TestQuantizedMemoryProperties:
