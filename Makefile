@@ -1,0 +1,22 @@
+# Test-suite entry points (see pytest.ini for the slow-marker tiering).
+#
+#   make fast   - the ~25s inner loop: unit + property tests only
+#   make test   - the full tier-1 gate, including figure benchmarks
+#   make bench  - just the figure/infrastructure benchmarks
+#
+# REPRO_WORKERS=N fans every campaign in the suite across N worker
+# processes (0 = one per core); results are bit-identical either way.
+
+PYTHON ?= python
+PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
+
+.PHONY: fast test bench
+
+fast:
+	$(PYTEST) -q -m "not slow"
+
+test:
+	$(PYTEST) -x -q
+
+bench:
+	$(PYTEST) -q benchmarks

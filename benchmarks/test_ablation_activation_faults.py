@@ -11,30 +11,16 @@ fault rate; the clipped network holds substantially more accuracy at
 every damaging rate.
 """
 
-import numpy as np
-
 from benchmarks.conftest import run_once
 from repro.analysis.reporting import format_rate, format_table
-from repro.core.metrics import evaluate_accuracy_arrays
-from repro.experiments import clone_model
-from repro.hw.actfaults import ActivationFaultInjector
+from repro.core.campaign import CampaignConfig
+from repro.core.executor import CampaignExecutor
+from repro.experiments import campaign_workers, clone_model
+from repro.hw.actfaults import ActivationFaultCellTask
 
 RATES = (1e-6, 1e-5, 1e-4, 1e-3)
 TRIALS = 6
-
-
-def _sweep(model, images, labels):
-    """Mean accuracy per activation-fault rate."""
-    means = []
-    with ActivationFaultInjector(model) as injector:
-        for rate_index, rate in enumerate(RATES):
-            values = []
-            for trial in range(TRIALS):
-                with injector.session(rate, rng=1000 * rate_index + trial):
-                    with np.errstate(over="ignore", invalid="ignore"):
-                        values.append(evaluate_accuracy_arrays(model, images, labels))
-            means.append(float(np.mean(values)))
-    return means
+SEED = 77
 
 
 def test_ablation_activation_memory_faults(
@@ -43,10 +29,25 @@ def test_ablation_activation_memory_faults(
     images, labels = alexnet_eval
     images, labels = images[:128], labels[:128]
     hardened_model, _, _ = alexnet_hardened
+    config = CampaignConfig(fault_rates=RATES, trials=TRIALS, seed=SEED)
 
     def experiment():
+        # Both variants are one cross-campaign sweep over the unified
+        # executor (common random numbers via the shared seed; with
+        # REPRO_WORKERS > 1 the two campaigns' cells share one pool).
         plain = clone_model(alexnet_bundle)
-        return _sweep(plain, images, labels), _sweep(hardened_model, images, labels)
+        tasks = [
+            ActivationFaultCellTask(plain, images, labels, config, label="plain"),
+            ActivationFaultCellTask(
+                hardened_model, images, labels, config, label="ft-clipact"
+            ),
+        ]
+        executor = CampaignExecutor(workers=campaign_workers())
+        plain_curve, clipped_curve = executor.run_tasks(tasks)
+        return (
+            [float(m) for m in plain_curve.mean_accuracies()],
+            [float(m) for m in clipped_curve.mean_accuracies()],
+        )
 
     plain_means, clipped_means = run_once(benchmark, experiment)
 

@@ -19,11 +19,12 @@ from repro.core.baselines import (
     dmr_sampler,
     ecc_sampler,
     range_check_sampler,
+    run_mitigation_sweep,
     tmr_sampler,
 )
-from repro.core.campaign import CampaignConfig, run_campaign
+from repro.core.campaign import CampaignConfig
 from repro.core.swap import swap_activations
-from repro.experiments import clone_model, paper_fault_rates
+from repro.experiments import campaign_workers, clone_model, paper_fault_rates
 from repro.hw.memory import WeightMemory
 
 
@@ -35,30 +36,35 @@ def test_ablation_mitigation_landscape(
     hardened_model, thresholds, act_max = alexnet_hardened
     config = CampaignConfig(fault_rates=paper_fault_rates(), trials=8, seed=13)
 
-    def campaign(model, sampler=None, label=""):
-        memory = WeightMemory.from_model(model)
-        return run_campaign(model, memory, images, labels, config, sampler, label)
-
     def experiment():
-        curves = {}
-        curves["unprotected"] = campaign(clone_model(alexnet_bundle))
+        # All mitigations become one cross-campaign sweep: with
+        # REPRO_WORKERS > 1 every variant's cells share one worker pool
+        # instead of running eight campaigns back-to-back; the curves
+        # are bit-identical either way.
+        def variant(model, sampler=None):
+            return model, WeightMemory.from_model(model), sampler
+
         relu6_model = clone_model(alexnet_bundle)
         apply_relu6(relu6_model)
-        curves["relu6"] = campaign(relu6_model)
         actmax_model = clone_model(alexnet_bundle)
         swap_activations(actmax_model, act_max)
-        curves["actmax-clip"] = campaign(actmax_model)
-        curves["ftclipact"] = campaign(hardened_model)
         range_model = clone_model(alexnet_bundle)
         range_memory = WeightMemory.from_model(range_model)
-        curves["rangecheck"] = run_campaign(
-            range_model, range_memory, images, labels, config,
-            sampler=range_check_sampler(range_memory),
+        variants = {
+            "unprotected": variant(clone_model(alexnet_bundle)),
+            "relu6": variant(relu6_model),
+            "actmax-clip": variant(actmax_model),
+            "ftclipact": variant(hardened_model),
+            "rangecheck": (
+                range_model, range_memory, range_check_sampler(range_memory)
+            ),
+            "ecc": variant(clone_model(alexnet_bundle), ecc_sampler()),
+            "dmr": variant(clone_model(alexnet_bundle), dmr_sampler()),
+            "tmr": variant(clone_model(alexnet_bundle), tmr_sampler()),
+        }
+        return run_mitigation_sweep(
+            variants, images, labels, config, workers=campaign_workers()
         )
-        curves["ecc"] = campaign(clone_model(alexnet_bundle), sampler=ecc_sampler())
-        curves["dmr"] = campaign(clone_model(alexnet_bundle), sampler=dmr_sampler())
-        curves["tmr"] = campaign(clone_model(alexnet_bundle), sampler=tmr_sampler())
-        return curves
 
     curves = run_once(benchmark, experiment)
 

@@ -1,13 +1,15 @@
 """Campaign executor throughput: serial vs 2-worker wall clock.
 
 Not a paper figure — an infrastructure benchmark.  It runs the *same*
-fixed campaign once serially and once across two worker processes,
-asserts the two curves are bit-identical (the executor's determinism
-contract), and records both wall-clock times to
+fixed campaigns (float32 weight-fault and int8 quantized — the two
+curve-producing executor paths) once serially and once across two
+worker processes, asserts each pair of curves is bit-identical (the
+executor's determinism contract), and records all wall-clock times to
 ``benchmarks/results/BENCH_campaign.json`` so future PRs can track the
-speedup trajectory.  On a single-core machine the parallel run is
-expected to be slower (pool setup + weight shipping with no cores to
-win back); the JSON records ``cpus`` so readers can interpret the ratio.
+speedup trajectory of both paths.  On a single-core machine the
+parallel runs are expected to be slower (pool setup + weight shipping
+with no cores to win back); the JSON records ``cpus`` so readers can
+interpret the ratios.
 """
 
 from __future__ import annotations
@@ -19,6 +21,7 @@ import time
 import numpy as np
 
 from repro.core.campaign import CampaignConfig, run_campaign
+from repro.core.quantized import run_quantized_campaign
 from repro.data import SyntheticCIFAR10
 from repro.hw.memory import WeightMemory
 from repro.models import LeNet5
@@ -62,6 +65,21 @@ def test_bench_campaign_serial_vs_two_workers(record_result, bench_workers):
     np.testing.assert_array_equal(serial.accuracies, parallel.accuracies)
     assert serial.clean_accuracy == parallel.clean_accuracy
 
+    # Same comparison for the int8 campaign, now that it shares the
+    # executor substrate: the speedup trend should cover both paths.
+    start = time.perf_counter()
+    int8_serial = run_quantized_campaign(model, memory, images, labels, config)
+    int8_serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    int8_parallel = run_quantized_campaign(
+        model, memory, images, labels, config, workers=workers
+    )
+    int8_parallel_seconds = time.perf_counter() - start
+
+    np.testing.assert_array_equal(int8_serial.accuracies, int8_parallel.accuracies)
+    assert int8_serial.clean_accuracy == int8_parallel.clean_accuracy
+
     payload = {
         "benchmark": "campaign_executor",
         "cells": len(RATES) * TRIALS,
@@ -71,6 +89,9 @@ def test_bench_campaign_serial_vs_two_workers(record_result, bench_workers):
         "serial_seconds": round(serial_seconds, 3),
         "parallel_seconds": round(parallel_seconds, 3),
         "speedup": round(serial_seconds / parallel_seconds, 3),
+        "quantized_serial_seconds": round(int8_serial_seconds, 3),
+        "quantized_parallel_seconds": round(int8_parallel_seconds, 3),
+        "quantized_speedup": round(int8_serial_seconds / int8_parallel_seconds, 3),
         "bit_identical": True,
     }
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -80,6 +101,8 @@ def test_bench_campaign_serial_vs_two_workers(record_result, bench_workers):
     record_result(
         "BENCH_campaign",
         "campaign executor: serial {serial_seconds}s vs {workers}-worker "
-        "{parallel_seconds}s (speedup {speedup}x on {cpus} CPUs, "
-        "bit-identical curves)".format(**payload),
+        "{parallel_seconds}s (speedup {speedup}x on {cpus} CPUs); "
+        "quantized serial {quantized_serial_seconds}s vs "
+        "{quantized_parallel_seconds}s (speedup {quantized_speedup}x); "
+        "bit-identical curves".format(**payload),
     )

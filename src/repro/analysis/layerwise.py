@@ -8,12 +8,13 @@ sensitive and where each layer's accuracy cliff sits.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
 from repro import nn
-from repro.core.campaign import CampaignConfig, FaultSampler, run_campaign
+from repro.core.campaign import CampaignConfig, FaultSampler
+from repro.core.executor import CampaignExecutor, WeightFaultCellTask
 from repro.core.metrics import ResilienceCurve
 from repro.hw.memory import WeightMemory
 from repro.models.registry import layer_names
@@ -59,13 +60,20 @@ def run_layerwise_analysis(
     layers: "Iterable[str] | None" = None,
     sampler: "FaultSampler | None" = None,
     workers: int = 1,
+    progress: "Callable | None" = None,
+    checkpoint: "str | None" = None,
 ) -> LayerwiseResult:
     """Per-layer fault injection: one scoped campaign per CONV/FC layer.
 
     ``layers`` restricts the analysis (e.g. the paper's CONV-1 / CONV-5 /
     FC-1 selection); default is every computational layer.  ``workers``
-    parallelizes each layer's campaign grid (0 = cpu_count) without
-    changing any curve.
+    schedules the cells of *all* layers' campaigns into one shared
+    process pool (0 = cpu_count) — cross-campaign fan-out — without
+    changing any curve: results are bit-identical to running the layers'
+    campaigns back-to-back serially.  ``progress`` streams per-cell
+    :class:`~repro.core.executor.CellResult`\\ s (``campaign_label`` names
+    the layer) and ``checkpoint`` enables resume of the whole
+    multi-layer sweep from one JSON file.
     """
     available = layer_names(model)
     selected: Sequence[str] = list(layers) if layers is not None else available
@@ -75,19 +83,19 @@ def run_layerwise_analysis(
             f"unknown layers {sorted(unknown)!r}; model has {available!r}"
         )
 
-    curves: dict[str, ResilienceCurve] = {}
     bits: dict[str, int] = {}
+    tasks: list[WeightFaultCellTask] = []
     for layer in selected:
         memory = WeightMemory.from_model(model, layers=[layer])
         bits[layer] = memory.total_bits
-        curves[layer] = run_campaign(
-            model,
-            memory,
-            images,
-            labels,
-            config=config,
-            sampler=sampler,
-            label=layer,
-            workers=workers,
+        tasks.append(
+            WeightFaultCellTask(
+                model, memory, images, labels,
+                config=config, sampler=sampler, label=layer,
+            )
         )
+    executor = CampaignExecutor(
+        workers=workers, progress=progress, checkpoint=checkpoint
+    )
+    curves = dict(zip(selected, executor.run_tasks(tasks)))
     return LayerwiseResult(curves=curves, bits_per_layer=bits)

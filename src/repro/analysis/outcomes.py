@@ -19,17 +19,22 @@ the accuracy curve.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
 from repro import nn
 from repro.core.campaign import CampaignConfig, FaultSampler, random_bitflip_sampler
+from repro.core.executor import CampaignExecutor, InjectionCellRunner, payload_state
 from repro.core.metrics import predict_labels
-from repro.hw.injector import FaultInjector
 from repro.hw.memory import WeightMemory
-from repro.utils.rng import SeedTree
 
-__all__ = ["OutcomeCounts", "OutcomeBreakdown", "run_outcome_analysis"]
+__all__ = [
+    "OutcomeCounts",
+    "OutcomeBreakdown",
+    "OutcomeCellTask",
+    "run_outcome_analysis",
+]
 
 
 @dataclass(frozen=True)
@@ -128,6 +133,76 @@ def _classify_trial(
     return masked, benign, sdc, due
 
 
+class OutcomeCellTask:
+    """Cell protocol for the outcome taxonomy (see :mod:`repro.core.executor`).
+
+    Each cell is vector-valued — the ``(masked, benign, sdc, due)``
+    counts of one trial — and :meth:`build_result` sums them per rate.
+    The clean predictions the taxonomy compares against are computed
+    once parent-side and ship inside the task payload.
+    """
+
+    kind = "outcome"
+    cell_width = 4
+
+    def __init__(
+        self,
+        model: nn.Module,
+        memory: WeightMemory,
+        images: np.ndarray,
+        labels: np.ndarray,
+        config: "CampaignConfig | None" = None,
+        sampler: "FaultSampler | None" = None,
+        label: str = "",
+    ):
+        self.model = model
+        self.memory = memory
+        self.images = np.asarray(images, dtype=np.float32)
+        self.labels = np.asarray(labels, dtype=np.int64)
+        self.config = config if config is not None else CampaignConfig()
+        self.sampler = sampler if sampler is not None else random_bitflip_sampler()
+        self.label = label
+        self.clean_predictions = predict_labels(
+            model, self.images, self.config.batch_size
+        )
+
+    def __getstate__(self) -> dict:
+        return payload_state(self)
+
+    def clean_accuracy(self) -> float:
+        return float((self.clean_predictions == self.labels).mean())
+
+    def measure(self) -> tuple[float, ...]:
+        """Outcome counts of the (currently fault-injected) model."""
+        masked, benign, sdc, due = _classify_trial(
+            self.model, self.images, self.labels,
+            self.clean_predictions, self.config.batch_size,
+        )
+        return (float(masked), float(benign), float(sdc), float(due))
+
+    def make_runner(self) -> InjectionCellRunner:
+        return InjectionCellRunner(self)
+
+    def build_result(self, rates: np.ndarray, values: np.ndarray) -> OutcomeBreakdown:
+        counts = []
+        for rate_index in range(rates.size):
+            sums = values[rate_index].sum(axis=0)  # ints, exact in float64
+            counts.append(
+                OutcomeCounts(
+                    masked=int(sums[0]),
+                    benign=int(sums[1]),
+                    sdc=int(sums[2]),
+                    due=int(sums[3]),
+                )
+            )
+        return OutcomeBreakdown(
+            fault_rates=rates,
+            counts=counts,
+            clean_accuracy=self.clean_accuracy(),
+            label=self.label,
+        )
+
+
 def run_outcome_analysis(
     model: nn.Module,
     memory: WeightMemory,
@@ -136,42 +211,22 @@ def run_outcome_analysis(
     config: "CampaignConfig | None" = None,
     sampler: "FaultSampler | None" = None,
     label: str = "",
+    workers: int = 1,
+    progress: "Callable | None" = None,
+    checkpoint: "str | None" = None,
 ) -> OutcomeBreakdown:
     """Sweep fault rates and classify every inference's outcome.
 
     Uses the same ``rate/<i>/trial/<j>`` seed derivation as
     :class:`~repro.core.campaign.FaultInjectionCampaign`, so outcome
     breakdowns pair exactly with accuracy curves from the same config.
+    ``workers`` fans the grid across a process pool (``0`` = one per CPU
+    core) with counts bit-identical to the serial sweep.
     """
-    config = config if config is not None else CampaignConfig()
-    sampler = sampler if sampler is not None else random_bitflip_sampler()
-    images = np.asarray(images, dtype=np.float32)
-    labels = np.asarray(labels, dtype=np.int64)
-
-    clean_predictions = predict_labels(model, images, config.batch_size)
-    clean_accuracy = float((clean_predictions == labels).mean())
-
-    injector = FaultInjector(memory)
-    tree = SeedTree(config.seed)
-    rates = np.asarray(config.fault_rates, dtype=np.float64)
-    counts: list[OutcomeCounts] = []
-    for rate_index, rate in enumerate(rates):
-        masked = benign = sdc = due = 0
-        for trial in range(config.trials):
-            rng = tree.generator(f"rate/{rate_index}/trial/{trial}")
-            fault_set = sampler(memory, float(rate), rng)
-            with injector.apply(fault_set):
-                m, b, s, d = _classify_trial(
-                    model, images, labels, clean_predictions, config.batch_size
-                )
-            masked += m
-            benign += b
-            sdc += s
-            due += d
-        counts.append(OutcomeCounts(masked=masked, benign=benign, sdc=sdc, due=due))
-    return OutcomeBreakdown(
-        fault_rates=rates,
-        counts=counts,
-        clean_accuracy=clean_accuracy,
-        label=label,
+    task = OutcomeCellTask(
+        model, memory, images, labels, config=config, sampler=sampler, label=label
     )
+    executor = CampaignExecutor(
+        workers=workers, progress=progress, checkpoint=checkpoint
+    )
+    return executor.run_tasks([task])[0]

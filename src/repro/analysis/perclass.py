@@ -10,17 +10,17 @@ distribution of predicted classes, exposing that collapse.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
 from repro import nn
 from repro.core.campaign import CampaignConfig, FaultSampler, random_bitflip_sampler
+from repro.core.executor import CampaignExecutor, InjectionCellRunner, payload_state
 from repro.core.metrics import predict_labels
-from repro.hw.injector import FaultInjector
 from repro.hw.memory import WeightMemory
-from repro.utils.rng import SeedTree
 
-__all__ = ["PerClassResult", "run_per_class_analysis"]
+__all__ = ["PerClassResult", "PerClassCellTask", "run_per_class_analysis"]
 
 
 @dataclass
@@ -63,6 +63,79 @@ def _per_class_stats(
     return recall, share
 
 
+class PerClassCellTask:
+    """Cell protocol for per-class analysis (see :mod:`repro.core.executor`).
+
+    Each cell is vector-valued — one trial's per-class recall followed by
+    its per-class prediction share (``cell_width = 2 * num_classes``) —
+    and :meth:`build_result` averages them per rate in trial order,
+    matching the historical serial accumulation bit for bit.
+    """
+
+    kind = "per-class"
+
+    def __init__(
+        self,
+        model: nn.Module,
+        memory: WeightMemory,
+        images: np.ndarray,
+        labels: np.ndarray,
+        config: "CampaignConfig | None" = None,
+        sampler: "FaultSampler | None" = None,
+        num_classes: "int | None" = None,
+        label: str = "",
+    ):
+        self.model = model
+        self.memory = memory
+        self.images = np.asarray(images, dtype=np.float32)
+        self.labels = np.asarray(labels, dtype=np.int64)
+        self.config = config if config is not None else CampaignConfig()
+        self.sampler = sampler if sampler is not None else random_bitflip_sampler()
+        if num_classes is None:
+            num_classes = int(self.labels.max()) + 1
+        self.num_classes = int(num_classes)
+        self.cell_width = 2 * self.num_classes
+        self.label = label
+
+    def __getstate__(self) -> dict:
+        return payload_state(self)
+
+    def measure(self) -> np.ndarray:
+        """Per-class stats of the (currently fault-injected) model."""
+        predictions = predict_labels(self.model, self.images, self.config.batch_size)
+        trial_recall, trial_share = _per_class_stats(
+            predictions, self.labels, self.num_classes
+        )
+        return np.concatenate([trial_recall, trial_share])
+
+    def make_runner(self) -> InjectionCellRunner:
+        return InjectionCellRunner(self)
+
+    def build_result(self, rates: np.ndarray, values: np.ndarray) -> PerClassResult:
+        clean_predictions = predict_labels(self.model, self.images, self.config.batch_size)
+        clean_recall, _ = _per_class_stats(
+            clean_predictions, self.labels, self.num_classes
+        )
+        classes = self.num_classes
+        recall = np.zeros((rates.size, classes))
+        share = np.zeros((rates.size, classes))
+        # Accumulate in trial order (not np.sum's pairwise reduction) so
+        # the result matches the historical serial loop bit for bit.
+        for rate_index in range(rates.size):
+            for trial in range(self.config.trials):
+                recall[rate_index] += values[rate_index, trial, :classes]
+                share[rate_index] += values[rate_index, trial, classes:]
+            recall[rate_index] /= self.config.trials
+            share[rate_index] /= self.config.trials
+        return PerClassResult(
+            fault_rates=rates,
+            recall=recall,
+            prediction_share=share,
+            clean_recall=clean_recall,
+            num_classes=classes,
+        )
+
+
 def run_per_class_analysis(
     model: nn.Module,
     memory: WeightMemory,
@@ -71,42 +144,20 @@ def run_per_class_analysis(
     config: "CampaignConfig | None" = None,
     sampler: "FaultSampler | None" = None,
     num_classes: "int | None" = None,
+    workers: int = 1,
+    progress: "Callable | None" = None,
+    checkpoint: "str | None" = None,
 ) -> PerClassResult:
-    """Sweep fault rates and record per-class recall / prediction share."""
-    config = config if config is not None else CampaignConfig()
-    sampler = sampler if sampler is not None else random_bitflip_sampler()
-    images = np.asarray(images, dtype=np.float32)
-    labels = np.asarray(labels, dtype=np.int64)
-    if num_classes is None:
-        num_classes = int(labels.max()) + 1
+    """Sweep fault rates and record per-class recall / prediction share.
 
-    clean_predictions = predict_labels(model, images, config.batch_size)
-    clean_recall, _ = _per_class_stats(clean_predictions, labels, num_classes)
-
-    injector = FaultInjector(memory)
-    tree = SeedTree(config.seed)
-    rates = np.asarray(config.fault_rates, dtype=np.float64)
-    recall = np.zeros((rates.size, num_classes))
-    share = np.zeros((rates.size, num_classes))
-
-    for rate_index, rate in enumerate(rates):
-        for trial in range(config.trials):
-            rng = tree.generator(f"rate/{rate_index}/trial/{trial}")
-            fault_set = sampler(memory, float(rate), rng)
-            with injector.apply(fault_set):
-                predictions = predict_labels(model, images, config.batch_size)
-            trial_recall, trial_share = _per_class_stats(
-                predictions, labels, num_classes
-            )
-            recall[rate_index] += trial_recall
-            share[rate_index] += trial_share
-        recall[rate_index] /= config.trials
-        share[rate_index] /= config.trials
-
-    return PerClassResult(
-        fault_rates=rates,
-        recall=recall,
-        prediction_share=share,
-        clean_recall=clean_recall,
-        num_classes=num_classes,
+    ``workers`` fans the grid across a process pool (``0`` = one per CPU
+    core) with results bit-identical to the serial sweep.
+    """
+    task = PerClassCellTask(
+        model, memory, images, labels,
+        config=config, sampler=sampler, num_classes=num_classes,
     )
+    executor = CampaignExecutor(
+        workers=workers, progress=progress, checkpoint=checkpoint
+    )
+    return executor.run_tasks([task])[0]

@@ -26,6 +26,8 @@ _MODELS = ("lenet5", "alexnet", "vgg16")
 
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing and docs)."""
+    from repro.experiments import CAMPAIGN_VARIANTS
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="FT-ClipAct (DATE 2020) reproduction toolkit",
@@ -62,9 +64,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_model_arg(p_campaign)
     add_workers_arg(p_campaign)
     p_campaign.add_argument(
-        "--variant",
-        default="unprotected",
-        choices=("unprotected", "ftclipact", "relu6", "ecc", "tmr", "dmr", "int8"),
+        "--variant", default="unprotected", choices=CAMPAIGN_VARIANTS
     )
     p_campaign.add_argument("--trials", type=int, default=10)
     p_campaign.add_argument("--eval-images", type=int, default=200)
@@ -177,14 +177,12 @@ def _cmd_harden(args: argparse.Namespace) -> int:
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.analysis.reporting import format_curve_table
-    from repro.core.baselines import apply_relu6, dmr_sampler, ecc_sampler, tmr_sampler
     from repro.core.campaign import CampaignConfig, run_campaign
     from repro.core.quantized import run_quantized_campaign
     from repro.experiments import (
-        clone_model,
         experiment_bundle,
-        hardened_clone,
         paper_fault_rates,
+        prepare_campaign_variant,
     )
     from repro.hw.memory import WeightMemory
 
@@ -194,26 +192,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     config = CampaignConfig(
         fault_rates=paper_fault_rates(), trials=args.trials, seed=args.seed
     )
-
-    sampler = None
-    if args.variant == "ftclipact":
-        from repro.experiments import default_harden_config
-
-        # Thread --workers into the hardening step too: on a cold cache
-        # Algorithm 1's fine-tuning campaigns dominate this command.
-        model, _, _ = hardened_clone(
-            bundle, default_harden_config(workers=args.workers)
-        )
-    else:
-        model = clone_model(bundle)
-        if args.variant == "relu6":
-            apply_relu6(model)
-        elif args.variant == "ecc":
-            sampler = ecc_sampler()
-        elif args.variant == "tmr":
-            sampler = tmr_sampler()
-        elif args.variant == "dmr":
-            sampler = dmr_sampler()
+    # --workers threads into ftclipact's hardening step too: on a cold
+    # cache Algorithm 1's fine-tuning campaigns dominate this command.
+    model, sampler = prepare_campaign_variant(bundle, args.variant, args.workers)
 
     progress = None
     if args.progress:
@@ -227,22 +208,16 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
     memory = WeightMemory.from_model(model)
     if args.variant == "int8":
-        ignored = [
-            flag
-            for flag, used in (
-                ("--workers", args.workers != 1),
-                ("--checkpoint", args.checkpoint is not None),
-                ("--progress", args.progress),
-            )
-            if used
-        ]
-        if ignored:
-            print(
-                f"note: {', '.join(ignored)} not supported by the int8 "
-                "campaign (it runs its own serial loop)"
-            )
         curve = run_quantized_campaign(
-            model, memory, images, labels, config, label=args.variant
+            model,
+            memory,
+            images,
+            labels,
+            config,
+            label=args.variant,
+            workers=args.workers,
+            progress=progress,
+            checkpoint=args.checkpoint,
         )
     else:
         curve = run_campaign(

@@ -8,6 +8,7 @@ from repro.core.baselines import (
     apply_relu6,
     dmr_sampler,
     ecc_sampler,
+    run_mitigation_sweep,
     tmr_sampler,
 )
 from repro.core.campaign import (
@@ -23,14 +24,16 @@ from repro.core.clipped import ClampedReLU, ClippedLeakyReLU, ClippedReLU
 from repro.core.executor import (
     CampaignExecutor,
     CellResult,
+    WeightFaultCellTask,
     resolve_workers,
 )
 from repro.core.fat import FaultAwareTrainer
-from repro.core.quantized import run_quantized_campaign
+from repro.core.quantized import QuantizedCellTask, run_quantized_campaign
 from repro.core.finetune import (
     FineTuneConfig,
     FineTuneResult,
     IterationTrace,
+    LayerAUCEvaluator,
     ThresholdFineTuner,
     fine_tune_threshold,
     make_layer_auc_evaluator,
@@ -78,11 +81,14 @@ __all__ = [
     "FineTuneResult",
     "HardenedModel",
     "IterationTrace",
+    "LayerAUCEvaluator",
     "LayerActivationStats",
     "MITIGATION_SAMPLERS",
     "ProfileResult",
+    "QuantizedCellTask",
     "ResilienceCurve",
     "ThresholdFineTuner",
+    "WeightFaultCellTask",
     "apply_actmax_clipping",
     "apply_clamping",
     "apply_relu6",
@@ -102,6 +108,7 @@ __all__ = [
     "random_bitflip_sampler",
     "resolve_workers",
     "run_campaign",
+    "run_mitigation_sweep",
     "run_quantized_campaign",
     "set_thresholds",
     "swap_activations",

@@ -38,6 +38,7 @@ __all__ = [
     "ecc_sampler",
     "tmr_sampler",
     "dmr_sampler",
+    "run_mitigation_sweep",
     "MITIGATION_SAMPLERS",
 ]
 
@@ -108,6 +109,42 @@ def range_check_sampler(memory: WeightMemory, margin: float = 1.0) -> FaultSampl
 def dmr_sampler() -> FaultSampler:
     """Fault sampler seen by a DMR (detect-and-zero) weight memory."""
     return FilterSampler(DMRFilter())
+
+
+def run_mitigation_sweep(
+    variants: "Mapping[str, tuple[nn.Module, WeightMemory, FaultSampler | None]]",
+    images: np.ndarray,
+    labels: np.ndarray,
+    config=None,
+    workers: int = 1,
+    progress: "Callable | None" = None,
+    checkpoint: "str | None" = None,
+) -> "dict[str, object]":
+    """Run several mitigation variants' campaigns through one worker pool.
+
+    ``variants`` maps a label to ``(model, memory, sampler-or-None)``;
+    model-level mitigations (relu6, clipping) differ in the model,
+    redundancy schemes (ECC/TMR/DMR) in the sampler.  All variants share
+    ``config`` — common random numbers — and with ``workers > 1`` their
+    cells interleave in a single shared pool instead of running the
+    campaigns back-to-back; each returned
+    :class:`~repro.core.metrics.ResilienceCurve` is bit-identical to its
+    standalone serial run either way.  ``checkpoint`` resumes the whole
+    comparison from one JSON file.
+    """
+    from repro.core.executor import CampaignExecutor, WeightFaultCellTask
+
+    tasks = [
+        WeightFaultCellTask(
+            model, memory, images, labels,
+            config=config, sampler=sampler, label=label,
+        )
+        for label, (model, memory, sampler) in variants.items()
+    ]
+    executor = CampaignExecutor(
+        workers=workers, progress=progress, checkpoint=checkpoint
+    )
+    return dict(zip(variants, executor.run_tasks(tasks)))
 
 
 # Registry used by the mitigation-comparison benchmark.  "unprotected",

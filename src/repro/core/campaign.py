@@ -7,6 +7,14 @@ fault rates, with ``trials`` independent injections per rate, producing a
 seed share *common random numbers*: trial ``j`` at rate ``i`` draws the
 same fault locations in both — essential for the threshold fine-tuning
 sweep, where AUC differences between thresholds must not be noise.
+
+Execution is delegated to :class:`~repro.core.executor.CampaignExecutor`
+via :class:`~repro.core.executor.WeightFaultCellTask` — the same
+substrate that runs the quantized, activation-fault and cross-campaign
+sweeps — so ``workers=`` fans any campaign over a process pool with
+bit-identical results, and several campaigns (layerwise layers,
+mitigation variants) can share one pool through
+:meth:`~repro.core.executor.CampaignExecutor.run_tasks`.
 """
 
 from __future__ import annotations

@@ -1,43 +1,64 @@
 """Parallel campaign execution: deterministic fan-out of (rate, trial) cells.
 
-:class:`CampaignExecutor` runs the grid of a
-:class:`~repro.core.campaign.FaultInjectionCampaign` either in-process
-(``workers=1``, the default — exactly the historical serial loop) or across
-a :class:`concurrent.futures.ProcessPoolExecutor` worker pool.
+:class:`CampaignExecutor` is the single execution substrate for every
+Monte-Carlo sweep in this codebase.  A sweep is described by one or more
+*cell tasks* — picklable objects implementing :class:`CampaignCellTask` —
+whose grid of ``(rate index, trial index)`` cells the executor evaluates
+either in-process (``workers=1``, exactly the historical serial loops) or
+across a :class:`concurrent.futures.ProcessPoolExecutor` worker pool.
+
+Weight-fault campaigns (:class:`WeightFaultCellTask`, here), quantized
+int8 campaigns (:class:`~repro.core.quantized.QuantizedCellTask`),
+activation-fault campaigns
+(:class:`~repro.hw.actfaults.ActivationFaultCellTask`) and the
+vector-valued outcome/per-class analyses all speak this protocol, and
+:meth:`CampaignExecutor.run_tasks` schedules cells from *several* tasks
+(layerwise layers, mitigation variants, Algorithm-1 boundary thresholds)
+into one shared pool instead of running campaigns back-to-back.
 
 Design
 ------
 
-**Weight shipping.**  Each worker process holds its own deserialized model
-and :class:`~repro.hw.memory.WeightMemory`.  The parent pickles the
-``(model, memory, images, labels, sampler)`` tuple *once* into a payload
-blob (reused as the checkpoint fingerprint's CRC input) and hands it to
-every worker through the pool's ``initializer`` — not per task — so a
-sweep of hundreds of cells ships the weights exactly ``workers`` times.  Pickling the model and the memory in
-one payload preserves their aliasing: the worker's memory regions point at
-the worker's own parameter arrays, so fault injection in a worker mutates
-(and restores) only that worker's copy.
+**Cell protocol.**  A task is a picklable description of one campaign:
+``task.make_runner()`` builds the mutable per-process machinery (fault
+injector, quantized deployment, activation hooks), and
+``runner.run_cell(rate_index, trial)`` evaluates one cell.  The serial
+path builds the runner over the caller's live objects; a worker builds it
+over its own deserialized copy — the *same code* runs in both, so
+determinism holds by construction rather than by keeping loops in sync.
+
+**Weight shipping.**  Each task pickles once into a payload blob (reused
+as the checkpoint fingerprint's CRC input).  The concatenated blobs ship
+to workers through one :mod:`multiprocessing.shared_memory` segment —
+written once per host, attached by name — with an automatic fallback to
+inline initializer bytes when shared memory is unavailable (see
+:mod:`repro.utils.shm`).  Workers deserialize tasks lazily, keeping one
+live runner at a time, so a worker never holds more than one model copy.
 
 **Determinism.**  The per-cell seed depends only on
 ``(campaign seed, rate index, trial index)`` via
 :class:`~repro.utils.rng.SeedTree` (path ``rate/<i>/trial/<j>``), never on
-which worker evaluates the cell or in which order cells complete.  Worker
-models are bit-exact copies of the parent's float32 weights and the
-evaluation is pure single-threaded NumPy, so a parallel run produces a
-:class:`~repro.core.metrics.ResilienceCurve` *bit-identical* to the serial
-run — the common-random-numbers contract of ``campaign.py`` survives
-parallelism unchanged.
+which worker evaluates the cell, which task the cell belongs to, or in
+which order cells complete.  Worker state is a bit-exact copy of the
+parent's and evaluation is pure single-threaded NumPy, so parallel and
+cross-campaign runs produce results *bit-identical* to running each
+campaign's serial loop back-to-back — the common-random-numbers contract
+of ``campaign.py`` survives any scheduling.
 
-**Dispatch.**  Cells are enumerated rate-major (the serial order), split
-into contiguous chunks of ``chunk_size`` (default: about four chunks per
-worker) and submitted eagerly; results are written back into the
-``(n_rates, n_trials)`` accuracy grid by index, so completion order is
+**Dispatch.**  Cells are enumerated task-major, rate-major (the serial
+order), split into contiguous single-task chunks of ``chunk_size``
+(default: about four chunks per worker across all tasks) and submitted
+eagerly; results are written back into each task's
+``(n_rates, n_trials)`` value grid by index, so completion order is
 irrelevant.
 
 **Streaming and resume.**  An optional per-cell ``progress`` callback
-receives a :class:`CellResult` as each accuracy lands, and an optional
+receives a :class:`CellResult` as each value lands, and an optional
 ``checkpoint`` JSON file records completed cells so an interrupted sweep
 restarted with the same configuration re-runs only the missing cells.
+The checkpoint fingerprint covers each task's kind (a quantized
+checkpoint can never resume a weight-fault sweep), config grid and a CRC
+of its pickled content.
 """
 
 from __future__ import annotations
@@ -50,12 +71,13 @@ import zlib
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Protocol, Sequence
 
 import numpy as np
 
 from repro.core.metrics import ResilienceCurve, evaluate_accuracy_arrays
 from repro.utils.rng import SeedTree
+from repro.utils.shm import ShippedBytes, ship_bytes
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.campaign import CampaignConfig, FaultInjectionCampaign, FaultSampler
@@ -63,12 +85,17 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 __all__ = [
     "CellResult",
     "ProgressCallback",
+    "CellRunner",
+    "CampaignCellTask",
+    "InjectionCellRunner",
+    "WeightFaultCellTask",
     "CampaignExecutor",
+    "payload_state",
     "resolve_workers",
     "cell_seed_path",
 ]
 
-_CHECKPOINT_VERSION = 1
+_CHECKPOINT_VERSION = 2
 
 
 def cell_seed_path(rate_index: int, trial: int) -> str:
@@ -96,94 +123,218 @@ def resolve_workers(workers: int) -> int:
 
 @dataclass(frozen=True)
 class CellResult:
-    """One completed (rate, trial) cell, streamed to progress callbacks."""
+    """One completed (rate, trial) cell, streamed to progress callbacks.
+
+    ``accuracy`` is the cell's primary scalar (the accuracy for curve
+    campaigns, the first component for vector-valued analyses, whose full
+    vector arrives in ``values``).  ``campaign_index`` / ``campaign_label``
+    identify the owning task in a cross-campaign sweep.
+    """
 
     rate_index: int
     trial: int
     fault_rate: float
     accuracy: float
     completed: int  # cells finished so far (including checkpointed ones)
-    total: int  # total cells in the grid
+    total: int  # total cells across all tasks in the sweep
     from_checkpoint: bool = False
+    campaign_index: int = 0
+    campaign_label: str = ""
+    values: "tuple[float, ...] | None" = None
 
 
 ProgressCallback = Callable[[CellResult], None]
 
 
 # --------------------------------------------------------------------- #
+# the cell protocol
+# --------------------------------------------------------------------- #
+
+
+class CellRunner(Protocol):
+    """Per-process campaign machinery built by a task's :meth:`make_runner`."""
+
+    def run_cell(self, rate_index: int, trial: int) -> "float | Sequence[float]":
+        """Evaluate one cell; must depend only on (seed, rate, trial)."""
+
+    def close(self) -> None:
+        """Tear down (restore weights, remove hooks); idempotent."""
+
+
+class CampaignCellTask(Protocol):
+    """A picklable description of one campaign's cell grid.
+
+    ``kind`` discriminates campaign types in checkpoint fingerprints;
+    ``cell_width`` is the number of scalars per cell (1 for accuracy
+    curves).  ``build_result`` turns the assembled
+    ``(n_rates, n_trials[, cell_width])`` value grid into the campaign's
+    result object (usually a :class:`ResilienceCurve`).
+    """
+
+    kind: str
+    label: str
+    config: "CampaignConfig"
+    cell_width: int
+
+    def make_runner(self) -> CellRunner: ...
+
+    def build_result(self, rates: np.ndarray, values: np.ndarray) -> Any: ...
+
+
+def payload_state(task: CampaignCellTask) -> dict:
+    """The ``__getstate__`` shared by every cell task.
+
+    Drops parent-side presentation (``label``) and caches (``_clean``)
+    from the pickled payload, so the payload bytes — and hence the
+    checkpoint CRC — depend only on the campaign's scientific content.
+    """
+    state = dict(task.__dict__)
+    state["label"] = ""
+    if "_clean" in state:
+        state["_clean"] = None
+    return state
+
+
+class InjectionCellRunner:
+    """Injector + seed tree over one (possibly worker-local) model copy.
+
+    The shared scaffold for every task that samples a weight-fault set
+    and measures the model under injection — the accuracy campaign, the
+    outcome taxonomy and the per-class analysis differ only in what
+    ``task.measure()`` computes while the faults are applied.
+    """
+
+    def __init__(self, task):
+        from repro.hw.injector import FaultInjector
+
+        self.task = task
+        self.injector = FaultInjector(task.memory)
+        self.tree = SeedTree(task.config.seed)
+
+    def run_cell(self, rate_index: int, trial: int) -> "float | Sequence[float]":
+        task = self.task
+        rate = float(task.config.fault_rates[rate_index])
+        rng = self.tree.generator(cell_seed_path(rate_index, trial))
+        fault_set = task.sampler(task.memory, rate, rng)
+        with self.injector.apply(fault_set):
+            return task.measure()
+
+    def close(self) -> None:
+        pass  # injection restores per cell; nothing is left armed
+
+
+class WeightFaultCellTask:
+    """The paper's campaign: sample weight faults, inject, evaluate, restore.
+
+    Built either from a live :class:`~repro.core.campaign.FaultInjectionCampaign`
+    (serial path / pickling source) or directly from its parts.  The
+    ``label`` and lazily-cached clean accuracy are parent-side and excluded
+    from the pickled payload, so the payload bytes — and hence the
+    checkpoint CRC — depend only on the campaign's scientific content.
+    """
+
+    kind = "weight-fault"
+    cell_width = 1
+
+    def __init__(
+        self,
+        model,
+        memory,
+        images: np.ndarray,
+        labels: np.ndarray,
+        config: "CampaignConfig | None" = None,
+        sampler: "FaultSampler | None" = None,
+        label: str = "",
+        clean_accuracy: "float | None" = None,
+    ):
+        from repro.core.campaign import CampaignConfig, random_bitflip_sampler
+
+        self.model = model
+        self.memory = memory
+        self.images = np.asarray(images, dtype=np.float32)
+        self.labels = np.asarray(labels, dtype=np.int64)
+        self.config = config if config is not None else CampaignConfig()
+        self.sampler = sampler if sampler is not None else random_bitflip_sampler()
+        self.label = label
+        self._clean = None if clean_accuracy is None else float(clean_accuracy)
+
+    def __getstate__(self) -> dict:
+        return payload_state(self)
+
+    def clean_accuracy(self) -> float:
+        """Fault-free accuracy on the evaluation set (computed lazily)."""
+        if self._clean is None:
+            self._clean = evaluate_accuracy_arrays(
+                self.model, self.images, self.labels, self.config.batch_size
+            )
+        return self._clean
+
+    def measure(self) -> float:
+        """Accuracy of the (currently fault-injected) model."""
+        return evaluate_accuracy_arrays(
+            self.model, self.images, self.labels, self.config.batch_size
+        )
+
+    def make_runner(self) -> InjectionCellRunner:
+        return InjectionCellRunner(self)
+
+    def build_result(self, rates: np.ndarray, values: np.ndarray) -> ResilienceCurve:
+        return ResilienceCurve(
+            fault_rates=rates,
+            accuracies=values,
+            clean_accuracy=self.clean_accuracy(),
+            label=self.label,
+        )
+
+
+# --------------------------------------------------------------------- #
 # worker-side machinery
 # --------------------------------------------------------------------- #
 
-# Per-process campaign state, set once by _init_worker.  Plain module
+# Per-process sweep state, set once by _init_worker.  Plain module
 # globals: ProcessPoolExecutor workers are single-threaded and each
-# process runs exactly one campaign at a time.
+# process serves exactly one sweep at a time.  Tasks deserialize lazily
+# and only one runner (one model copy) stays live per worker.
 _WORKER_STATE: "dict | None" = None
 
 
-def _init_worker(payload: bytes, config: "CampaignConfig") -> None:
-    """Pool initializer: deserialize the campaign payload once per worker."""
+def _init_worker(ref: ShippedBytes, spans: "tuple[tuple[int, int], ...]") -> None:
+    """Pool initializer: attach to the shipped payload once per worker."""
     global _WORKER_STATE
-    from repro.hw.injector import FaultInjector
-
-    model, memory, images, labels, sampler = pickle.loads(payload)
     _WORKER_STATE = {
-        "model": model,
-        "memory": memory,
-        "images": images,
-        "labels": labels,
-        "config": config,
-        "sampler": sampler,
-        "injector": FaultInjector(memory),
-        "tree": SeedTree(config.seed),
-        "rates": np.asarray(config.fault_rates, dtype=np.float64),
+        "payload": ref.open(),
+        "spans": spans,
+        "task_index": None,
+        "runner": None,
     }
 
 
-def _run_cells(cells: Sequence[tuple[int, int]]) -> list[tuple[int, int, float]]:
-    """Evaluate a chunk of (rate_index, trial) cells in this worker."""
+def _task_runner(task_index: int):
+    """The worker's runner for ``task_index``, (re)built on task switch."""
     state = _WORKER_STATE
     if state is None:  # pragma: no cover - defensive: initializer always ran
         raise RuntimeError("campaign worker used before initialization")
-    out: list[tuple[int, int, float]] = []
-    for rate_index, trial in cells:
-        accuracy = _evaluate_cell(
-            state["model"],
-            state["memory"],
-            state["injector"],
-            state["images"],
-            state["labels"],
-            state["config"],
-            state["sampler"],
-            state["tree"],
-            rate_index,
-            trial,
-        )
-        out.append((rate_index, trial, accuracy))
-    return out
+    if state["task_index"] != task_index:
+        if state["runner"] is not None:
+            state["runner"].close()
+            state["runner"] = None
+            state["task_index"] = None
+        start, end = state["spans"][task_index]
+        task = pickle.loads(state["payload"].buffer[start:end])
+        state["runner"] = task.make_runner()
+        state["task_index"] = task_index
+    return state["runner"]
 
 
-def _evaluate_cell(
-    model,
-    memory,
-    injector,
-    images,
-    labels,
-    config: "CampaignConfig",
-    sampler: "FaultSampler",
-    tree: SeedTree,
-    rate_index: int,
-    trial: int,
-) -> float:
-    """One campaign cell: sample faults, inject, evaluate, restore.
-
-    Shared verbatim by the serial path and the worker pool — determinism
-    by construction rather than by keeping two loops in sync.
-    """
-    rate = float(config.fault_rates[rate_index])
-    rng = tree.generator(cell_seed_path(rate_index, trial))
-    fault_set = sampler(memory, rate, rng)
-    with injector.apply(fault_set):
-        return evaluate_accuracy_arrays(model, images, labels, config.batch_size)
+def _run_task_cells(
+    task_index: int, cells: Sequence[tuple[int, int]]
+) -> "list[tuple[int, int, int, float | Sequence[float]]]":
+    """Evaluate a chunk of one task's cells in this worker."""
+    runner = _task_runner(task_index)
+    return [
+        (task_index, rate_index, trial, runner.run_cell(rate_index, trial))
+        for rate_index, trial in cells
+    ]
 
 
 # --------------------------------------------------------------------- #
@@ -191,59 +342,65 @@ def _evaluate_cell(
 # --------------------------------------------------------------------- #
 
 
-def _pickle_state(
-    campaign: "FaultInjectionCampaign", sampler: "FaultSampler"
-) -> "tuple[bytes | None, Exception | None]":
-    """Serialize the campaign state (model, memory, eval set, sampler) once.
+def _pickle_task(task: CampaignCellTask) -> "tuple[bytes | None, Exception | None]":
+    """Serialize one task (model, memory, eval set, sampler) once.
 
     The same blob feeds both the checkpoint fingerprint (CRC) and the
     worker-pool payload, so large models are pickled exactly once per
-    run.  Returns ``(None, error)`` when the state is unpicklable (e.g.
+    run.  Returns ``(None, error)`` when the task is unpicklable (e.g.
     a closure sampler): serial runs then fall back to config-level
     checkpoint validation, and parallel runs raise a clear error.
     """
     try:
-        return (
-            pickle.dumps(
-                (
-                    campaign.model,
-                    campaign.memory,
-                    campaign.images,
-                    campaign.labels,
-                    sampler,
-                )
-            ),
-            None,
-        )
+        return pickle.dumps(task), None
     except Exception as error:
         return None, error
 
 
 class _Checkpoint:
-    """A JSON record of completed cells, validated against the campaign.
+    """A JSON record of completed cells, validated against the sweep.
 
-    The file stores a campaign fingerprint — the config grid (seed,
-    trials, fault rates) plus a CRC of the pickled campaign state — so a
+    The file stores a fingerprint per task — its kind, config grid
+    (seed, trials, fault rates) and a CRC of its pickled content — so a
     checkpoint can never silently resume a *different* sweep (different
-    model, mitigation variant, sampler or evaluation set).
+    campaign type, model, mitigation variant, sampler or evaluation
+    set).  Single-task sweeps keep the historical flat layout with cells
+    keyed ``rate/trial``; cross-campaign sweeps nest per-task
+    fingerprints and key cells ``task/rate/trial``.
     """
 
     def __init__(
         self,
         path: "str | Path",
-        config: "CampaignConfig",
-        campaign_crc: "str | None" = None,
+        tasks: Sequence[CampaignCellTask],
+        crcs: Sequence["str | None"],
     ):
         self.path = Path(path)
-        self._fingerprint = {
-            "version": _CHECKPOINT_VERSION,
-            "seed": int(config.seed),
-            "trials": int(config.trials),
-            "batch_size": int(config.batch_size),
-            "fault_rates": [float(r) for r in config.fault_rates],
-            "campaign_crc": campaign_crc,
-        }
-        self.cells: dict[tuple[int, int], float] = {}
+        self._single = len(tasks) == 1
+
+        def task_fingerprint(task: CampaignCellTask, crc: "str | None") -> dict:
+            return {
+                "kind": task.kind,
+                "seed": int(task.config.seed),
+                "trials": int(task.config.trials),
+                "batch_size": int(task.config.batch_size),
+                "fault_rates": [float(r) for r in task.config.fault_rates],
+                "campaign_crc": crc,
+            }
+
+        if self._single:
+            self._fingerprint = {
+                "version": _CHECKPOINT_VERSION,
+                **task_fingerprint(tasks[0], crcs[0]),
+            }
+        else:
+            self._fingerprint = {
+                "version": _CHECKPOINT_VERSION,
+                "campaigns": [
+                    task_fingerprint(task, crc) for task, crc in zip(tasks, crcs)
+                ],
+            }
+        self.cells: "dict[tuple[int, int, int], float | list[float]]" = {}
         if self.path.exists():
             self._load()
 
@@ -253,22 +410,35 @@ class _Checkpoint:
         if stored != self._fingerprint:
             raise ValueError(
                 f"checkpoint {self.path} was written by a different campaign "
-                f"configuration; delete it or use a fresh path "
+                f"type or configuration; delete it or use a fresh path "
                 f"(stored {stored}, expected {self._fingerprint})"
             )
-        for key, accuracy in payload.get("cells", {}).items():
-            rate_index, trial = (int(part) for part in key.split("/"))
-            self.cells[(rate_index, trial)] = float(accuracy)
+        for key, value in payload.get("cells", {}).items():
+            parts = [int(part) for part in key.split("/")]
+            if len(parts) == 2:  # single-task layout: rate/trial
+                parts = [0, *parts]
+            task_index, rate_index, trial = parts
+            self.cells[(task_index, rate_index, trial)] = value
 
-    def record(self, rate_index: int, trial: int, accuracy: float) -> None:
-        self.cells[(rate_index, trial)] = float(accuracy)
+    def record(
+        self, task_index: int, rate_index: int, trial: int, value
+    ) -> None:
+        if np.ndim(value) == 0:
+            stored: "float | list[float]" = float(value)
+        else:
+            stored = [float(v) for v in np.asarray(value).reshape(-1)]
+        self.cells[(task_index, rate_index, trial)] = stored
 
     def flush(self) -> None:
         """Atomically rewrite the checkpoint file."""
         payload = dict(self._fingerprint)
         payload["cells"] = {
-            f"{rate_index}/{trial}": accuracy
-            for (rate_index, trial), accuracy in sorted(self.cells.items())
+            (
+                f"{rate_index}/{trial}"
+                if self._single
+                else f"{task_index}/{rate_index}/{trial}"
+            ): value
+            for (task_index, rate_index, trial), value in sorted(self.cells.items())
         }
         self.path.parent.mkdir(parents=True, exist_ok=True)
         tmp = self.path.with_name(self.path.name + ".tmp")
@@ -282,12 +452,12 @@ class _Checkpoint:
 
 
 class CampaignExecutor:
-    """Runs a campaign's (rates x trials) grid, serially or in parallel.
+    """Runs one or more campaigns' (rates x trials) grids, serially or in parallel.
 
     Parameters
     ----------
     workers:
-        ``1`` (default) runs in-process with the campaign's own injector —
+        ``1`` (default) runs in-process over the caller's live objects —
         the historical serial path.  ``N > 1`` fans cells across ``N``
         worker processes.  ``0`` means one worker per CPU core.
     chunk_size:
@@ -330,159 +500,224 @@ class CampaignExecutor:
         sampler: "FaultSampler | None" = None,
         label: str = "",
     ) -> ResilienceCurve:
-        """Execute the full sweep for ``campaign`` and build its curve."""
-        from repro.core.campaign import random_bitflip_sampler
+        """Execute one weight-fault campaign's sweep and build its curve."""
+        task = WeightFaultCellTask(
+            campaign.model,
+            campaign.memory,
+            campaign.images,
+            campaign.labels,
+            config=campaign.config,
+            sampler=sampler,
+            label=label,
+            clean_accuracy=campaign.clean_accuracy,
+        )
+        return self.run_tasks([task])[0]
 
-        sampler = sampler if sampler is not None else random_bitflip_sampler()
-        config = campaign.config
-        rates = np.asarray(config.fault_rates, dtype=np.float64)
-        accuracies = np.full((rates.size, config.trials), np.nan, dtype=np.float64)
-        total = rates.size * config.trials
+    def run_tasks(self, tasks: Sequence[CampaignCellTask]) -> list[Any]:
+        """Execute several campaigns' cells through one scheduling pass.
 
-        # One serialization serves both the checkpoint fingerprint and
-        # the worker payload.
-        state_blob: "bytes | None" = None
-        state_error: "Exception | None" = None
+        With ``workers > 1`` every task's pending cells share a single
+        worker pool (the cross-campaign fan-out); with ``workers=1`` the
+        tasks run back-to-back in task order, rate-major — exactly the
+        historical sequential loops.  Either way each task's result is
+        bit-identical, and the returned list is parallel to ``tasks``.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+
+        rates_list: list[np.ndarray] = []
+        grids: list[np.ndarray] = []
+        for task in tasks:
+            rates = np.asarray(task.config.fault_rates, dtype=np.float64)
+            width = int(getattr(task, "cell_width", 1))
+            shape: "tuple[int, ...]" = (rates.size, task.config.trials)
+            if width != 1:
+                shape = (*shape, width)
+            rates_list.append(rates)
+            grids.append(np.full(shape, np.nan, dtype=np.float64))
+        total = sum(grid.shape[0] * grid.shape[1] for grid in grids)
+
+        # One serialization per task serves both the checkpoint
+        # fingerprint and the worker payload.
+        blobs: "list[bytes | None]" = [None] * len(tasks)
+        errors: "list[Exception | None]" = [None] * len(tasks)
         if self.checkpoint_path is not None or self.workers > 1:
-            state_blob, state_error = _pickle_state(campaign, sampler)
+            for index, task in enumerate(tasks):
+                blobs[index], errors[index] = _pickle_task(task)
 
         checkpoint = None
         if self.checkpoint_path is not None:
-            if state_blob is None:
+            if any(blob is None for blob in blobs):
+                first_error = next(e for e in errors if e is not None)
                 warnings.warn(
                     "campaign state is not picklable; the checkpoint can "
                     "validate only the config grid, not the model/sampler/"
                     "eval set — resuming against different campaign content "
-                    f"would go undetected ({state_error})",
+                    f"would go undetected ({first_error})",
                     RuntimeWarning,
                     stacklevel=2,
                 )
-            crc = f"{zlib.crc32(state_blob):08x}" if state_blob is not None else None
-            checkpoint = _Checkpoint(self.checkpoint_path, config, crc)
+            crcs = [
+                f"{zlib.crc32(blob):08x}" if blob is not None else None
+                for blob in blobs
+            ]
+            checkpoint = _Checkpoint(self.checkpoint_path, tasks, crcs)
+
         completed = 0
         if checkpoint is not None:
-            for (rate_index, trial), accuracy in sorted(checkpoint.cells.items()):
-                if rate_index < rates.size and trial < config.trials:
-                    accuracies[rate_index, trial] = accuracy
+            for (task_index, rate_index, trial), value in sorted(
+                checkpoint.cells.items()
+            ):
+                if (
+                    task_index < len(tasks)
+                    and rate_index < grids[task_index].shape[0]
+                    and trial < grids[task_index].shape[1]
+                ):
+                    grids[task_index][rate_index, trial] = value
                     completed += 1
                     self._emit(
-                        rate_index, trial, rates, accuracy, completed, total,
-                        from_checkpoint=True,
+                        tasks[task_index], task_index, rate_index, trial,
+                        rates_list[task_index], grids[task_index][rate_index, trial],
+                        completed, total, from_checkpoint=True,
                     )
 
         pending = [
-            (rate_index, trial)
-            for rate_index in range(rates.size)
-            for trial in range(config.trials)
-            if not np.isfinite(accuracies[rate_index, trial])
+            [
+                (rate_index, trial)
+                for rate_index in range(grid.shape[0])
+                for trial in range(grid.shape[1])
+                if not np.all(np.isfinite(grid[rate_index, trial]))
+            ]
+            for grid in grids
         ]
 
-        if pending:
+        if any(pending):
             if self.workers == 1:
                 self._run_serial(
-                    campaign, sampler, pending, rates, accuracies,
-                    completed, total, checkpoint,
+                    tasks, pending, rates_list, grids, completed, total, checkpoint
                 )
             else:
-                self._run_parallel(
-                    campaign, state_blob, state_error, pending, rates,
-                    accuracies, completed, total, checkpoint,
-                )
+                for task, blob, error in zip(tasks, blobs, errors):
+                    if blob is None:
+                        raise ValueError(
+                            f"campaign state of {task.label or task.kind!r} must "
+                            "be picklable for workers > 1; use a picklable "
+                            "sampler (e.g. random_bitflip_sampler(), "
+                            "ecc_sampler()) instead of a lambda/closure, or "
+                            f"run with workers=1 ({error})"
+                        ) from error
+                spans: list[tuple[int, int]] = []
+                offset = 0
+                for blob in blobs:
+                    spans.append((offset, offset + len(blob)))
+                    offset += len(blob)
+                shipment = ship_bytes(b"".join(blobs))
+                # The segment (or the inline ref) now owns the only
+                # payload copy; drop the per-task blobs so a large
+                # multi-model sweep doesn't hold them twice.
+                blobs.clear()
+                try:
+                    self._run_parallel(
+                        tasks, shipment.ref, tuple(spans), pending, rates_list,
+                        grids, completed, total, checkpoint,
+                    )
+                finally:
+                    shipment.release()
 
-        return ResilienceCurve(
-            fault_rates=rates,
-            accuracies=accuracies,
-            clean_accuracy=campaign.clean_accuracy,
-            label=label,
-        )
+        return [
+            task.build_result(rates_list[index], grids[index])
+            for index, task in enumerate(tasks)
+        ]
 
     # ------------------------------------------------------------------ #
 
     def _emit(
         self,
+        task: CampaignCellTask,
+        task_index: int,
         rate_index: int,
         trial: int,
         rates: np.ndarray,
-        accuracy: float,
+        value,
         completed: int,
         total: int,
         from_checkpoint: bool = False,
     ) -> None:
-        if self.progress is not None:
-            self.progress(
-                CellResult(
-                    rate_index=rate_index,
-                    trial=trial,
-                    fault_rate=float(rates[rate_index]),
-                    accuracy=float(accuracy),
-                    completed=completed,
-                    total=total,
-                    from_checkpoint=from_checkpoint,
-                )
+        if self.progress is None:
+            return
+        scalars = np.atleast_1d(np.asarray(value, dtype=np.float64))
+        self.progress(
+            CellResult(
+                rate_index=rate_index,
+                trial=trial,
+                fault_rate=float(rates[rate_index]),
+                accuracy=float(scalars[0]),
+                completed=completed,
+                total=total,
+                from_checkpoint=from_checkpoint,
+                campaign_index=task_index,
+                campaign_label=task.label,
+                values=(
+                    tuple(float(v) for v in scalars) if scalars.size > 1 else None
+                ),
             )
+        )
 
     def _run_serial(
         self,
-        campaign: "FaultInjectionCampaign",
-        sampler: "FaultSampler",
-        pending: list[tuple[int, int]],
-        rates: np.ndarray,
-        accuracies: np.ndarray,
+        tasks: Sequence[CampaignCellTask],
+        pending: "list[list[tuple[int, int]]]",
+        rates_list: list[np.ndarray],
+        grids: list[np.ndarray],
         completed: int,
         total: int,
         checkpoint: "_Checkpoint | None",
     ) -> None:
-        """The historical in-process loop, cell order unchanged."""
-        tree = SeedTree(campaign.config.seed)
-        for rate_index, trial in pending:
-            accuracy = _evaluate_cell(
-                campaign.model,
-                campaign.memory,
-                campaign.injector,
-                campaign.images,
-                campaign.labels,
-                campaign.config,
-                sampler,
-                tree,
-                rate_index,
-                trial,
-            )
-            accuracies[rate_index, trial] = accuracy
-            completed += 1
-            self._emit(rate_index, trial, rates, accuracy, completed, total)
-            if checkpoint is not None:
-                checkpoint.record(rate_index, trial, accuracy)
-                checkpoint.flush()
+        """The historical in-process loops: task-major, rate-major."""
+        for task_index, task in enumerate(tasks):
+            if not pending[task_index]:
+                continue
+            runner = task.make_runner()
+            try:
+                for rate_index, trial in pending[task_index]:
+                    value = runner.run_cell(rate_index, trial)
+                    grids[task_index][rate_index, trial] = value
+                    completed += 1
+                    self._emit(
+                        task, task_index, rate_index, trial,
+                        rates_list[task_index],
+                        grids[task_index][rate_index, trial], completed, total,
+                    )
+                    if checkpoint is not None:
+                        checkpoint.record(task_index, rate_index, trial, value)
+                        checkpoint.flush()
+            finally:
+                runner.close()
 
     def _run_parallel(
         self,
-        campaign: "FaultInjectionCampaign",
-        state_blob: "bytes | None",
-        state_error: "Exception | None",
-        pending: list[tuple[int, int]],
-        rates: np.ndarray,
-        accuracies: np.ndarray,
+        tasks: Sequence[CampaignCellTask],
+        payload: ShippedBytes,
+        spans: "tuple[tuple[int, int], ...]",
+        pending: "list[list[tuple[int, int]]]",
+        rates_list: list[np.ndarray],
+        grids: list[np.ndarray],
         completed: int,
         total: int,
         checkpoint: "_Checkpoint | None",
     ) -> None:
-        """Fan pending cells over a process pool (weights shipped once)."""
+        """Fan every task's pending cells over one process pool."""
         import multiprocessing
 
-        if state_blob is None:
-            raise ValueError(
-                "campaign state must be picklable for workers > 1; use a "
-                "picklable sampler (e.g. random_bitflip_sampler(), "
-                "ecc_sampler()) instead of a lambda/closure, or run with "
-                f"workers=1 ({state_error})"
-            ) from state_error
+        n_pending = sum(len(cells) for cells in pending)
+        workers = min(self.workers, n_pending)
+        chunk_size = self.chunk_size or max(1, n_pending // (workers * 4))
+        chunks: "list[tuple[int, list[tuple[int, int]]]]" = []
+        for task_index, cells in enumerate(pending):
+            for start in range(0, len(cells), chunk_size):
+                chunks.append((task_index, cells[start : start + chunk_size]))
 
-        workers = min(self.workers, len(pending))
-        chunk_size = self.chunk_size or max(1, len(pending) // (workers * 4))
-        chunks = [
-            pending[start : start + chunk_size]
-            for start in range(0, len(pending), chunk_size)
-        ]
         context = (
             multiprocessing.get_context(self.mp_context)
             if self.mp_context is not None
@@ -492,19 +727,25 @@ class CampaignExecutor:
             max_workers=workers,
             mp_context=context,
             initializer=_init_worker,
-            initargs=(state_blob, campaign.config),
+            initargs=(payload, spans),
         ) as pool:
-            futures = {pool.submit(_run_cells, chunk) for chunk in chunks}
+            futures = {
+                pool.submit(_run_task_cells, task_index, cells)
+                for task_index, cells in chunks
+            }
             while futures:
                 done, futures = wait(futures, return_when=FIRST_COMPLETED)
                 for future in done:
-                    for rate_index, trial, accuracy in future.result():
-                        accuracies[rate_index, trial] = accuracy
+                    for task_index, rate_index, trial, value in future.result():
+                        grids[task_index][rate_index, trial] = value
                         completed += 1
                         self._emit(
-                            rate_index, trial, rates, accuracy, completed, total
+                            tasks[task_index], task_index, rate_index, trial,
+                            rates_list[task_index],
+                            grids[task_index][rate_index, trial],
+                            completed, total,
                         )
                         if checkpoint is not None:
-                            checkpoint.record(rate_index, trial, accuracy)
+                            checkpoint.record(task_index, rate_index, trial, value)
                     if checkpoint is not None:
                         checkpoint.flush()

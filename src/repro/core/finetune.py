@@ -11,13 +11,15 @@ least ``M`` iterations have run.
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
-from typing import Callable, Mapping
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
 from repro import nn
 from repro.core.campaign import CampaignConfig, FaultInjectionCampaign, FaultSampler
+from repro.core.executor import CampaignExecutor, WeightFaultCellTask
 from repro.core.swap import get_thresholds, set_thresholds
 from repro.hw.memory import WeightMemory
 from repro.utils.validation import check_non_negative, check_positive
@@ -28,6 +30,7 @@ __all__ = [
     "FineTuneResult",
     "fine_tune_threshold",
     "make_layer_auc_evaluator",
+    "LayerAUCEvaluator",
     "ThresholdFineTuner",
 ]
 
@@ -109,11 +112,19 @@ def fine_tune_threshold(
 
     cache: dict[float, float] = {}
 
-    def evaluate(threshold: float) -> float:
-        key = float(np.float32(threshold))  # stable key under re-derivation
-        if key not in cache:
-            cache[key] = float(evaluator(max(key, 1e-12)))
-        return cache[key]
+    def evaluate_all(thresholds: Sequence[float]) -> tuple[float, ...]:
+        """AUCs for all ``thresholds``, memoised; un-cached ones may be
+        evaluated together through the evaluator's batch entry point
+        (one shared worker pool for all boundary campaigns)."""
+        keys = [float(np.float32(t)) for t in thresholds]  # stable keys
+        missing = [k for k in dict.fromkeys(keys) if k not in cache]
+        if len(missing) > 1 and hasattr(evaluator, "evaluate_many"):
+            values = evaluator.evaluate_many([max(k, 1e-12) for k in missing])
+            cache.update(zip(missing, (float(v) for v in values)))
+        else:
+            for key in missing:
+                cache[key] = float(evaluator(max(key, 1e-12)))
+        return tuple(cache[key] for key in keys)
 
     low, high = float(lower_bound), float(act_max)
     result = FineTuneResult(
@@ -122,7 +133,7 @@ def fine_tune_threshold(
 
     for counter in range(1, config.max_iterations + 1):
         bounds = _boundaries(low, high)
-        aucs = tuple(evaluate(t) for t in bounds)
+        aucs = evaluate_all(bounds)
         best = int(np.argmax(aucs))
 
         if best == 0:
@@ -164,6 +175,92 @@ def fine_tune_threshold(
     return result
 
 
+class LayerAUCEvaluator:
+    """The AUC evaluator Algorithm 1 calls for one layer.
+
+    Calling it sets the layer's clipping threshold, runs a full campaign
+    (same seed => common random numbers across thresholds) and returns
+    the curve's AUC.  ``memory`` controls the fault scope: pass a
+    layer-scoped memory for the paper's per-layer analysis (Fig. 5) or a
+    whole-network memory to tune against network-wide faults.
+
+    :meth:`evaluate_many` evaluates several candidate thresholds at once:
+    with ``workers > 1`` it snapshots the model at each threshold and
+    submits one campaign per threshold into a *single shared worker
+    pool* (Algorithm 1's boundary evaluations fan out together instead
+    of spinning up a pool per boundary).  Both entry points are
+    bit-deterministic, so Algorithm 1's search trajectory is identical
+    at any worker count and batch size.
+    """
+
+    def __init__(
+        self,
+        model: nn.Module,
+        layer_name: str,
+        memory: WeightMemory,
+        images: np.ndarray,
+        labels: np.ndarray,
+        campaign_config: CampaignConfig,
+        sampler: "FaultSampler | None" = None,
+        include_zero_rate: bool = True,
+        workers: int = 1,
+    ):
+        self.model = model
+        self.layer_name = layer_name
+        self.memory = memory
+        self.images = np.asarray(images, dtype=np.float32)
+        self.labels = np.asarray(labels, dtype=np.int64)
+        self.campaign_config = campaign_config
+        self.sampler = sampler
+        self.include_zero_rate = include_zero_rate
+        self.workers = workers
+        self._campaign = FaultInjectionCampaign(
+            model, memory, self.images, self.labels, campaign_config
+        )
+
+    def __call__(self, threshold: float) -> float:
+        set_thresholds(self.model, {self.layer_name: threshold})
+        self._campaign.invalidate_clean_accuracy()
+        curve = self._campaign.run(
+            sampler=self.sampler,
+            label=f"{self.layer_name}@T={threshold:g}",
+            workers=self.workers,
+        )
+        return curve.auc(include_zero_rate=self.include_zero_rate)
+
+    def evaluate_many(self, thresholds: Sequence[float]) -> list[float]:
+        """AUCs for several thresholds, one campaign each, one pool total.
+
+        Each threshold gets its own bit-exact ``(model, memory)``
+        snapshot (a pickle round-trip preserves the memory's aliasing
+        into the model's parameters), so the campaigns are independent
+        tasks whose cells interleave freely in the shared pool.
+        """
+        if self.workers == 1 or len(thresholds) < 2:
+            return [self(threshold) for threshold in thresholds]
+        initial = get_thresholds(self.model)[self.layer_name]
+        tasks = []
+        try:
+            for threshold in thresholds:
+                set_thresholds(self.model, {self.layer_name: threshold})
+                model_copy, memory_copy = pickle.loads(
+                    pickle.dumps((self.model, self.memory))
+                )
+                tasks.append(
+                    WeightFaultCellTask(
+                        model_copy, memory_copy, self.images, self.labels,
+                        config=self.campaign_config, sampler=self.sampler,
+                        label=f"{self.layer_name}@T={threshold:g}",
+                    )
+                )
+        finally:
+            set_thresholds(self.model, {self.layer_name: initial})
+        curves = CampaignExecutor(workers=self.workers).run_tasks(tasks)
+        return [
+            curve.auc(include_zero_rate=self.include_zero_rate) for curve in curves
+        ]
+
+
 def make_layer_auc_evaluator(
     model: nn.Module,
     layer_name: str,
@@ -175,34 +272,18 @@ def make_layer_auc_evaluator(
     include_zero_rate: bool = True,
     workers: int = 1,
 ) -> AUCEvaluator:
-    """Build the AUC evaluator Algorithm 1 calls for one layer.
-
-    Each evaluation sets the layer's clipping threshold, runs a full
-    campaign (same seed => common random numbers across thresholds) and
-    returns the curve's AUC.  ``memory`` controls the fault scope: pass a
-    layer-scoped memory for the paper's per-layer analysis (Fig. 5) or a
-    whole-network memory to tune against network-wide faults.
-    ``workers`` parallelizes each campaign's grid without changing its
-    result (the executor is bit-deterministic), so Algorithm 1's search
-    trajectory is identical at any worker count.  Each threshold
-    evaluation currently spins up (and re-ships weights to) a fresh
-    pool, so workers > 1 only pays off when the per-campaign grid is
-    substantially heavier than pool startup; a warm pool shared across
-    evaluations is a ROADMAP item.
-    """
-    campaign = FaultInjectionCampaign(model, memory, images, labels, campaign_config)
-
-    def evaluate(threshold: float) -> float:
-        set_thresholds(model, {layer_name: threshold})
-        campaign.invalidate_clean_accuracy()
-        curve = campaign.run(
-            sampler=sampler,
-            label=f"{layer_name}@T={threshold:g}",
-            workers=workers,
-        )
-        return curve.auc(include_zero_rate=include_zero_rate)
-
-    return evaluate
+    """Build the :class:`LayerAUCEvaluator` Algorithm 1 calls for one layer."""
+    return LayerAUCEvaluator(
+        model,
+        layer_name,
+        memory,
+        images,
+        labels,
+        campaign_config,
+        sampler=sampler,
+        include_zero_rate=include_zero_rate,
+        workers=workers,
+    )
 
 
 class ThresholdFineTuner:

@@ -5,20 +5,118 @@ is *deployed* on dequantized-int8 weights (so the clean accuracy honestly
 includes quantization error) and faults flip bits of the int8 codes.
 Used by the quantization ablation benchmark to show how much of the
 paper's float32 fragility disappears with bounded-error storage.
+
+The sweep runs through the shared
+:class:`~repro.core.executor.CampaignExecutor` substrate:
+:class:`QuantizedCellTask` describes the campaign, ``workers=`` fans its
+grid across a process pool (bit-identical to serial at any worker
+count), and ``progress``/``checkpoint`` stream and resume it exactly
+like the float32 campaigns.
 """
 
 from __future__ import annotations
+
+from typing import Callable
 
 import numpy as np
 
 from repro import nn
 from repro.core.campaign import CampaignConfig
+from repro.core.executor import CampaignExecutor, cell_seed_path, payload_state
 from repro.core.metrics import ResilienceCurve, evaluate_accuracy_arrays
 from repro.hw.memory import WeightMemory
 from repro.hw.quant import QuantizedWeightMemory
 from repro.utils.rng import SeedTree
 
-__all__ = ["run_quantized_campaign"]
+__all__ = ["QuantizedCellTask", "run_quantized_campaign"]
+
+
+class QuantizedCellTask:
+    """Cell protocol for the int8 campaign (see :mod:`repro.core.executor`).
+
+    Seeds follow the same ``rate/<i>/trial/<j>`` derivation as the float
+    campaign, so int8 and float32 runs with the same config share common
+    random numbers (the *positions* differ — the bit spaces have different
+    sizes — but the statistical pairing still reduces variance).
+    """
+
+    kind = "quantized"
+    cell_width = 1
+
+    def __init__(
+        self,
+        model: nn.Module,
+        memory: WeightMemory,
+        images: np.ndarray,
+        labels: np.ndarray,
+        config: "CampaignConfig | None" = None,
+        label: str = "int8",
+    ):
+        self.model = model
+        self.memory = memory
+        self.images = np.asarray(images, dtype=np.float32)
+        self.labels = np.asarray(labels, dtype=np.int64)
+        self.config = config if config is not None else CampaignConfig()
+        self.label = label
+        self._clean: "float | None" = None
+
+    def __getstate__(self) -> dict:
+        return payload_state(self)
+
+    def clean_accuracy(self) -> float:
+        """Accuracy on dequantized-int8 weights without faults (lazy).
+
+        Quantization is deterministic, so deploying here and deploying in
+        a runner produce bit-identical weights.
+        """
+        if self._clean is None:
+            quantized = QuantizedWeightMemory(self.memory)
+            with quantized.deployed():
+                self._clean = evaluate_accuracy_arrays(
+                    self.model, self.images, self.labels, self.config.batch_size
+                )
+        return self._clean
+
+    def make_runner(self) -> "_QuantizedCellRunner":
+        return _QuantizedCellRunner(self)
+
+    def build_result(self, rates: np.ndarray, values: np.ndarray) -> ResilienceCurve:
+        return ResilienceCurve(
+            fault_rates=rates,
+            accuracies=values,
+            clean_accuracy=self.clean_accuracy(),
+            label=self.label,
+        )
+
+
+class _QuantizedCellRunner:
+    """Holds the int8 deployment for the duration of the cell loop.
+
+    The model runs on dequantized-int8 weights while the runner is open;
+    :meth:`close` restores the original float weights (essential on the
+    serial path, where the runner deploys the *caller's* model).
+    """
+
+    def __init__(self, task: QuantizedCellTask):
+        self.task = task
+        self.quantized = QuantizedWeightMemory(task.memory)
+        self._deployment = self.quantized.deployed()
+        self._deployment.__enter__()
+        self.tree = SeedTree(task.config.seed)
+
+    def run_cell(self, rate_index: int, trial: int) -> float:
+        task = self.task
+        rate = float(task.config.fault_rates[rate_index])
+        rng = self.tree.generator(cell_seed_path(rate_index, trial))
+        with self.quantized.session(rate, rng):
+            return evaluate_accuracy_arrays(
+                task.model, task.images, task.labels, task.config.batch_size
+            )
+
+    def close(self) -> None:
+        if self._deployment is not None:
+            deployment, self._deployment = self._deployment, None
+            deployment.__exit__(None, None, None)
 
 
 def run_quantized_campaign(
@@ -28,34 +126,21 @@ def run_quantized_campaign(
     labels: np.ndarray,
     config: "CampaignConfig | None" = None,
     label: str = "int8",
+    workers: int = 1,
+    progress: "Callable | None" = None,
+    checkpoint: "str | None" = None,
 ) -> ResilienceCurve:
     """Rate sweep x trials with faults in the int8 code space.
 
-    Seeds follow the same ``rate/<i>/trial/<j>`` derivation as the float
-    campaign, so int8 and float32 runs with the same config share common
-    random numbers (the *positions* differ — the bit spaces have different
-    sizes — but the statistical pairing still reduces variance).
+    ``workers`` fans the grid across a process pool (``0`` = one per CPU
+    core); the result is bit-identical to the serial run.  ``progress``
+    receives a :class:`~repro.core.executor.CellResult` per completed
+    cell and ``checkpoint`` names a JSON file enabling resume of an
+    interrupted sweep — the checkpoint fingerprint records the campaign
+    kind, so an int8 checkpoint can never resume a float32 sweep.
     """
-    config = config if config is not None else CampaignConfig()
-    quantized = QuantizedWeightMemory(memory)
-    tree = SeedTree(config.seed)
-    rates = np.asarray(config.fault_rates, dtype=np.float64)
-    accuracies = np.empty((rates.size, config.trials), dtype=np.float64)
-
-    with quantized.deployed():
-        clean_accuracy = evaluate_accuracy_arrays(
-            model, images, labels, config.batch_size
-        )
-        for rate_index, rate in enumerate(rates):
-            for trial in range(config.trials):
-                rng = tree.generator(f"rate/{rate_index}/trial/{trial}")
-                with quantized.session(float(rate), rng):
-                    accuracies[rate_index, trial] = evaluate_accuracy_arrays(
-                        model, images, labels, config.batch_size
-                    )
-    return ResilienceCurve(
-        fault_rates=rates,
-        accuracies=accuracies,
-        clean_accuracy=clean_accuracy,
-        label=label,
+    task = QuantizedCellTask(model, memory, images, labels, config, label=label)
+    executor = CampaignExecutor(
+        workers=workers, progress=progress, checkpoint=checkpoint
     )
+    return executor.run_tasks([task])[0]

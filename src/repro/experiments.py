@@ -37,12 +37,14 @@ __all__ = [
     "PAPER_VGG16",
     "PAPER_LENET",
     "EXPERIMENT_CONFIGS",
+    "CAMPAIGN_VARIANTS",
     "paper_fault_rates",
     "campaign_workers",
     "default_harden_config",
     "experiment_bundle",
     "clone_model",
     "hardened_clone",
+    "prepare_campaign_variant",
 ]
 
 # The two evaluation networks of paper Section V, width-scaled to a single
@@ -172,6 +174,54 @@ def clone_model(bundle: PretrainedBundle) -> nn.Module:
     model.load_state_dict(bundle.model.state_dict())
     model.eval()
     return model
+
+
+# Canonical campaign variants (CLI `campaign --variant`, benchmark sweeps).
+# "int8" runs through the quantized campaign; every other variant is a
+# weight-fault campaign differing in model preparation and/or sampler.
+CAMPAIGN_VARIANTS = (
+    "unprotected", "ftclipact", "relu6", "ecc", "tmr", "dmr", "int8",
+)
+
+
+def prepare_campaign_variant(
+    bundle: PretrainedBundle, variant: str, workers: int = 1
+) -> "tuple[nn.Module, Any]":
+    """The ``(model, sampler)`` for one canonical campaign variant.
+
+    Model-level mitigations (ftclipact, relu6) return a prepared clone
+    with ``sampler=None``; redundancy schemes (ecc/tmr/dmr) return an
+    unmodified clone plus their protection sampler.  ``workers`` threads
+    into the hardening step for ``ftclipact`` (on a cold cache Algorithm
+    1's fine-tuning campaigns dominate) — hardening results are
+    identical at any worker count.
+    """
+    from repro.core.baselines import (
+        apply_relu6,
+        dmr_sampler,
+        ecc_sampler,
+        tmr_sampler,
+    )
+
+    if variant not in CAMPAIGN_VARIANTS:
+        raise ValueError(
+            f"unknown campaign variant {variant!r}; available: "
+            f"{list(CAMPAIGN_VARIANTS)}"
+        )
+    sampler = None
+    if variant == "ftclipact":
+        model, _, _ = hardened_clone(bundle, default_harden_config(workers=workers))
+    else:
+        model = clone_model(bundle)
+        if variant == "relu6":
+            apply_relu6(model)
+        elif variant == "ecc":
+            sampler = ecc_sampler()
+        elif variant == "tmr":
+            sampler = tmr_sampler()
+        elif variant == "dmr":
+            sampler = dmr_sampler()
+    return model, sampler
 
 
 def hardened_clone(

@@ -1,6 +1,11 @@
 """Hardware substrate: weight memory, IEEE-754 bit faults, ECC and TMR."""
 
-from repro.hw.actfaults import ActivationFaultInjector, flip_activation_bits
+from repro.hw.actfaults import (
+    ActivationFaultCellTask,
+    ActivationFaultInjector,
+    flip_activation_bits,
+    run_activation_campaign,
+)
 from repro.hw.bits import (
     EXPONENT_BITS,
     MANTISSA_BITS,
@@ -47,6 +52,7 @@ from repro.hw.rangecheck import WeightRangeCheck
 from repro.hw.tmr import DMRFilter, TMRFilter
 
 __all__ = [
+    "ActivationFaultCellTask",
     "ActivationFaultInjector",
     "BurstFault",
     "CODE_CHECK_BITS",
@@ -81,6 +87,7 @@ __all__ = [
     "decompose",
     "dequantize_symmetric",
     "flip_activation_bits",
+    "run_activation_campaign",
     "flip_bits_in_words",
     "flip_scalar_bit",
     "float_to_bits",

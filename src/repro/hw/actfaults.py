@@ -10,22 +10,38 @@ well, which the activation-fault benchmark demonstrates.
 
 Activation faults are transient by construction (each forward pass
 allocates fresh output buffers), so no undo machinery is needed.
+
+:func:`run_activation_campaign` sweeps activation-fault rates through the
+shared :class:`~repro.core.executor.CampaignExecutor` substrate — the
+same ``rate/<i>/trial/<j>`` seed derivation, ``workers=`` fan-out
+(bit-identical to serial), progress streaming and checkpoint resume as
+the weight-fault campaigns.  Imports from :mod:`repro.core` stay inside
+functions: the hw layer otherwise does not depend on core.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator
+from typing import TYPE_CHECKING, Callable, Iterator
 
 import numpy as np
 
 from repro import nn
 from repro.hw.bits import WORD_BITS, flip_bits_in_words
 from repro.models.registry import computational_layers
-from repro.utils.rng import as_generator
+from repro.utils.rng import SeedTree, as_generator
 from repro.utils.validation import check_probability
 
-__all__ = ["ActivationFaultInjector", "flip_activation_bits"]
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a hw->core cycle
+    from repro.core.campaign import CampaignConfig
+    from repro.core.metrics import ResilienceCurve
+
+__all__ = [
+    "ActivationFaultInjector",
+    "ActivationFaultCellTask",
+    "flip_activation_bits",
+    "run_activation_campaign",
+]
 
 
 def flip_activation_bits(
@@ -128,3 +144,123 @@ class ActivationFaultInjector:
 
     def __exit__(self, *exc_info: object) -> None:
         self.remove()
+
+
+class ActivationFaultCellTask:
+    """Cell protocol for the activation-fault campaign.
+
+    Picklable by construction: the task carries only the (hook-free)
+    model and arrays; the :class:`ActivationFaultInjector` — whose hook
+    handles do not survive pickling — is built per process by
+    :meth:`make_runner`.
+    """
+
+    kind = "activation-fault"
+    cell_width = 1
+
+    def __init__(
+        self,
+        model: nn.Module,
+        images: np.ndarray,
+        labels: np.ndarray,
+        config: "CampaignConfig | None" = None,
+        layers: "list[str] | None" = None,
+        label: str = "actfault",
+    ):
+        from repro.core.campaign import CampaignConfig
+
+        self.model = model
+        self.images = np.asarray(images, dtype=np.float32)
+        self.labels = np.asarray(labels, dtype=np.int64)
+        self.config = config if config is not None else CampaignConfig()
+        self.layers = list(layers) if layers is not None else None
+        self.label = label
+        self._clean: "float | None" = None
+
+    def __getstate__(self) -> dict:
+        from repro.core.executor import payload_state
+
+        return payload_state(self)
+
+    def clean_accuracy(self) -> float:
+        """Fault-free accuracy (hooks dormant or absent; computed lazily)."""
+        if self._clean is None:
+            from repro.core.metrics import evaluate_accuracy_arrays
+
+            self._clean = evaluate_accuracy_arrays(
+                self.model, self.images, self.labels, self.config.batch_size
+            )
+        return self._clean
+
+    def make_runner(self) -> "_ActivationCellRunner":
+        return _ActivationCellRunner(self)
+
+    def build_result(
+        self, rates: np.ndarray, values: np.ndarray
+    ) -> "ResilienceCurve":
+        from repro.core.metrics import ResilienceCurve
+
+        return ResilienceCurve(
+            fault_rates=rates,
+            accuracies=values,
+            clean_accuracy=self.clean_accuracy(),
+            label=self.label,
+        )
+
+
+class _ActivationCellRunner:
+    """Armed hooks + seed tree over one (possibly worker-local) model copy.
+
+    :meth:`close` detaches the hooks — essential on the serial path,
+    where the runner instruments the *caller's* model.
+    """
+
+    def __init__(self, task: ActivationFaultCellTask):
+        self.task = task
+        self.injector = ActivationFaultInjector(task.model, layers=task.layers)
+        self.tree = SeedTree(task.config.seed)
+
+    def run_cell(self, rate_index: int, trial: int) -> float:
+        from repro.core.executor import cell_seed_path
+        from repro.core.metrics import evaluate_accuracy_arrays
+
+        task = self.task
+        rate = float(task.config.fault_rates[rate_index])
+        rng = self.tree.generator(cell_seed_path(rate_index, trial))
+        with self.injector.session(rate, rng):
+            return evaluate_accuracy_arrays(
+                task.model, task.images, task.labels, task.config.batch_size
+            )
+
+    def close(self) -> None:
+        self.injector.remove()
+
+
+def run_activation_campaign(
+    model: nn.Module,
+    images: np.ndarray,
+    labels: np.ndarray,
+    config: "CampaignConfig | None" = None,
+    layers: "list[str] | None" = None,
+    label: str = "actfault",
+    workers: int = 1,
+    progress: "Callable | None" = None,
+    checkpoint: "str | None" = None,
+) -> "ResilienceCurve":
+    """Rate sweep x trials with transient faults in activation memory.
+
+    ``layers`` restricts the corrupted layer outputs (default: every
+    CONV/FC layer).  ``workers`` fans the grid across a process pool
+    (``0`` = one per CPU core) with curves bit-identical to serial;
+    ``progress``/``checkpoint`` behave exactly as on the weight-fault
+    campaigns.  The model's hooks are removed before returning.
+    """
+    from repro.core.executor import CampaignExecutor
+
+    task = ActivationFaultCellTask(
+        model, images, labels, config=config, layers=layers, label=label
+    )
+    executor = CampaignExecutor(
+        workers=workers, progress=progress, checkpoint=checkpoint
+    )
+    return executor.run_tasks([task])[0]

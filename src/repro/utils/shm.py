@@ -1,0 +1,134 @@
+"""Best-effort shared-memory shipping of worker payload bytes.
+
+A parallel campaign serializes its state (model weights, evaluation
+arrays, sampler) once and hands the blob to every worker process.
+Passing the blob through the pool initializer's arguments copies it once
+per worker over a pipe; for full-size VGG sweeps that per-worker copy
+dominates pool start-up.  :func:`ship_bytes` instead writes the blob to
+one POSIX shared-memory segment (:mod:`multiprocessing.shared_memory`)
+per host; workers attach by name and read it without another copy.
+
+Shared memory may be unavailable (no ``/dev/shm``, permissions, missing
+``_posixshmem``) — :func:`ship_bytes` then degrades to carrying the
+bytes inline through the initializer arguments, which is exactly the
+pre-shared-memory transport.  Either way the worker-facing API is the
+same: a picklable :class:`ShippedBytes` address whose :meth:`~ShippedBytes.open`
+yields a readable buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "ShippedBytes",
+    "ShippedBuffer",
+    "Shipment",
+    "ship_bytes",
+    "shared_memory_available",
+]
+
+try:  # pragma: no cover - import succeeds on all supported platforms
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - exotic builds without _posixshmem
+    _shared_memory = None
+
+
+def shared_memory_available() -> bool:
+    """Whether this interpreter can create shared-memory segments."""
+    return _shared_memory is not None
+
+
+def _attach_segment(name: str):
+    """Attach to an existing segment by name.
+
+    Pool workers inherit the parent's resource tracker, so the attach-side
+    ``register`` (bpo-39959) collapses into the parent's own registration
+    and the segment's lifetime stays owned by the creating process, which
+    unlinks it after the pool shuts down.
+    """
+    return _shared_memory.SharedMemory(name=name)
+
+
+class ShippedBuffer:
+    """A worker-side view of a shipped blob (attach/detach lifecycle)."""
+
+    def __init__(self, buffer, segment=None):
+        self._buffer = buffer
+        self._segment = segment
+
+    @property
+    def buffer(self):
+        """The blob as a sliceable read buffer (memoryview or bytes)."""
+        if self._buffer is None:
+            raise ValueError("shipped buffer is closed")
+        return self._buffer
+
+    def close(self) -> None:
+        """Detach from the segment (no-op for the inline transport)."""
+        self._buffer = None
+        if self._segment is not None:
+            self._segment.close()
+            self._segment = None
+
+
+@dataclass(frozen=True)
+class ShippedBytes:
+    """Picklable address of a payload blob.
+
+    Either the name of a shared-memory segment (``segment``) or, when the
+    fallback transport is in use, the payload bytes themselves
+    (``inline``).
+    """
+
+    segment: "str | None"
+    size: int
+    inline: "bytes | None" = None
+
+    @property
+    def via_shared_memory(self) -> bool:
+        """Whether the blob travels through a shared-memory segment."""
+        return self.segment is not None
+
+    def open(self) -> ShippedBuffer:
+        """Attach to the blob; the caller must :meth:`~ShippedBuffer.close` it."""
+        if self.segment is None:
+            return ShippedBuffer(self.inline)
+        handle = _attach_segment(self.segment)
+        return ShippedBuffer(memoryview(handle.buf)[: self.size], handle)
+
+
+class Shipment:
+    """Parent-side owner of a shipped blob; release() frees the segment."""
+
+    def __init__(self, ref: ShippedBytes, segment=None):
+        self.ref = ref
+        self._segment = segment
+
+    def release(self) -> None:
+        """Unlink the segment (idempotent; no-op for inline transport)."""
+        if self._segment is not None:
+            segment, self._segment = self._segment, None
+            segment.close()
+            segment.unlink()
+
+
+def ship_bytes(data: bytes) -> Shipment:
+    """Place ``data`` where worker processes can read it once per host.
+
+    Prefers one shared-memory segment (written once, attached by every
+    worker); falls back to inline bytes (copied to each worker through
+    the pool initializer's pickled arguments) when shared memory is
+    unavailable or segment creation fails.
+    """
+    if _shared_memory is not None and len(data) > 0:
+        try:
+            segment = _shared_memory.SharedMemory(create=True, size=len(data))
+        except OSError:
+            pass  # e.g. /dev/shm missing or full: fall back to inline
+        else:
+            segment.buf[: len(data)] = data
+            return Shipment(
+                ShippedBytes(segment=segment.name, size=len(data)), segment
+            )
+    return Shipment(ShippedBytes(segment=None, size=len(data), inline=data))

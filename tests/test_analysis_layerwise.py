@@ -63,6 +63,109 @@ class TestLayerwise:
         assert curve.label == "FC-1"
 
 
+class TestLayerwiseCrossCampaign:
+    """Layerwise analysis schedules all layers' cells into one sweep."""
+
+    def test_matches_sequential_per_layer_baseline(
+        self, trained_mlp, mlp_eval_arrays, fast_config
+    ):
+        """The historical behavior, spelled out: one standalone campaign
+        per layer, back-to-back.  The unified scheduler must reproduce
+        it bit for bit."""
+        from repro.core.campaign import run_campaign
+        from repro.hw.memory import WeightMemory
+
+        images, labels = mlp_eval_arrays
+        result = run_layerwise_analysis(trained_mlp, images, labels, fast_config)
+        for layer in result.ordered_layers():
+            memory = WeightMemory.from_model(trained_mlp, layers=[layer])
+            baseline = run_campaign(
+                trained_mlp, memory, images, labels, fast_config, label=layer
+            )
+            np.testing.assert_array_equal(
+                result.curves[layer].accuracies, baseline.accuracies
+            )
+            assert result.curves[layer].clean_accuracy == baseline.clean_accuracy
+
+    def test_two_workers_bit_identical_to_serial(
+        self, trained_mlp, mlp_eval_arrays, fast_config
+    ):
+        images, labels = mlp_eval_arrays
+        serial = run_layerwise_analysis(trained_mlp, images, labels, fast_config)
+        parallel = run_layerwise_analysis(
+            trained_mlp, images, labels, fast_config, workers=2
+        )
+        assert serial.ordered_layers() == parallel.ordered_layers()
+        for layer in serial.ordered_layers():
+            np.testing.assert_array_equal(
+                serial.curves[layer].accuracies, parallel.curves[layer].accuracies
+            )
+
+    def test_all_layers_share_one_pool(
+        self, trained_mlp, mlp_eval_arrays, fast_config, monkeypatch
+    ):
+        """Before the unified scheduler, each layer spun up its own pool;
+        now every layer's cells go through a single one."""
+        import repro.core.executor as executor_module
+
+        created = []
+        real_pool = executor_module.ProcessPoolExecutor
+
+        def counting_pool(*args, **kwargs):
+            created.append(1)
+            return real_pool(*args, **kwargs)
+
+        monkeypatch.setattr(executor_module, "ProcessPoolExecutor", counting_pool)
+        images, labels = mlp_eval_arrays
+        run_layerwise_analysis(
+            trained_mlp, images, labels, fast_config, workers=2
+        )
+        assert len(created) == 1
+
+    def test_progress_interleaves_layer_labels(
+        self, trained_mlp, mlp_eval_arrays, fast_config
+    ):
+        images, labels = mlp_eval_arrays
+        seen = []
+        run_layerwise_analysis(
+            trained_mlp, images, labels, fast_config, progress=seen.append
+        )
+        assert {c.campaign_label for c in seen} == {"FC-1", "FC-2", "FC-3"}
+        per_layer = 2 * fast_config.trials
+        assert len(seen) == 3 * per_layer
+
+    def test_checkpoint_resumes_multi_layer_sweep(
+        self, trained_mlp, mlp_eval_arrays, fast_config, tmp_path
+    ):
+        images, labels = mlp_eval_arrays
+        full = run_layerwise_analysis(trained_mlp, images, labels, fast_config)
+        path = tmp_path / "layerwise.json"
+
+        class _Kill(RuntimeError):
+            pass
+
+        def killer(cell):
+            if cell.completed == 6:  # partway into the second layer
+                raise _Kill
+
+        with pytest.raises(_Kill):
+            run_layerwise_analysis(
+                trained_mlp, images, labels, fast_config,
+                progress=killer, checkpoint=str(path),
+            )
+        recomputed = []
+        resumed = run_layerwise_analysis(
+            trained_mlp, images, labels, fast_config, checkpoint=str(path),
+            progress=lambda cell: recomputed.append(cell)
+            if not cell.from_checkpoint else None,
+        )
+        assert 0 < len(recomputed) < 3 * 2 * fast_config.trials
+        for layer in full.ordered_layers():
+            np.testing.assert_array_equal(
+                full.curves[layer].accuracies, resumed.curves[layer].accuracies
+            )
+
+
 class TestCliffRate:
     def _curve(self, means):
         rates = np.logspace(-7, -4, len(means))

@@ -20,6 +20,7 @@ from repro.core.campaign import (
 from repro.core.executor import (
     CampaignExecutor,
     CellResult,
+    WeightFaultCellTask,
     cell_seed_path,
     resolve_workers,
 )
@@ -276,6 +277,258 @@ class TestCheckpointResume:
                 model, memory, images, labels, config,
                 sampler=ecc_sampler(), checkpoint=str(path),
             )
+
+
+class TestMidGridKillResume:
+    def test_serial_kill_then_serial_resume(self, campaign_parts, tmp_path):
+        """An exception mid-grid leaves a valid checkpoint; resuming
+        recomputes only the missing cells and matches the full run."""
+        model, memory, images, labels, config = campaign_parts
+        full = run_campaign(model, memory, images, labels, config)
+        path = tmp_path / "sweep.json"
+        kill_at = 5
+
+        class _Kill(RuntimeError):
+            pass
+
+        def killer(cell):
+            if cell.completed == kill_at:
+                raise _Kill("simulated crash")
+
+        with pytest.raises(_Kill):
+            run_campaign(
+                model, memory, images, labels, config,
+                progress=killer, checkpoint=str(path),
+            )
+        saved = len(json.loads(path.read_text())["cells"])
+        assert 0 < saved < len(RATES) * config.trials
+
+        recomputed = []
+        resumed = run_campaign(
+            model, memory, images, labels, config, checkpoint=str(path),
+            progress=lambda cell: recomputed.append(cell)
+            if not cell.from_checkpoint else None,
+        )
+        assert len(recomputed) == len(RATES) * config.trials - saved
+        np.testing.assert_array_equal(full.accuracies, resumed.accuracies)
+
+    def test_serial_kill_then_parallel_resume(self, campaign_parts, tmp_path):
+        model, memory, images, labels, config = campaign_parts
+        full = run_campaign(model, memory, images, labels, config)
+        path = tmp_path / "sweep.json"
+
+        class _Kill(RuntimeError):
+            pass
+
+        def killer(cell):
+            if cell.completed == 4:
+                raise _Kill
+
+        with pytest.raises(_Kill):
+            run_campaign(
+                model, memory, images, labels, config,
+                progress=killer, checkpoint=str(path),
+            )
+        resumed = run_campaign(
+            model, memory, images, labels, config,
+            workers=2, checkpoint=str(path),
+        )
+        np.testing.assert_array_equal(full.accuracies, resumed.accuracies)
+
+    def test_weights_intact_after_kill(self, campaign_parts, tmp_path):
+        model, memory, images, labels, config = campaign_parts
+        before = memory.snapshot()
+
+        class _Kill(RuntimeError):
+            pass
+
+        def killer(cell):
+            raise _Kill
+
+        with pytest.raises(_Kill):
+            run_campaign(
+                model, memory, images, labels, config,
+                progress=killer, checkpoint=str(tmp_path / "s.json"),
+            )
+        for old, new in zip(before, memory.snapshot()):
+            np.testing.assert_array_equal(old, new)
+
+
+class TestCrossCampaignScheduling:
+    """run_tasks: cells from several campaigns through one scheduling pass."""
+
+    def _tasks(self, campaign_parts):
+        """Two campaigns over the same model: full memory and a layer slice."""
+        from repro.core.baselines import ecc_sampler
+
+        model, memory, images, labels, config = campaign_parts
+        scoped = WeightMemory.from_model(model, layers=["FC-1"])
+        return [
+            WeightFaultCellTask(
+                model, memory, images, labels, config=config, label="full"
+            ),
+            WeightFaultCellTask(
+                model, scoped, images, labels, config=config,
+                sampler=ecc_sampler(), label="fc1-ecc",
+            ),
+        ]
+
+    def test_serial_matches_back_to_back_campaigns(self, campaign_parts):
+        """run_tasks with workers=1 is exactly the historical sequential
+        per-campaign loops."""
+        from repro.core.baselines import ecc_sampler
+
+        model, memory, images, labels, config = campaign_parts
+        scoped = WeightMemory.from_model(model, layers=["FC-1"])
+        baseline_full = run_campaign(model, memory, images, labels, config)
+        baseline_scoped = run_campaign(
+            model, scoped, images, labels, config, sampler=ecc_sampler()
+        )
+
+        curves = CampaignExecutor(workers=1).run_tasks(self._tasks(campaign_parts))
+        np.testing.assert_array_equal(curves[0].accuracies, baseline_full.accuracies)
+        np.testing.assert_array_equal(
+            curves[1].accuracies, baseline_scoped.accuracies
+        )
+        assert curves[0].label == "full" and curves[1].label == "fc1-ecc"
+
+    def test_shared_pool_bit_identical_to_serial(self, campaign_parts):
+        serial = CampaignExecutor(workers=1).run_tasks(self._tasks(campaign_parts))
+        pooled = CampaignExecutor(workers=2, chunk_size=2).run_tasks(
+            self._tasks(campaign_parts)
+        )
+        for a, b in zip(serial, pooled):
+            np.testing.assert_array_equal(a.accuracies, b.accuracies)
+            assert a.clean_accuracy == b.clean_accuracy
+
+    def test_mixed_campaign_kinds_share_one_sweep(self, campaign_parts):
+        """Weight-fault and quantized tasks can interleave in one pool."""
+        from repro.core.quantized import QuantizedCellTask, run_quantized_campaign
+
+        model, memory, images, labels, config = campaign_parts
+        tasks = [
+            WeightFaultCellTask(
+                model, memory, images, labels, config=config, label="float32"
+            ),
+            QuantizedCellTask(model, memory, images, labels, config, label="int8"),
+        ]
+        float_baseline = run_campaign(model, memory, images, labels, config)
+        int8_baseline = run_quantized_campaign(model, memory, images, labels, config)
+        curves = CampaignExecutor(workers=2).run_tasks(tasks)
+        np.testing.assert_array_equal(
+            curves[0].accuracies, float_baseline.accuracies
+        )
+        np.testing.assert_array_equal(curves[1].accuracies, int8_baseline.accuracies)
+
+    def test_single_pool_for_all_tasks(self, campaign_parts, monkeypatch):
+        """The whole point of run_tasks: one pool, not one per campaign."""
+        import repro.core.executor as executor_module
+
+        created = []
+        real_pool = executor_module.ProcessPoolExecutor
+
+        def counting_pool(*args, **kwargs):
+            created.append(1)
+            return real_pool(*args, **kwargs)
+
+        monkeypatch.setattr(executor_module, "ProcessPoolExecutor", counting_pool)
+        CampaignExecutor(workers=2).run_tasks(self._tasks(campaign_parts))
+        assert len(created) == 1
+
+    def test_progress_labels_cells_by_campaign(self, campaign_parts):
+        seen: list[CellResult] = []
+        CampaignExecutor(workers=1, progress=seen.append).run_tasks(
+            self._tasks(campaign_parts)
+        )
+        per_task = len(RATES) * campaign_parts[4].trials
+        assert len(seen) == 2 * per_task
+        assert all(c.total == 2 * per_task for c in seen)
+        assert [c.completed for c in seen] == list(range(1, 2 * per_task + 1))
+        assert {c.campaign_label for c in seen} == {"full", "fc1-ecc"}
+        assert {c.campaign_index for c in seen} == {0, 1}
+
+    def test_cross_campaign_checkpoint_resume(self, campaign_parts, tmp_path):
+        """Kill a multi-campaign sweep mid-way through the *second*
+        campaign; the resume recomputes only what is missing."""
+        full = CampaignExecutor(workers=1).run_tasks(self._tasks(campaign_parts))
+        path = tmp_path / "multi.json"
+        per_task = len(RATES) * campaign_parts[4].trials
+
+        class _Kill(RuntimeError):
+            pass
+
+        def killer(cell):
+            if cell.completed == per_task + 3:  # inside campaign #2
+                raise _Kill
+
+        with pytest.raises(_Kill):
+            CampaignExecutor(
+                workers=1, progress=killer, checkpoint=str(path)
+            ).run_tasks(self._tasks(campaign_parts))
+        saved = len(json.loads(path.read_text())["cells"])
+        assert per_task < saved < 2 * per_task
+
+        recomputed = []
+        resumed = CampaignExecutor(
+            workers=1, checkpoint=str(path),
+            progress=lambda cell: recomputed.append(cell)
+            if not cell.from_checkpoint else None,
+        ).run_tasks(self._tasks(campaign_parts))
+        assert len(recomputed) == 2 * per_task - saved
+        # Everything recomputed belongs to the killed second campaign.
+        assert {c.campaign_index for c in recomputed} == {1}
+        for a, b in zip(full, resumed):
+            np.testing.assert_array_equal(a.accuracies, b.accuracies)
+
+    def test_cross_campaign_checkpoint_resumes_in_parallel(
+        self, campaign_parts, tmp_path
+    ):
+        full = CampaignExecutor(workers=1).run_tasks(self._tasks(campaign_parts))
+        path = tmp_path / "multi.json"
+
+        class _Kill(RuntimeError):
+            pass
+
+        def killer(cell):
+            if cell.completed == 3:
+                raise _Kill
+
+        with pytest.raises(_Kill):
+            CampaignExecutor(
+                workers=1, progress=killer, checkpoint=str(path)
+            ).run_tasks(self._tasks(campaign_parts))
+        resumed = CampaignExecutor(workers=2, checkpoint=str(path)).run_tasks(
+            self._tasks(campaign_parts)
+        )
+        for a, b in zip(full, resumed):
+            np.testing.assert_array_equal(a.accuracies, b.accuracies)
+
+    def test_multi_checkpoint_rejects_single_campaign(
+        self, campaign_parts, tmp_path
+    ):
+        """A cross-campaign checkpoint can't resume a single-campaign
+        sweep (and vice versa): the fingerprint layouts differ."""
+        path = tmp_path / "multi.json"
+        CampaignExecutor(workers=1, checkpoint=str(path)).run_tasks(
+            self._tasks(campaign_parts)
+        )
+        model, memory, images, labels, config = campaign_parts
+        with pytest.raises(ValueError, match="different campaign"):
+            run_campaign(model, memory, images, labels, config, checkpoint=str(path))
+
+    def test_multi_checkpoint_rejects_reordered_tasks(
+        self, campaign_parts, tmp_path
+    ):
+        path = tmp_path / "multi.json"
+        CampaignExecutor(workers=1, checkpoint=str(path)).run_tasks(
+            self._tasks(campaign_parts)
+        )
+        reordered = list(reversed(self._tasks(campaign_parts)))
+        with pytest.raises(ValueError, match="different campaign"):
+            CampaignExecutor(workers=1, checkpoint=str(path)).run_tasks(reordered)
+
+    def test_empty_task_list(self):
+        assert CampaignExecutor(workers=2).run_tasks([]) == []
 
 
 class TestExecutorValidation:

@@ -132,6 +132,65 @@ class TestLayerEvaluator:
         # The evaluator leaves the threshold at its last setting.
         assert get_thresholds(model)["FC-1"] == 20.0
 
+    def test_evaluate_many_matches_sequential_calls(
+        self, trained_mlp, mlp_eval_arrays
+    ):
+        """Algorithm 1's pooled boundary evaluations must be bit-identical
+        to calling the evaluator once per threshold."""
+        images, labels = mlp_eval_arrays
+        thresholds = [5.0, 15.0, 40.0]
+        config = CampaignConfig(fault_rates=(1e-4, 1e-3), trials=2, seed=0)
+
+        model = _clone_mlp(trained_mlp)
+        swap_activations(model, 100.0)
+        memory = WeightMemory.from_model(model, layers=["FC-1"])
+        sequential = [
+            make_layer_auc_evaluator(model, "FC-1", memory, images, labels, config)(t)
+            for t in thresholds
+        ]
+
+        model = _clone_mlp(trained_mlp)
+        swap_activations(model, 100.0)
+        memory = WeightMemory.from_model(model, layers=["FC-1"])
+        batch_evaluator = make_layer_auc_evaluator(
+            model, "FC-1", memory, images, labels, config, workers=2
+        )
+        initial = get_thresholds(model)["FC-1"]
+        pooled = batch_evaluator.evaluate_many(thresholds)
+        assert pooled == sequential
+        # The batch path snapshots per threshold and restores afterwards.
+        assert get_thresholds(model)["FC-1"] == initial
+
+    def test_fine_tune_trajectory_identical_at_any_worker_count(
+        self, trained_mlp, mlp_eval_arrays
+    ):
+        """The whole Algorithm 1 search — thresholds, AUCs, traces — is
+        the same whether boundaries evaluate serially or in one pool."""
+        images, labels = mlp_eval_arrays
+        config = CampaignConfig(fault_rates=(1e-4, 1e-3), trials=2, seed=3)
+        finetune_config = FineTuneConfig(
+            max_iterations=2, min_iterations=1, tolerance=0.0
+        )
+
+        def tune(workers):
+            model = _clone_mlp(trained_mlp)
+            swap_activations(model, 100.0)
+            memory = WeightMemory.from_model(model, layers=["FC-1"])
+            evaluator = make_layer_auc_evaluator(
+                model, "FC-1", memory, images, labels, config, workers=workers
+            )
+            return fine_tune_threshold(
+                evaluator, act_max=50.0, config=finetune_config
+            )
+
+        serial, pooled = tune(1), tune(2)
+        assert serial.threshold == pooled.threshold
+        assert serial.auc == pooled.auc
+        assert serial.evaluations == pooled.evaluations
+        assert [t.auc_values for t in serial.trace] == [
+            t.auc_values for t in pooled.trace
+        ]
+
     def test_clipping_beats_unbounded_auc(self, trained_mlp, mlp_eval_arrays):
         """Fig. 5b's red-line comparison: the clipped network's AUC beats the
         truly unbounded (plain ReLU) network at damaging fault rates.

@@ -4,9 +4,15 @@ import numpy as np
 import pytest
 
 from repro import nn
+from repro.core.campaign import CampaignConfig
 from repro.core.metrics import evaluate_accuracy_arrays
 from repro.core.swap import swap_activations
-from repro.hw.actfaults import ActivationFaultInjector, flip_activation_bits
+from repro.hw.actfaults import (
+    ActivationFaultCellTask,
+    ActivationFaultInjector,
+    flip_activation_bits,
+    run_activation_campaign,
+)
 from repro.models import MLP
 
 
@@ -120,3 +126,110 @@ class TestActivationFaultInjector:
             return float(np.mean(values))
 
         assert mean_accuracy(clipped) > mean_accuracy(plain)
+
+
+class TestActivationFaultCampaign:
+    """run_activation_campaign on the unified executor substrate."""
+
+    @pytest.fixture
+    def act_config(self):
+        return CampaignConfig(
+            fault_rates=(1e-4, 1e-3), trials=3, seed=17, batch_size=96
+        )
+
+    def test_two_workers_bit_identical_to_serial(
+        self, trained_mlp, mlp_eval_arrays, act_config
+    ):
+        """The ISSUE's acceptance criterion for the activation path."""
+        images, labels = mlp_eval_arrays
+        serial = run_activation_campaign(trained_mlp, images, labels, act_config)
+        parallel = run_activation_campaign(
+            trained_mlp, images, labels, act_config, workers=2
+        )
+        np.testing.assert_array_equal(serial.accuracies, parallel.accuracies)
+        assert serial.clean_accuracy == parallel.clean_accuracy
+
+    def test_campaign_uses_executor_seed_paths(
+        self, trained_mlp, mlp_eval_arrays, act_config
+    ):
+        """The campaign must reproduce a hand-rolled sweep over the
+        canonical rate/<i>/trial/<j> seed derivation, cell by cell."""
+        from repro.utils.rng import SeedTree
+
+        images, labels = mlp_eval_arrays
+        rates = np.asarray(act_config.fault_rates)
+        expected = np.empty((rates.size, act_config.trials))
+        tree = SeedTree(act_config.seed)
+        with ActivationFaultInjector(trained_mlp) as injector:
+            for rate_index, rate in enumerate(rates):
+                for trial in range(act_config.trials):
+                    rng = tree.generator(f"rate/{rate_index}/trial/{trial}")
+                    with injector.session(float(rate), rng):
+                        expected[rate_index, trial] = evaluate_accuracy_arrays(
+                            trained_mlp, images, labels, act_config.batch_size
+                        )
+        curve = run_activation_campaign(trained_mlp, images, labels, act_config)
+        np.testing.assert_array_equal(curve.accuracies, expected)
+
+    def test_hooks_removed_after_campaign(
+        self, trained_mlp, mlp_eval_arrays, act_config
+    ):
+        """The serial path instruments the caller's model; afterwards the
+        model must be exactly as clean as before the campaign."""
+        images, labels = mlp_eval_arrays
+        clean = evaluate_accuracy_arrays(trained_mlp, images, labels)
+        run_activation_campaign(trained_mlp, images, labels, act_config)
+        # A lingering armed hook would perturb this evaluation.
+        assert evaluate_accuracy_arrays(trained_mlp, images, labels) == clean
+        # And a second campaign must see an un-instrumented model (the
+        # injector rejects double instrumentation only via its session,
+        # so check determinism instead).
+        first = run_activation_campaign(trained_mlp, images, labels, act_config)
+        second = run_activation_campaign(trained_mlp, images, labels, act_config)
+        np.testing.assert_array_equal(first.accuracies, second.accuracies)
+
+    def test_layer_scoped_campaign(self, trained_mlp, mlp_eval_arrays, act_config):
+        images, labels = mlp_eval_arrays
+        scoped = run_activation_campaign(
+            trained_mlp, images, labels, act_config, layers=["FC-1"]
+        )
+        full = run_activation_campaign(trained_mlp, images, labels, act_config)
+        assert scoped.accuracies.shape == full.accuracies.shape
+        with pytest.raises(ValueError, match="unknown layer"):
+            run_activation_campaign(
+                trained_mlp, images, labels, act_config, layers=["CONV-9"]
+            )
+
+    def test_checkpoint_rejects_other_campaign_kinds(
+        self, trained_mlp, mlp_eval_arrays, act_config, tmp_path
+    ):
+        from repro.core.campaign import run_campaign
+        from repro.hw.memory import WeightMemory
+
+        images, labels = mlp_eval_arrays
+        path = tmp_path / "act.json"
+        run_activation_campaign(
+            trained_mlp, images, labels, act_config, checkpoint=str(path)
+        )
+        memory = WeightMemory.from_model(trained_mlp)
+        with pytest.raises(ValueError, match="different campaign"):
+            run_campaign(
+                trained_mlp, memory, images, labels, act_config,
+                checkpoint=str(path),
+            )
+
+    def test_task_pickles_without_hooks(self, trained_mlp, mlp_eval_arrays, act_config):
+        import pickle
+
+        images, labels = mlp_eval_arrays
+        task = ActivationFaultCellTask(
+            trained_mlp, images, labels, act_config, label="act"
+        )
+        clone = pickle.loads(pickle.dumps(task))
+        assert clone.kind == "activation-fault"
+        runner = clone.make_runner()
+        try:
+            value = runner.run_cell(0, 0)
+        finally:
+            runner.close()
+        assert 0.0 <= value <= 1.0

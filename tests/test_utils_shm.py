@@ -1,0 +1,186 @@
+"""Property tests for shared-memory payload shipping (hypothesis).
+
+The executor ships pickled campaign weights through one shared-memory
+segment per host (see :mod:`repro.utils.shm`); the contract is that the
+round-trip is the exact identity for arbitrary payloads — any dtype, any
+shape — and that the inline fallback transports the same bytes when
+shared memory is unavailable.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.utils import shm
+from repro.utils.shm import ShippedBytes, ship_bytes, shared_memory_available
+
+DTYPES = (
+    np.float32,
+    np.float64,
+    np.int8,
+    np.uint8,
+    np.int16,
+    np.int32,
+    np.int64,
+    np.uint32,
+    np.complex64,
+    np.bool_,
+)
+
+
+def _roundtrip(blob: bytes) -> bytes:
+    """Parent ships the blob; a "worker" opens the address and reads it."""
+    shipment = ship_bytes(blob)
+    try:
+        # The address must survive pickling: it travels to workers
+        # through the pool initializer's arguments.
+        ref = pickle.loads(pickle.dumps(shipment.ref))
+        view = ref.open()
+        try:
+            return bytes(view.buffer)
+        finally:
+            view.close()
+    finally:
+        shipment.release()
+
+
+class TestSharedMemoryRoundTrip:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        dtype_index=st.integers(0, len(DTYPES) - 1),
+        shape=st.lists(st.integers(0, 7), min_size=0, max_size=4),
+    )
+    def test_arbitrary_arrays_survive_attach_detach(self, seed, dtype_index, shape):
+        """Any dtype/shape pickles through the segment unchanged."""
+        rng = np.random.default_rng(seed)
+        dtype = DTYPES[dtype_index]
+        array = (rng.standard_normal(shape) * 64).astype(dtype)
+        blob = pickle.dumps(array)
+        restored = pickle.loads(_roundtrip(blob))
+        assert restored.dtype == array.dtype
+        assert restored.shape == array.shape
+        np.testing.assert_array_equal(restored, array)
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.binary(min_size=0, max_size=4096))
+    def test_raw_bytes_identity(self, data):
+        assert _roundtrip(data) == data
+
+    def test_sliced_reads_match_offsets(self):
+        """The executor concatenates per-task blobs and reads by span."""
+        blobs = [pickle.dumps(np.arange(n, dtype=np.int64)) for n in (3, 0, 17)]
+        spans, offset = [], 0
+        for blob in blobs:
+            spans.append((offset, offset + len(blob)))
+            offset += len(blob)
+        shipment = ship_bytes(b"".join(blobs))
+        try:
+            view = shipment.ref.open()
+            try:
+                for (start, end), blob in zip(spans, blobs):
+                    restored = pickle.loads(view.buffer[start:end])
+                    np.testing.assert_array_equal(restored, pickle.loads(blob))
+            finally:
+                view.close()
+        finally:
+            shipment.release()
+
+    def test_nonempty_payload_prefers_shared_memory(self):
+        if not shared_memory_available():  # pragma: no cover - always true on Linux
+            pytest.skip("platform without shared memory")
+        shipment = ship_bytes(b"x" * 128)
+        try:
+            assert shipment.ref.via_shared_memory
+            assert shipment.ref.inline is None
+            assert shipment.ref.size == 128
+        finally:
+            shipment.release()
+
+    def test_release_is_idempotent(self):
+        shipment = ship_bytes(b"payload")
+        shipment.release()
+        shipment.release()  # second release must not raise
+
+    def test_closed_buffer_rejects_reads(self):
+        shipment = ship_bytes(b"payload")
+        try:
+            view = shipment.ref.open()
+            view.close()
+            with pytest.raises(ValueError):
+                view.buffer
+        finally:
+            shipment.release()
+
+
+class TestInlineFallback:
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.binary(min_size=0, max_size=1024))
+    def test_fallback_when_shared_memory_missing(self, data):
+        """With shared memory patched away, bytes travel inline.
+
+        Patched by hand (not the monkeypatch fixture): hypothesis runs
+        many examples per test call and function-scoped fixtures would
+        not reset between them.
+        """
+        original = shm._shared_memory
+        shm._shared_memory = None
+        try:
+            shipment = ship_bytes(data)
+            assert not shipment.ref.via_shared_memory
+            assert shipment.ref.inline == data
+            view = shipment.ref.open()
+            assert bytes(view.buffer) == data
+            view.close()
+            shipment.release()
+        finally:
+            shm._shared_memory = original
+
+    def test_fallback_when_segment_creation_fails(self, monkeypatch):
+        class _FailingSharedMemory:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no /dev/shm")
+
+        class _Module:
+            SharedMemory = _FailingSharedMemory
+
+        monkeypatch.setattr(shm, "_shared_memory", _Module)
+        shipment = ship_bytes(b"payload")
+        assert not shipment.ref.via_shared_memory
+        assert bytes(shipment.ref.open().buffer) == b"payload"
+
+    def test_empty_payload_ships_inline(self):
+        shipment = ship_bytes(b"")
+        assert not shipment.ref.via_shared_memory
+        assert bytes(shipment.ref.open().buffer) == b""
+
+    def test_parallel_campaign_bit_identical_without_shared_memory(
+        self, monkeypatch
+    ):
+        """The executor's fallback path: same curves, inline transport."""
+        import repro.utils.shm as shm_module
+        from repro.core.campaign import CampaignConfig, run_campaign
+        from repro.hw.memory import WeightMemory
+        from repro.models import MLP
+
+        monkeypatch.setattr(shm_module, "_shared_memory", None)
+        rng = np.random.default_rng(0)
+        model = MLP(3 * 8 * 8, 10, hidden=(16,), seed=1)
+        model.eval()
+        images = rng.standard_normal((32, 3, 8, 8)).astype(np.float32)
+        labels = rng.integers(0, 10, 32)
+        memory = WeightMemory.from_model(model)
+        config = CampaignConfig(fault_rates=(1e-4, 1e-3), trials=2, seed=9)
+        serial = run_campaign(model, memory, images, labels, config)
+        parallel = run_campaign(model, memory, images, labels, config, workers=2)
+        np.testing.assert_array_equal(serial.accuracies, parallel.accuracies)
+
+
+class TestShippedBytesContract:
+    def test_inline_ref_roundtrips_through_pickle(self):
+        ref = ShippedBytes(segment=None, size=3, inline=b"abc")
+        clone = pickle.loads(pickle.dumps(ref))
+        assert clone == ref
+        assert bytes(clone.open().buffer) == b"abc"
