@@ -1,11 +1,15 @@
 # Test-suite entry points (see pytest.ini for the slow-marker tiering).
 #
-#   make fast   - the ~25s inner loop: unit + property tests only
+#   make fast   - the ~25s inner loop: unit + property tests only,
+#                 including the suffix-engine timing smoke (a perf
+#                 regression in the hot path fails here, not in CI-hours)
 #   make test   - the full tier-1 gate, including figure benchmarks
 #   make bench  - just the figure/infrastructure benchmarks
+#                 (BENCH_campaign.json history + BENCH_forward.json)
 #
 # REPRO_WORKERS=N fans every campaign in the suite across N worker
-# processes (0 = one per core); results are bit-identical either way.
+# processes (0 = one per core); REPRO_NO_SUFFIX=1 disables suffix
+# re-execution; results are bit-identical either way.
 
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest

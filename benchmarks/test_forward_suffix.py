@@ -1,0 +1,156 @@
+"""Suffix re-execution throughput: clean forward vs suffix per model.
+
+Not a paper figure — an infrastructure benchmark for the suffix engine
+(:mod:`repro.core.suffix`).  For every zoo architecture it measures
+
+* one full forward pass over the evaluation set,
+* suffix re-execution from a *deep* cut (the deepest CONV/FC layer) and
+  from a *shallow* cut (the first faultable boundary after the input),
+* a layerwise-campaign workload scoped to the deepest layer — the
+  engine's target case — run once with the engine off and once with it
+  on (the on-timing includes the engine's one-time clean pass).
+
+Results land in ``benchmarks/results/BENCH_forward.json``.  The headline
+acceptance bar: the scoped campaign on the deepest layer of the deepest
+zoo model (VGG-16, 13 CONV + 1 FC) must be at least 2x faster with the
+engine, with bit-identical accuracies (asserted here; the registry-wide
+property tests in tests/test_core_suffix.py guard bit-identity broadly).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from repro.core.campaign import CampaignConfig
+from repro.core.executor import WeightFaultCellTask
+from repro.core.suffix import SuffixForwardEngine
+from repro.data import SyntheticCIFAR10
+from repro.hw.memory import WeightMemory
+from repro.models.registry import MODEL_BUILDERS, layer_names
+
+from .conftest import RESULTS_DIR
+
+# Weight training is irrelevant to throughput: freshly-initialised
+# networks at the zoo's default width keep the benchmark in CPU-seconds.
+WIDTH_MULT = 0.25
+EVAL_IMAGES = 128
+BATCH_SIZE = 64
+CAMPAIGN_CELLS_RATES = (1e-4, 3e-4)
+CAMPAIGN_TRIALS = 3
+SEED = 2020
+DEEPEST_ZOO_MODEL = "vgg16"  # 13 CONV + 1 FC: the deepest architecture
+
+
+def _timed_batches(fn, images):
+    start = time.perf_counter()
+    with np.errstate(over="ignore", invalid="ignore"):
+        for offset in range(0, images.shape[0], BATCH_SIZE):
+            fn(images[offset : offset + BATCH_SIZE], offset)
+    return time.perf_counter() - start
+
+
+def _campaign_seconds(model, memory, images, labels, suffix):
+    config = CampaignConfig(
+        fault_rates=CAMPAIGN_CELLS_RATES,
+        trials=CAMPAIGN_TRIALS,
+        seed=SEED,
+        batch_size=BATCH_SIZE,
+    )
+    task = WeightFaultCellTask(
+        model, memory, images, labels, config=config, suffix=suffix
+    )
+    # The timer covers runner construction: the engine's one-time clean
+    # pass is part of the cost being measured, not overhead to hide.
+    start = time.perf_counter()
+    runner = task.make_runner()
+    try:
+        values = [
+            runner.run_cell(rate_index, trial)
+            for rate_index in range(len(CAMPAIGN_CELLS_RATES))
+            for trial in range(CAMPAIGN_TRIALS)
+        ]
+        return time.perf_counter() - start, np.asarray(values)
+    finally:
+        runner.close()
+
+
+def test_bench_forward_suffix(record_result):
+    images, labels = SyntheticCIFAR10(seed=3).generate(EVAL_IMAGES, "test")
+    payload = {
+        "benchmark": "forward_suffix",
+        "eval_images": EVAL_IMAGES,
+        "batch_size": BATCH_SIZE,
+        "width_mult": WIDTH_MULT,
+        "campaign_cells": len(CAMPAIGN_CELLS_RATES) * CAMPAIGN_TRIALS,
+        "models": {},
+    }
+    lines = [
+        "forward vs suffix re-execution "
+        f"({EVAL_IMAGES} images, width_mult {WIDTH_MULT}):"
+    ]
+    for name in sorted(MODEL_BUILDERS):
+        model = MODEL_BUILDERS[name](num_classes=10, width_mult=WIDTH_MULT, seed=0)
+        model.eval()
+        layers = layer_names(model)
+        deepest = layers[-1]
+        memory = WeightMemory.from_model(model)
+        engine = SuffixForwardEngine.build(
+            model, images, BATCH_SIZE, scope_layers=memory.layer_names()
+        )
+        shallow = next(
+            (layer for layer in layers if engine.start_index_for([layer])), None
+        )
+
+        full_seconds = _timed_batches(lambda batch, _: model(batch), images)
+        deep_seconds = _timed_batches(engine.forward_fn([deepest]), images)
+        shallow_seconds = (
+            _timed_batches(engine.forward_fn([shallow]), images)
+            if shallow is not None
+            else None
+        )
+        engine.close()
+
+        scoped = WeightMemory.from_model(model, layers=[deepest])
+        campaign_full, full_values = _campaign_seconds(
+            model, scoped, images, labels, suffix=False
+        )
+        campaign_suffix, suffix_values = _campaign_seconds(
+            model, scoped, images, labels, suffix=True
+        )
+        # Parallelism/suffix never change the science.
+        np.testing.assert_array_equal(suffix_values, full_values)
+        speedup = campaign_full / campaign_suffix
+
+        payload["models"][name] = {
+            "layers": len(layers),
+            "deep_cut_layer": deepest,
+            "shallow_cut_layer": shallow,
+            "full_forward_seconds": round(full_seconds, 4),
+            "suffix_deep_seconds": round(deep_seconds, 4),
+            "suffix_shallow_seconds": (
+                round(shallow_seconds, 4) if shallow_seconds is not None else None
+            ),
+            "campaign_full_seconds": round(campaign_full, 3),
+            "campaign_suffix_seconds": round(campaign_suffix, 3),
+            "campaign_speedup": round(speedup, 2),
+            "bit_identical": True,
+        }
+        lines.append(
+            f"  {name:8s} forward {full_seconds:7.4f}s | "
+            f"suffix@{deepest} {deep_seconds:7.4f}s | "
+            f"campaign {campaign_full:6.3f}s -> {campaign_suffix:6.3f}s "
+            f"({speedup:.1f}x)"
+        )
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_forward.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    record_result("BENCH_forward", "\n".join(lines))
+
+    # Acceptance bar: >= 2x on the deepest layer of the deepest zoo model.
+    deepest_model = payload["models"][DEEPEST_ZOO_MODEL]
+    assert deepest_model["campaign_speedup"] >= 2.0, deepest_model

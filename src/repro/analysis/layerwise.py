@@ -62,6 +62,7 @@ def run_layerwise_analysis(
     workers: int = 1,
     progress: "Callable | None" = None,
     checkpoint: "str | None" = None,
+    suffix: bool = True,
 ) -> LayerwiseResult:
     """Per-layer fault injection: one scoped campaign per CONV/FC layer.
 
@@ -74,6 +75,13 @@ def run_layerwise_analysis(
     :class:`~repro.core.executor.CellResult`\\ s (``campaign_label`` names
     the layer) and ``checkpoint`` enables resume of the whole
     multi-layer sweep from one JSON file.
+
+    Each layer's campaign is the suffix engine's best case: faults are
+    scoped to one known layer, so every cell re-executes only from that
+    layer's cached input (``suffix=False`` restores the full-forward
+    path on the serial loop; workers always run with the engine on, and
+    ``REPRO_NO_SUFFIX=1`` disables it everywhere — curves are
+    bit-identical in every combination).
     """
     available = layer_names(model)
     selected: Sequence[str] = list(layers) if layers is not None else available
@@ -91,7 +99,7 @@ def run_layerwise_analysis(
         tasks.append(
             WeightFaultCellTask(
                 model, memory, images, labels,
-                config=config, sampler=sampler, label=layer,
+                config=config, sampler=sampler, label=layer, suffix=suffix,
             )
         )
     executor = CampaignExecutor(

@@ -100,8 +100,15 @@ def _classify_trial(
     labels: np.ndarray,
     clean_predictions: np.ndarray,
     batch_size: int,
+    forward=None,
 ) -> tuple[int, int, int, int]:
-    """Classify every image's outcome for the currently-injected faults."""
+    """Classify every image's outcome for the currently-injected faults.
+
+    ``forward`` optionally replaces the per-batch full forward (see
+    :data:`repro.core.metrics.BatchForward`); the suffix engine's partial
+    re-execution is bit-identical, so the taxonomy — including the
+    non-finite-logit DUE check — is unchanged.
+    """
     masked = benign = sdc = due = 0
     was_training = model.training
     model.eval()
@@ -111,7 +118,7 @@ def _classify_trial(
                 batch = images[start : start + batch_size]
                 batch_labels = labels[start : start + batch_size]
                 batch_clean = clean_predictions[start : start + batch_size]
-                logits = model(batch)
+                logits = model(batch) if forward is None else forward(batch, start)
                 finite = np.isfinite(logits).all(axis=1)
                 predictions = np.argmax(logits, axis=1)
 
@@ -154,6 +161,7 @@ class OutcomeCellTask:
         config: "CampaignConfig | None" = None,
         sampler: "FaultSampler | None" = None,
         label: str = "",
+        suffix: bool = True,
     ):
         self.model = model
         self.memory = memory
@@ -162,6 +170,7 @@ class OutcomeCellTask:
         self.config = config if config is not None else CampaignConfig()
         self.sampler = sampler if sampler is not None else random_bitflip_sampler()
         self.label = label
+        self.suffix = bool(suffix)
         self.clean_predictions = predict_labels(
             model, self.images, self.config.batch_size
         )
@@ -172,11 +181,12 @@ class OutcomeCellTask:
     def clean_accuracy(self) -> float:
         return float((self.clean_predictions == self.labels).mean())
 
-    def measure(self) -> tuple[float, ...]:
+    def measure(self, forward=None) -> tuple[float, ...]:
         """Outcome counts of the (currently fault-injected) model."""
         masked, benign, sdc, due = _classify_trial(
             self.model, self.images, self.labels,
             self.clean_predictions, self.config.batch_size,
+            forward=forward,
         )
         return (float(masked), float(benign), float(sdc), float(due))
 
@@ -214,6 +224,7 @@ def run_outcome_analysis(
     workers: int = 1,
     progress: "Callable | None" = None,
     checkpoint: "str | None" = None,
+    suffix: bool = True,
 ) -> OutcomeBreakdown:
     """Sweep fault rates and classify every inference's outcome.
 
@@ -221,10 +232,14 @@ def run_outcome_analysis(
     :class:`~repro.core.campaign.FaultInjectionCampaign`, so outcome
     breakdowns pair exactly with accuracy curves from the same config.
     ``workers`` fans the grid across a process pool (``0`` = one per CPU
-    core) with counts bit-identical to the serial sweep.
+    core) with counts bit-identical to the serial sweep; ``suffix``
+    toggles suffix re-execution on the serial path (also bit-identical;
+    workers always run with the engine on — ``REPRO_NO_SUFFIX=1``
+    disables it everywhere).
     """
     task = OutcomeCellTask(
-        model, memory, images, labels, config=config, sampler=sampler, label=label
+        model, memory, images, labels, config=config, sampler=sampler, label=label,
+        suffix=suffix,
     )
     executor = CampaignExecutor(
         workers=workers, progress=progress, checkpoint=checkpoint

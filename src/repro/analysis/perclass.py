@@ -84,6 +84,7 @@ class PerClassCellTask:
         sampler: "FaultSampler | None" = None,
         num_classes: "int | None" = None,
         label: str = "",
+        suffix: bool = True,
     ):
         self.model = model
         self.memory = memory
@@ -96,13 +97,16 @@ class PerClassCellTask:
         self.num_classes = int(num_classes)
         self.cell_width = 2 * self.num_classes
         self.label = label
+        self.suffix = bool(suffix)
 
     def __getstate__(self) -> dict:
         return payload_state(self)
 
-    def measure(self) -> np.ndarray:
+    def measure(self, forward=None) -> np.ndarray:
         """Per-class stats of the (currently fault-injected) model."""
-        predictions = predict_labels(self.model, self.images, self.config.batch_size)
+        predictions = predict_labels(
+            self.model, self.images, self.config.batch_size, forward=forward
+        )
         trial_recall, trial_share = _per_class_stats(
             predictions, self.labels, self.num_classes
         )
@@ -147,15 +151,20 @@ def run_per_class_analysis(
     workers: int = 1,
     progress: "Callable | None" = None,
     checkpoint: "str | None" = None,
+    suffix: bool = True,
 ) -> PerClassResult:
     """Sweep fault rates and record per-class recall / prediction share.
 
     ``workers`` fans the grid across a process pool (``0`` = one per CPU
-    core) with results bit-identical to the serial sweep.
+    core) with results bit-identical to the serial sweep; ``suffix``
+    toggles suffix re-execution on the serial path (also bit-identical;
+    workers always run with the engine on — ``REPRO_NO_SUFFIX=1``
+    disables it everywhere).
     """
     task = PerClassCellTask(
         model, memory, images, labels,
         config=config, sampler=sampler, num_classes=num_classes,
+        suffix=suffix,
     )
     executor = CampaignExecutor(
         workers=workers, progress=progress, checkpoint=checkpoint

@@ -46,6 +46,7 @@ from repro.core.metrics import (
     predict_labels,
 )
 from repro.core.pipeline import FTClipAct, FTClipActConfig, HardenedModel, harden_model
+from repro.core.suffix import SuffixForwardEngine
 from repro.core.profiling import (
     ActivationProfiler,
     LayerActivationStats,
@@ -87,6 +88,7 @@ __all__ = [
     "ProfileResult",
     "QuantizedCellTask",
     "ResilienceCurve",
+    "SuffixForwardEngine",
     "ThresholdFineTuner",
     "WeightFaultCellTask",
     "apply_actmax_clipping",

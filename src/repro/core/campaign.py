@@ -169,6 +169,7 @@ class FaultInjectionCampaign:
         workers: int = 1,
         progress: "Callable | None" = None,
         checkpoint: "str | None" = None,
+        suffix: bool = True,
     ) -> ResilienceCurve:
         """Execute the full (rates x trials) sweep.
 
@@ -182,14 +183,21 @@ class FaultInjectionCampaign:
         ``progress`` receives a :class:`~repro.core.executor.CellResult`
         per completed cell and ``checkpoint`` names a JSON file enabling
         resume of an interrupted sweep — see
-        :class:`~repro.core.executor.CampaignExecutor`.
+        :class:`~repro.core.executor.CampaignExecutor`.  ``suffix``
+        controls the suffix re-execution engine
+        (:mod:`repro.core.suffix`) — an execution detail: results are
+        bit-identical with it on or off.  The flag governs the serial
+        path only; worker processes always run with the engine on (it
+        is excluded from task payloads so checkpoints interoperate
+        across engine settings) — set ``REPRO_NO_SUFFIX=1`` to disable
+        it everywhere, workers included.
         """
         from repro.core.executor import CampaignExecutor
 
         executor = CampaignExecutor(
             workers=workers, progress=progress, checkpoint=checkpoint
         )
-        return executor.run(self, sampler=sampler, label=label)
+        return executor.run(self, sampler=sampler, label=label, suffix=suffix)
 
 
 def run_campaign(
@@ -203,6 +211,7 @@ def run_campaign(
     workers: int = 1,
     progress: "Callable | None" = None,
     checkpoint: "str | None" = None,
+    suffix: bool = True,
 ) -> ResilienceCurve:
     """Functional one-shot wrapper around :class:`FaultInjectionCampaign`."""
     campaign = FaultInjectionCampaign(model, memory, images, labels, config)
@@ -212,4 +221,5 @@ def run_campaign(
         workers=workers,
         progress=progress,
         checkpoint=checkpoint,
+        suffix=suffix,
     )

@@ -28,12 +28,29 @@ over its own deserialized copy — the *same code* runs in both, so
 determinism holds by construction rather than by keeping loops in sync.
 
 **Weight shipping.**  Each task pickles once into a payload blob (reused
-as the checkpoint fingerprint's CRC input).  The concatenated blobs ship
-to workers through one :mod:`multiprocessing.shared_memory` segment —
-written once per host, attached by name — with an automatic fallback to
-inline initializer bytes when shared memory is unavailable (see
-:mod:`repro.utils.shm`).  Workers deserialize tasks lazily, keeping one
-live runner at a time, so a worker never holds more than one model copy.
+as the checkpoint fingerprint's CRC input); callers that already hold a
+task's pickled bytes pass them through ``run_tasks(payloads=...)`` so no
+model snapshot is serialized twice.  The concatenated blobs ship to
+workers through one :mod:`multiprocessing.shared_memory` segment —
+written once per host, attached by each worker on its first chunk of the
+sweep's *generation* — with an automatic fallback to inline bytes when
+shared memory is unavailable (see :mod:`repro.utils.shm`).  Workers
+deserialize tasks lazily, keeping one live runner at a time, so a worker
+never holds more than one model copy.
+
+**Warm pools.**  ``persistent=True`` keeps the worker pool alive across
+:meth:`CampaignExecutor.run_tasks` calls; because payloads travel per
+generation rather than through the pool initializer, iterative drivers —
+Algorithm 1's per-iteration boundary batches — reuse one pool instead of
+constructing one per iteration.
+
+**Suffix re-execution.**  :class:`InjectionCellRunner` (and its
+quantized/activation siblings) owns a
+:class:`~repro.core.suffix.SuffixForwardEngine`: one clean forward pass
+caches the tensor entering every faultable layer, and each cell
+re-executes only from the first layer its fault set touches — the
+injector's cut-point report (`FaultInjector.affected_layers`) scopes the
+cut, and the skipped prefix is bit-identical by construction.
 
 **Determinism.**  The per-cell seed depends only on
 ``(campaign seed, rate index, trial index)`` via
@@ -184,14 +201,21 @@ class CampaignCellTask(Protocol):
 def payload_state(task: CampaignCellTask) -> dict:
     """The ``__getstate__`` shared by every cell task.
 
-    Drops parent-side presentation (``label``) and caches (``_clean``)
-    from the pickled payload, so the payload bytes — and hence the
-    checkpoint CRC — depend only on the campaign's scientific content.
+    Drops parent-side presentation (``label``), caches (``_clean``) and
+    execution details (``suffix`` — results are bit-identical with the
+    engine on or off) from the pickled payload, so the payload bytes —
+    and hence the checkpoint CRC — depend only on the campaign's
+    scientific content: a checkpoint written with the suffix engine on
+    resumes a run with it off, and vice versa.  Worker processes thus
+    always run with the engine enabled; ``REPRO_NO_SUFFIX=1`` (inherited
+    by workers) is the everywhere-off switch.
     """
     state = dict(task.__dict__)
     state["label"] = ""
     if "_clean" in state:
         state["_clean"] = None
+    if "suffix" in state:
+        state["suffix"] = True
     return state
 
 
@@ -202,25 +226,46 @@ class InjectionCellRunner:
     and measures the model under injection — the accuracy campaign, the
     outcome taxonomy and the per-class analysis differ only in what
     ``task.measure()`` computes while the faults are applied.
+
+    The runner owns a :class:`~repro.core.suffix.SuffixForwardEngine`
+    (one clean pass over the eval set, cached prefix activations): each
+    cell's fault set is located *before* injection and only the layers
+    from the first faulted one onward are re-executed — bit-identical to
+    the full forward, since the skipped prefix is untouched.  Cells whose
+    fault set is empty replay the cached clean logits outright.
     """
 
     def __init__(self, task):
+        from repro.core.suffix import SuffixForwardEngine
         from repro.hw.injector import FaultInjector
 
         self.task = task
         self.injector = FaultInjector(task.memory)
         self.tree = SeedTree(task.config.seed)
+        self.engine = SuffixForwardEngine.build(
+            task.model,
+            task.images,
+            task.config.batch_size,
+            scope_layers=task.memory.layer_names(),
+            enabled=getattr(task, "suffix", True),
+        )
 
     def run_cell(self, rate_index: int, trial: int) -> "float | Sequence[float]":
         task = self.task
         rate = float(task.config.fault_rates[rate_index])
         rng = self.tree.generator(cell_seed_path(rate_index, trial))
         fault_set = task.sampler(task.memory, rate, rng)
+        forward = None
+        if self.engine is not None:
+            forward = self.engine.forward_fn(self.injector.affected_layers(fault_set))
         with self.injector.apply(fault_set):
-            return task.measure()
+            return task.measure(forward=forward)
 
     def close(self) -> None:
-        pass  # injection restores per cell; nothing is left armed
+        # Injection restores per cell; only the activation cache remains.
+        if self.engine is not None:
+            self.engine.close()
+            self.engine = None
 
 
 class WeightFaultCellTask:
@@ -246,6 +291,7 @@ class WeightFaultCellTask:
         sampler: "FaultSampler | None" = None,
         label: str = "",
         clean_accuracy: "float | None" = None,
+        suffix: bool = True,
     ):
         from repro.core.campaign import CampaignConfig, random_bitflip_sampler
 
@@ -257,6 +303,7 @@ class WeightFaultCellTask:
         self.sampler = sampler if sampler is not None else random_bitflip_sampler()
         self.label = label
         self._clean = None if clean_accuracy is None else float(clean_accuracy)
+        self.suffix = bool(suffix)
 
     def __getstate__(self) -> dict:
         return payload_state(self)
@@ -269,10 +316,11 @@ class WeightFaultCellTask:
             )
         return self._clean
 
-    def measure(self) -> float:
+    def measure(self, forward=None) -> float:
         """Accuracy of the (currently fault-injected) model."""
         return evaluate_accuracy_arrays(
-            self.model, self.images, self.labels, self.config.batch_size
+            self.model, self.images, self.labels, self.config.batch_size,
+            forward=forward,
         )
 
     def make_runner(self) -> InjectionCellRunner:
@@ -293,27 +341,55 @@ class WeightFaultCellTask:
 
 # Per-process sweep state, set once by _init_worker.  Plain module
 # globals: ProcessPoolExecutor workers are single-threaded and each
-# process serves exactly one sweep at a time.  Tasks deserialize lazily
-# and only one runner (one model copy) stays live per worker.
+# process serves exactly one sweep *generation* at a time.  A warm pool
+# outlives individual sweeps (Algorithm-1 iterations reuse one pool), so
+# the payload travels with each chunk call — a tiny shared-memory
+# address, attached once per worker per generation — instead of the pool
+# initializer.  Tasks deserialize lazily and only one runner (one model
+# copy) stays live per worker.
 _WORKER_STATE: "dict | None" = None
 
+# Parent-side generation ids: one per run_tasks scheduling pass, so a
+# worker can tell a fresh payload from the one it already attached.
+_GENERATION = iter(range(1, 2**62))
 
-def _init_worker(ref: ShippedBytes, spans: "tuple[tuple[int, int], ...]") -> None:
-    """Pool initializer: attach to the shipped payload once per worker."""
+
+def _init_worker() -> None:
+    """Pool initializer: empty slots, filled by the first chunk call."""
     global _WORKER_STATE
     _WORKER_STATE = {
-        "payload": ref.open(),
-        "spans": spans,
+        "generation": None,
+        "payload": None,
+        "spans": None,
         "task_index": None,
         "runner": None,
     }
 
 
-def _task_runner(task_index: int):
-    """The worker's runner for ``task_index``, (re)built on task switch."""
+def _worker_state(
+    ref: ShippedBytes,
+    spans: "tuple[tuple[int, int], ...]",
+    generation: "tuple[int, int]",
+) -> dict:
+    """Attach this worker to ``ref``'s payload (once per generation)."""
     state = _WORKER_STATE
     if state is None:  # pragma: no cover - defensive: initializer always ran
         raise RuntimeError("campaign worker used before initialization")
+    if state["generation"] != generation:
+        if state["runner"] is not None:
+            state["runner"].close()
+            state["runner"] = None
+        state["task_index"] = None
+        if state["payload"] is not None:
+            state["payload"].close()
+        state["payload"] = ref.open()
+        state["spans"] = spans
+        state["generation"] = generation
+    return state
+
+
+def _task_runner(state: dict, task_index: int):
+    """The worker's runner for ``task_index``, (re)built on task switch."""
     if state["task_index"] != task_index:
         if state["runner"] is not None:
             state["runner"].close()
@@ -327,10 +403,14 @@ def _task_runner(task_index: int):
 
 
 def _run_task_cells(
-    task_index: int, cells: Sequence[tuple[int, int]]
+    ref: ShippedBytes,
+    spans: "tuple[tuple[int, int], ...]",
+    generation: "tuple[int, int]",
+    task_index: int,
+    cells: Sequence[tuple[int, int]],
 ) -> "list[tuple[int, int, int, float | Sequence[float]]]":
     """Evaluate a chunk of one task's cells in this worker."""
-    runner = _task_runner(task_index)
+    runner = _task_runner(_worker_state(ref, spans, generation), task_index)
     return [
         (task_index, rate_index, trial, runner.run_cell(rate_index, trial))
         for rate_index, trial in cells
@@ -474,6 +554,18 @@ class CampaignExecutor:
     mp_context:
         Optional :mod:`multiprocessing` start-method name (``"fork"``,
         ``"spawn"``, ``"forkserver"``); default lets the platform choose.
+    persistent:
+        Keep the worker pool alive between :meth:`run_tasks` calls (a
+        *warm pool*).  Repeated sweeps — Algorithm 1's per-iteration
+        boundary batches — then skip pool construction and worker
+        start-up entirely; each sweep ships its payload through a fresh
+        shared-memory generation.  Call :meth:`close` (or use the
+        executor as a context manager) when done.  Trade-off: a worker
+        releases its previous runner (model copy plus any suffix
+        activation cache) when it first touches a *newer* generation,
+        so workers idle between sweeps retain the last sweep's state
+        until the next sweep or :meth:`close` — size
+        ``REPRO_SUFFIX_BUDGET_MB`` accordingly on wide warm pools.
     """
 
     def __init__(
@@ -483,6 +575,7 @@ class CampaignExecutor:
         progress: "ProgressCallback | None" = None,
         checkpoint: "str | Path | None" = None,
         mp_context: "str | None" = None,
+        persistent: bool = False,
     ):
         self.workers = resolve_workers(workers)
         if chunk_size < 0:
@@ -491,6 +584,20 @@ class CampaignExecutor:
         self.progress = progress
         self.checkpoint_path = checkpoint
         self.mp_context = mp_context
+        self.persistent = bool(persistent)
+        self._pool: "ProcessPoolExecutor | None" = None
+
+    def close(self) -> None:
+        """Shut down the warm pool, if one is alive (idempotent)."""
+        if self._pool is not None:
+            pool, self._pool = self._pool, None
+            pool.shutdown()
+
+    def __enter__(self) -> "CampaignExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
 
@@ -499,6 +606,7 @@ class CampaignExecutor:
         campaign: "FaultInjectionCampaign",
         sampler: "FaultSampler | None" = None,
         label: str = "",
+        suffix: bool = True,
     ) -> ResilienceCurve:
         """Execute one weight-fault campaign's sweep and build its curve."""
         task = WeightFaultCellTask(
@@ -510,10 +618,15 @@ class CampaignExecutor:
             sampler=sampler,
             label=label,
             clean_accuracy=campaign.clean_accuracy,
+            suffix=suffix,
         )
         return self.run_tasks([task])[0]
 
-    def run_tasks(self, tasks: Sequence[CampaignCellTask]) -> list[Any]:
+    def run_tasks(
+        self,
+        tasks: Sequence[CampaignCellTask],
+        payloads: "Sequence[bytes | None] | None" = None,
+    ) -> list[Any]:
         """Execute several campaigns' cells through one scheduling pass.
 
         With ``workers > 1`` every task's pending cells share a single
@@ -521,10 +634,22 @@ class CampaignExecutor:
         tasks run back-to-back in task order, rate-major — exactly the
         historical sequential loops.  Either way each task's result is
         bit-identical, and the returned list is parallel to ``tasks``.
+
+        ``payloads`` optionally supplies pre-pickled bytes per task
+        (parallel to ``tasks``; ``None`` entries are pickled here).  A
+        caller that already serialized a task to snapshot it — e.g.
+        :meth:`~repro.core.finetune.LayerAUCEvaluator.evaluate_many` —
+        passes the same bytes instead of paying a second serialization of
+        the model; the entry must be ``pickle.dumps`` of an object
+        equivalent to the corresponding task.
         """
         tasks = list(tasks)
         if not tasks:
             return []
+        if payloads is not None and len(payloads) != len(tasks):
+            raise ValueError(
+                f"payloads ({len(payloads)}) must parallel tasks ({len(tasks)})"
+            )
 
         rates_list: list[np.ndarray] = []
         grids: list[np.ndarray] = []
@@ -539,12 +664,16 @@ class CampaignExecutor:
         total = sum(grid.shape[0] * grid.shape[1] for grid in grids)
 
         # One serialization per task serves both the checkpoint
-        # fingerprint and the worker payload.
-        blobs: "list[bytes | None]" = [None] * len(tasks)
+        # fingerprint and the worker payload; pre-pickled payloads are
+        # reused verbatim, so those tasks are never serialized here.
+        blobs: "list[bytes | None]" = (
+            [None] * len(tasks) if payloads is None else list(payloads)
+        )
         errors: "list[Exception | None]" = [None] * len(tasks)
         if self.checkpoint_path is not None or self.workers > 1:
             for index, task in enumerate(tasks):
-                blobs[index], errors[index] = _pickle_task(task)
+                if blobs[index] is None:
+                    blobs[index], errors[index] = _pickle_task(task)
 
         checkpoint = None
         if self.checkpoint_path is not None:
@@ -707,30 +836,35 @@ class CampaignExecutor:
         total: int,
         checkpoint: "_Checkpoint | None",
     ) -> None:
-        """Fan every task's pending cells over one process pool."""
-        import multiprocessing
+        """Fan every task's pending cells over one process pool.
 
+        A persistent executor reuses its warm pool across calls; the
+        payload then travels with each chunk under a fresh generation id
+        (workers re-attach once per generation).  A one-shot executor
+        builds a right-sized pool and tears it down afterwards.
+        """
         n_pending = sum(len(cells) for cells in pending)
-        workers = min(self.workers, n_pending)
+        workers = (
+            self.workers if self.persistent else min(self.workers, n_pending)
+        )
         chunk_size = self.chunk_size or max(1, n_pending // (workers * 4))
+        if not payload.via_shared_memory:
+            # Inline transport re-pickles the whole payload into every
+            # chunk's call item; coarsen to about one chunk per worker so
+            # the copy count matches the old initializer-based shipping.
+            chunk_size = max(chunk_size, -(-n_pending // workers))
         chunks: "list[tuple[int, list[tuple[int, int]]]]" = []
         for task_index, cells in enumerate(pending):
             for start in range(0, len(cells), chunk_size):
                 chunks.append((task_index, cells[start : start + chunk_size]))
 
-        context = (
-            multiprocessing.get_context(self.mp_context)
-            if self.mp_context is not None
-            else None
-        )
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            mp_context=context,
-            initializer=_init_worker,
-            initargs=(payload, spans),
-        ) as pool:
+        generation = (os.getpid(), next(_GENERATION))
+        pool = self._acquire_pool(workers)
+        try:
             futures = {
-                pool.submit(_run_task_cells, task_index, cells)
+                pool.submit(
+                    _run_task_cells, payload, spans, generation, task_index, cells
+                )
                 for task_index, cells in chunks
             }
             while futures:
@@ -749,3 +883,26 @@ class CampaignExecutor:
                             checkpoint.record(task_index, rate_index, trial, value)
                     if checkpoint is not None:
                         checkpoint.flush()
+        finally:
+            if not self.persistent:
+                pool.shutdown()
+
+    def _acquire_pool(self, workers: int) -> ProcessPoolExecutor:
+        """The warm pool (created once) or a fresh one-shot pool."""
+        import multiprocessing
+
+        if self.persistent and self._pool is not None:
+            return self._pool
+        context = (
+            multiprocessing.get_context(self.mp_context)
+            if self.mp_context is not None
+            else None
+        )
+        pool = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=context,
+            initializer=_init_worker,
+        )
+        if self.persistent:
+            self._pool = pool
+        return pool

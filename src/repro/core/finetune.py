@@ -103,12 +103,36 @@ def fine_tune_threshold(
     ``evaluator`` maps a candidate threshold to its AUC.  Evaluations are
     memoised: interval ends recur between iterations, and Algorithm 1's
     ``Interval_Search`` reuses boundary AUCs freely.
+
+    An evaluator with a ``close`` method (the warm-pool
+    :class:`LayerAUCEvaluator`) is closed when the search finishes, so
+    its worker pool lives exactly as long as one Algorithm-1 run —
+    shared by every iteration, built at most once.
     """
     if act_max <= lower_bound:
         raise ValueError(
             f"act_max ({act_max}) must exceed lower_bound ({lower_bound})"
         )
     config = config if config is not None else FineTuneConfig()
+    try:
+        return _fine_tune_threshold(
+            evaluator, act_max, config, layer_name, lower_bound
+        )
+    finally:
+        close = getattr(evaluator, "close", None)
+        if callable(close):
+            close()
+
+
+def _fine_tune_threshold(
+    evaluator: AUCEvaluator,
+    act_max: float,
+    config: FineTuneConfig,
+    layer_name: str,
+    lower_bound: float,
+) -> FineTuneResult:
+    """The Algorithm-1 interval search proper (evaluator lifecycle handled
+    by :func:`fine_tune_threshold`)."""
 
     cache: dict[float, float] = {}
 
@@ -191,6 +215,15 @@ class LayerAUCEvaluator:
     of spinning up a pool per boundary).  Both entry points are
     bit-deterministic, so Algorithm 1's search trajectory is identical
     at any worker count and batch size.
+
+    The evaluator owns one *warm* :class:`CampaignExecutor`: the pool is
+    built on the first parallel evaluation and reused by every later
+    iteration of Algorithm 1 (call :meth:`close` when tuning ends —
+    :func:`fine_tune_threshold` and :class:`ThresholdFineTuner` do).
+    Each threshold's snapshot is serialized exactly once: the pickled
+    bytes both materialize the parent-side copy (whose clean accuracy
+    anchors the AUC) and ship to the workers via the executor's
+    pre-pickled payload path.
     """
 
     def __init__(
@@ -217,45 +250,77 @@ class LayerAUCEvaluator:
         self._campaign = FaultInjectionCampaign(
             model, memory, self.images, self.labels, campaign_config
         )
+        self._executor: "CampaignExecutor | None" = None
+
+    def _warm_executor(self) -> CampaignExecutor:
+        """The evaluator's persistent executor (pool built on first use)."""
+        if self._executor is None:
+            self._executor = CampaignExecutor(
+                workers=self.workers, persistent=True
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the warm worker pool, if one was started (idempotent)."""
+        if self._executor is not None:
+            executor, self._executor = self._executor, None
+            executor.close()
 
     def __call__(self, threshold: float) -> float:
         set_thresholds(self.model, {self.layer_name: threshold})
         self._campaign.invalidate_clean_accuracy()
-        curve = self._campaign.run(
-            sampler=self.sampler,
-            label=f"{self.layer_name}@T={threshold:g}",
-            workers=self.workers,
-        )
+        if self.workers > 1:
+            curve = self._warm_executor().run(
+                self._campaign,
+                sampler=self.sampler,
+                label=f"{self.layer_name}@T={threshold:g}",
+            )
+        else:
+            curve = self._campaign.run(
+                sampler=self.sampler,
+                label=f"{self.layer_name}@T={threshold:g}",
+                workers=1,
+            )
         return curve.auc(include_zero_rate=self.include_zero_rate)
 
     def evaluate_many(self, thresholds: Sequence[float]) -> list[float]:
         """AUCs for several thresholds, one campaign each, one pool total.
 
         Each threshold gets its own bit-exact ``(model, memory)``
-        snapshot (a pickle round-trip preserves the memory's aliasing
-        into the model's parameters), so the campaigns are independent
-        tasks whose cells interleave freely in the shared pool.
+        snapshot — one ``pickle.dumps`` of the whole cell task, whose
+        bytes serve double duty: ``pickle.loads`` materializes the
+        parent-side copy (detached from the live model, preserving the
+        memory's aliasing into the copy's parameters), and the same blob
+        ships to the warm pool through ``run_tasks(payloads=...)``, so no
+        model snapshot is ever serialized twice.
         """
         if self.workers == 1 or len(thresholds) < 2:
             return [self(threshold) for threshold in thresholds]
         initial = get_thresholds(self.model)[self.layer_name]
         tasks = []
+        blobs = []
         try:
             for threshold in thresholds:
                 set_thresholds(self.model, {self.layer_name: threshold})
-                model_copy, memory_copy = pickle.loads(
-                    pickle.dumps((self.model, self.memory))
-                )
-                tasks.append(
+                blob = pickle.dumps(
                     WeightFaultCellTask(
-                        model_copy, memory_copy, self.images, self.labels,
+                        self.model, self.memory, self.images, self.labels,
                         config=self.campaign_config, sampler=self.sampler,
-                        label=f"{self.layer_name}@T={threshold:g}",
                     )
                 )
+                task = pickle.loads(blob)
+                task.label = f"{self.layer_name}@T={threshold:g}"
+                # The loads round-trip duplicated the eval arrays; the
+                # parent-side copy only needs them for the clean-accuracy
+                # evaluation, so share the originals (bit-equal) instead
+                # of holding one private copy per threshold.
+                task.images = self.images
+                task.labels = self.labels
+                blobs.append(blob)
+                tasks.append(task)
         finally:
             set_thresholds(self.model, {self.layer_name: initial})
-        curves = CampaignExecutor(workers=self.workers).run_tasks(tasks)
+        curves = self._warm_executor().run_tasks(tasks, payloads=blobs)
         return [
             curve.auc(include_zero_rate=self.include_zero_rate) for curve in curves
         ]
@@ -337,6 +402,7 @@ class ThresholdFineTuner:
                 layer_name=layer_name,
             )
         finally:
+            evaluator.close()
             set_thresholds(self.model, {layer_name: initial})
 
     def tune_all(self, act_max: Mapping[str, float]) -> dict[str, FineTuneResult]:

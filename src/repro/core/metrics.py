@@ -9,6 +9,7 @@ range scores exactly 1.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -18,16 +19,32 @@ from repro.utils.validation import check_in_choices, check_positive
 __all__ = [
     "evaluate_accuracy_arrays",
     "predict_labels",
+    "BatchForward",
     "auc_resilience",
     "BoxStats",
     "ResilienceCurve",
 ]
 
+# An alternate per-batch inference path: maps ``(batch, start_offset)`` to
+# logits.  The suffix re-execution engine (repro.core.suffix) supplies one
+# that recomputes only the layers downstream of the first faulted layer;
+# ``None`` always means the plain full forward ``model(batch)``.
+BatchForward = Callable[[np.ndarray, int], np.ndarray]
+
 
 def predict_labels(
-    model: nn.Module, images: np.ndarray, batch_size: int = 128
+    model: nn.Module,
+    images: np.ndarray,
+    batch_size: int = 128,
+    forward: "BatchForward | None" = None,
 ) -> np.ndarray:
-    """Argmax class predictions over ``images`` in eval mode."""
+    """Argmax class predictions over ``images`` in eval mode.
+
+    ``forward`` optionally replaces the full forward pass per batch (it
+    receives the batch and its start offset into ``images``); any
+    replacement must be bit-identical to ``model(batch)`` — the suffix
+    engine's partial re-execution is, by construction.
+    """
     check_positive("batch_size", batch_size)
     was_training = model.training
     model.eval()
@@ -37,7 +54,8 @@ def predict_labels(
         # failure mode); inf/nan logits are still argmax-able.
         with np.errstate(over="ignore", invalid="ignore"):
             for start in range(0, images.shape[0], batch_size):
-                logits = model(images[start : start + batch_size])
+                batch = images[start : start + batch_size]
+                logits = model(batch) if forward is None else forward(batch, start)
                 predictions.append(np.argmax(logits, axis=1))
     finally:
         model.train(was_training)
@@ -49,6 +67,7 @@ def evaluate_accuracy_arrays(
     images: np.ndarray,
     labels: np.ndarray,
     batch_size: int = 128,
+    forward: "BatchForward | None" = None,
 ) -> float:
     """Top-1 accuracy of ``model`` on in-memory arrays."""
     labels = np.asarray(labels)
@@ -59,7 +78,7 @@ def evaluate_accuracy_arrays(
         )
     if images.shape[0] == 0:
         raise ValueError("cannot evaluate accuracy on zero samples")
-    predictions = predict_labels(model, images, batch_size)
+    predictions = predict_labels(model, images, batch_size, forward=forward)
     return float((predictions == labels).mean())
 
 

@@ -51,6 +51,7 @@ class QuantizedCellTask:
         labels: np.ndarray,
         config: "CampaignConfig | None" = None,
         label: str = "int8",
+        suffix: bool = True,
     ):
         self.model = model
         self.memory = memory
@@ -59,6 +60,7 @@ class QuantizedCellTask:
         self.config = config if config is not None else CampaignConfig()
         self.label = label
         self._clean: "float | None" = None
+        self.suffix = bool(suffix)
 
     def __getstate__(self) -> dict:
         return payload_state(self)
@@ -94,26 +96,48 @@ class _QuantizedCellRunner:
 
     The model runs on dequantized-int8 weights while the runner is open;
     :meth:`close` restores the original float weights (essential on the
-    serial path, where the runner deploys the *caller's* model).
+    serial path, where the runner deploys the *caller's* model).  The
+    suffix engine's clean pass runs *after* deployment, so its cached
+    prefix activations reflect the dequantized weights — each cell then
+    re-executes only from the first layer whose int8 codes were hit.
     """
 
     def __init__(self, task: QuantizedCellTask):
+        from repro.core.suffix import SuffixForwardEngine
+
         self.task = task
         self.quantized = QuantizedWeightMemory(task.memory)
         self._deployment = self.quantized.deployed()
         self._deployment.__enter__()
         self.tree = SeedTree(task.config.seed)
+        self.engine = SuffixForwardEngine.build(
+            task.model,
+            task.images,
+            task.config.batch_size,
+            scope_layers=task.memory.layer_names(),
+            enabled=getattr(task, "suffix", True),
+        )
 
     def run_cell(self, rate_index: int, trial: int) -> float:
         task = self.task
         rate = float(task.config.fault_rates[rate_index])
         rng = self.tree.generator(cell_seed_path(rate_index, trial))
-        with self.quantized.session(rate, rng):
+        bit_indices = self.quantized.sample_bitflips(rate, rng)
+        forward = None
+        if self.engine is not None:
+            forward = self.engine.forward_fn(
+                self.quantized.affected_layers(bit_indices)
+            )
+        with self.quantized.apply(bit_indices):
             return evaluate_accuracy_arrays(
-                task.model, task.images, task.labels, task.config.batch_size
+                task.model, task.images, task.labels, task.config.batch_size,
+                forward=forward,
             )
 
     def close(self) -> None:
+        if self.engine is not None:
+            self.engine.close()
+            self.engine = None
         if self._deployment is not None:
             deployment, self._deployment = self._deployment, None
             deployment.__exit__(None, None, None)
@@ -129,6 +153,7 @@ def run_quantized_campaign(
     workers: int = 1,
     progress: "Callable | None" = None,
     checkpoint: "str | None" = None,
+    suffix: bool = True,
 ) -> ResilienceCurve:
     """Rate sweep x trials with faults in the int8 code space.
 
@@ -138,8 +163,13 @@ def run_quantized_campaign(
     cell and ``checkpoint`` names a JSON file enabling resume of an
     interrupted sweep — the checkpoint fingerprint records the campaign
     kind, so an int8 checkpoint can never resume a float32 sweep.
+    ``suffix`` toggles suffix re-execution on the serial path
+    (bit-identical either way; workers always run with the engine on —
+    ``REPRO_NO_SUFFIX=1`` disables it everywhere).
     """
-    task = QuantizedCellTask(model, memory, images, labels, config, label=label)
+    task = QuantizedCellTask(
+        model, memory, images, labels, config, label=label, suffix=suffix
+    )
     executor = CampaignExecutor(
         workers=workers, progress=progress, checkpoint=checkpoint
     )

@@ -166,6 +166,7 @@ class ActivationFaultCellTask:
         config: "CampaignConfig | None" = None,
         layers: "list[str] | None" = None,
         label: str = "actfault",
+        suffix: bool = True,
     ):
         from repro.core.campaign import CampaignConfig
 
@@ -176,6 +177,7 @@ class ActivationFaultCellTask:
         self.layers = list(layers) if layers is not None else None
         self.label = label
         self._clean: "float | None" = None
+        self.suffix = bool(suffix)
 
     def __getstate__(self) -> dict:
         from repro.core.executor import payload_state
@@ -213,12 +215,38 @@ class _ActivationCellRunner:
 
     :meth:`close` detaches the hooks — essential on the serial path,
     where the runner instruments the *caller's* model.
+
+    The suffix cut point is *static* here: faults fire in the hooked
+    layers' outputs during the forward itself, so every cell re-executes
+    from the first hooked layer (its input is untouched by construction —
+    upstream layers carry no hooks and clean weights).  The engine's
+    clean pass runs while the hooks are dormant.  No empty-fault-set
+    shortcut exists (corruption is sampled per layer inside the forward),
+    so the engine is skipped entirely when the first hooked layer has no
+    usable prefix.
     """
 
     def __init__(self, task: ActivationFaultCellTask):
+        from repro.core.suffix import SuffixForwardEngine
+
         self.task = task
         self.injector = ActivationFaultInjector(task.model, layers=task.layers)
         self.tree = SeedTree(task.config.seed)
+        # layer_names is in forward order; every cell cuts at the first
+        # hooked layer, so only that one boundary is worth caching.
+        self.engine = SuffixForwardEngine.build(
+            task.model,
+            task.images,
+            task.config.batch_size,
+            scope_layers=self.injector.layer_names[:1],
+            clean_shortcut=False,
+            enabled=getattr(task, "suffix", True),
+        )
+        self._forward = (
+            None
+            if self.engine is None
+            else self.engine.forward_fn(self.injector.layer_names)
+        )
 
     def run_cell(self, rate_index: int, trial: int) -> float:
         from repro.core.executor import cell_seed_path
@@ -229,10 +257,15 @@ class _ActivationCellRunner:
         rng = self.tree.generator(cell_seed_path(rate_index, trial))
         with self.injector.session(rate, rng):
             return evaluate_accuracy_arrays(
-                task.model, task.images, task.labels, task.config.batch_size
+                task.model, task.images, task.labels, task.config.batch_size,
+                forward=self._forward,
             )
 
     def close(self) -> None:
+        if self.engine is not None:
+            self.engine.close()
+            self.engine = None
+            self._forward = None
         self.injector.remove()
 
 
@@ -246,6 +279,7 @@ def run_activation_campaign(
     workers: int = 1,
     progress: "Callable | None" = None,
     checkpoint: "str | None" = None,
+    suffix: bool = True,
 ) -> "ResilienceCurve":
     """Rate sweep x trials with transient faults in activation memory.
 
@@ -254,11 +288,16 @@ def run_activation_campaign(
     (``0`` = one per CPU core) with curves bit-identical to serial;
     ``progress``/``checkpoint`` behave exactly as on the weight-fault
     campaigns.  The model's hooks are removed before returning.
+    ``suffix`` toggles suffix re-execution from the first corrupted
+    layer on the serial path (bit-identical either way; workers always
+    run with the engine on — ``REPRO_NO_SUFFIX=1`` disables it
+    everywhere).
     """
     from repro.core.executor import CampaignExecutor
 
     task = ActivationFaultCellTask(
-        model, images, labels, config=config, layers=layers, label=label
+        model, images, labels, config=config, layers=layers, label=label,
+        suffix=suffix,
     )
     executor = CampaignExecutor(
         workers=workers, progress=progress, checkpoint=checkpoint

@@ -67,6 +67,21 @@ class FaultInjector:
         """Currently applied (not yet restored) injections, oldest first."""
         return tuple(self._active)
 
+    def affected_layers(self, fault_set: FaultSet) -> list[str]:
+        """Layer names ``fault_set`` would touch, *without* applying it.
+
+        This is the cut-point report of the suffix re-execution engine
+        (:mod:`repro.core.suffix`): every layer upstream of the first
+        affected layer keeps bit-identical activations under this fault
+        set, so re-executing from that layer reproduces the full faulted
+        forward exactly.
+        """
+        seen: list[str] = []
+        for region, words, _ in self.memory.locate(fault_set.bit_indices):
+            if words.size and region.layer_name not in seen:
+                seen.append(region.layer_name)
+        return seen
+
     def inject(self, fault_set: FaultSet) -> InjectionRecord:
         """Apply ``fault_set`` to the live weights; returns the undo record."""
         record = InjectionRecord(

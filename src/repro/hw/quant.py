@@ -151,6 +151,23 @@ class QuantizedWeightMemory:
             )
         return located
 
+    def affected_layers(self, bit_indices: np.ndarray) -> list[str]:
+        """Distinct layer names the given int8-code bits belong to.
+
+        The cut-point report for suffix re-execution: layers upstream of
+        the first affected layer keep their deployed (dequantized) weights
+        bit-identical through an :meth:`apply` block.
+        """
+        bit_indices = np.asarray(bit_indices, dtype=np.int64)
+        if bit_indices.size == 0:
+            return []
+        seen: list[str] = []
+        for quant_region, _, _ in self._locate(bit_indices):
+            name = quant_region.region.layer_name
+            if name not in seen:
+                seen.append(name)
+        return seen
+
     @contextmanager
     def session(
         self, fault_rate: float, rng: "int | np.random.Generator"
@@ -158,10 +175,24 @@ class QuantizedWeightMemory:
         """Flip int8 bits at ``fault_rate`` inside the block; restore after.
 
         Must be used inside :meth:`deployed`.  Yields the number of flips.
+        Equivalent to :meth:`sample_bitflips` followed by :meth:`apply`.
+        """
+        bit_indices = self.sample_bitflips(fault_rate, rng)
+        with self.apply(bit_indices) as count:
+            yield count
+
+    @contextmanager
+    def apply(self, bit_indices: np.ndarray) -> Iterator[int]:
+        """Flip the given int8-code bits inside the block; restore after.
+
+        Must be used inside :meth:`deployed`.  Yields the number of flips.
+        Splitting sampling from application lets callers inspect the fault
+        set (e.g. :meth:`affected_layers` for the suffix cut point) without
+        perturbing the random stream.
         """
         if not self.deployed_now:
             raise RuntimeError("session requires the memory to be deployed()")
-        bit_indices = self.sample_bitflips(fault_rate, rng)
+        bit_indices = np.asarray(bit_indices, dtype=np.int64)
         if bit_indices.size and (
             bit_indices.min() < 0 or bit_indices.max() >= self.total_bits
         ):

@@ -1,12 +1,21 @@
-"""Sequential container with layer replacement support.
+"""Sequential container with layer replacement and suffix re-execution.
 
 Layer replacement (``replace``) is what the FT-ClipAct methodology uses to
 swap unbounded activations for clipped ones without rebuilding the model.
+
+``forward_collect`` / ``forward_from`` are the two halves of *suffix
+re-execution* (see :mod:`repro.core.suffix`): one full forward pass records
+the tensors flowing into selected children, and later passes restart from
+such a recorded tensor, running only the suffix of the layer stack.  Both
+run the children through ``__call__`` so per-layer forward hooks fire
+exactly as in a plain forward; only the container's *own* hooks are
+skipped (they observe the full input/output pair, which a partial pass
+does not have).
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterable, Iterator
 
 import numpy as np
 
@@ -72,6 +81,40 @@ class Sequential(Module):
     def forward(self, x: np.ndarray) -> np.ndarray:
         out = x
         for layer in self._modules.values():
+            out = layer(out)
+        return out
+
+    def forward_collect(
+        self, x: np.ndarray, indices: "Iterable[int]"
+    ) -> "tuple[np.ndarray, dict[int, np.ndarray]]":
+        """Forward pass that also returns the inputs of selected children.
+
+        ``indices`` are child positions; the returned mapping holds, for
+        each requested index, the exact tensor that flowed *into* that
+        child.  Captured tensors are the live intermediate arrays (no
+        copies) — callers must treat them as read-only.
+        """
+        wanted = {self._normalize_index(index) for index in indices}
+        captured: dict[int, np.ndarray] = {}
+        out = x
+        for index, layer in enumerate(self._modules.values()):
+            if index in wanted:
+                captured[index] = out
+            out = layer(out)
+        return out, captured
+
+    def forward_from(self, index: int, x: np.ndarray) -> np.ndarray:
+        """Run only the children at positions ``index`` onward.
+
+        ``x`` must be the tensor that would flow into child ``index`` in a
+        full forward pass (e.g. one captured by :meth:`forward_collect`);
+        the result is then bit-identical to the full forward, because the
+        skipped prefix would have recomputed exactly ``x``.
+        ``forward_from(0, x)`` is equivalent to ``forward(x)``.
+        """
+        index = self._normalize_index(index)
+        out = x
+        for layer in list(self._modules.values())[index:]:
             out = layer(out)
         return out
 

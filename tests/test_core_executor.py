@@ -531,6 +531,72 @@ class TestCrossCampaignScheduling:
         assert CampaignExecutor(workers=2).run_tasks([]) == []
 
 
+class TestWarmPool:
+    def test_persistent_executor_reuses_one_pool(self, campaign_parts, monkeypatch):
+        """Back-to-back run_tasks calls on a persistent executor share one
+        warm pool; results stay bit-identical to one-shot executors."""
+        import repro.core.executor as executor_module
+
+        created = []
+        real_pool = executor_module.ProcessPoolExecutor
+
+        def counting_pool(*args, **kwargs):
+            created.append(1)
+            return real_pool(*args, **kwargs)
+
+        monkeypatch.setattr(executor_module, "ProcessPoolExecutor", counting_pool)
+        model, memory, images, labels, config = campaign_parts
+        baseline = run_campaign(model, memory, images, labels, config)
+        with CampaignExecutor(workers=2, persistent=True) as executor:
+            for _ in range(3):
+                curve = executor.run(
+                    FaultInjectionCampaign(model, memory, images, labels, config)
+                )
+                np.testing.assert_array_equal(curve.accuracies, baseline.accuracies)
+        assert len(created) == 1
+
+    def test_close_is_idempotent_and_allows_reuse(self, campaign_parts):
+        model, memory, images, labels, config = campaign_parts
+        executor = CampaignExecutor(workers=2, persistent=True)
+        first = executor.run(
+            FaultInjectionCampaign(model, memory, images, labels, config)
+        )
+        executor.close()
+        executor.close()
+        # A fresh pool is built transparently after close.
+        second = executor.run(
+            FaultInjectionCampaign(model, memory, images, labels, config)
+        )
+        executor.close()
+        np.testing.assert_array_equal(first.accuracies, second.accuracies)
+
+    def test_prepickled_payloads_skip_reserialization(
+        self, campaign_parts, monkeypatch
+    ):
+        """run_tasks(payloads=...) must use the given bytes verbatim."""
+        import pickle
+
+        import repro.core.executor as executor_module
+
+        model, memory, images, labels, config = campaign_parts
+        task = WeightFaultCellTask(model, memory, images, labels, config=config)
+        blob = pickle.dumps(task)
+        monkeypatch.setattr(
+            executor_module,
+            "_pickle_task",
+            lambda task: pytest.fail("pre-pickled task was re-serialized"),
+        )
+        baseline = run_campaign(model, memory, images, labels, config)
+        curve = CampaignExecutor(workers=2).run_tasks([task], payloads=[blob])[0]
+        np.testing.assert_array_equal(curve.accuracies, baseline.accuracies)
+
+    def test_payloads_length_mismatch_rejected(self, campaign_parts):
+        model, memory, images, labels, config = campaign_parts
+        task = WeightFaultCellTask(model, memory, images, labels, config=config)
+        with pytest.raises(ValueError, match="payloads"):
+            CampaignExecutor(workers=2).run_tasks([task], payloads=[])
+
+
 class TestExecutorValidation:
     def test_negative_chunk_size_rejected(self):
         with pytest.raises(ValueError):

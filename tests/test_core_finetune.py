@@ -156,7 +156,10 @@ class TestLayerEvaluator:
             model, "FC-1", memory, images, labels, config, workers=2
         )
         initial = get_thresholds(model)["FC-1"]
-        pooled = batch_evaluator.evaluate_many(thresholds)
+        try:
+            pooled = batch_evaluator.evaluate_many(thresholds)
+        finally:
+            batch_evaluator.close()
         assert pooled == sequential
         # The batch path snapshots per threshold and restores afterwards.
         assert get_thresholds(model)["FC-1"] == initial
@@ -190,6 +193,86 @@ class TestLayerEvaluator:
         assert [t.auc_values for t in serial.trace] == [
             t.auc_values for t in pooled.trace
         ]
+
+    def test_algorithm1_reuses_one_warm_pool(
+        self, trained_mlp, mlp_eval_arrays, monkeypatch
+    ):
+        """Every iteration's boundary batch shares one warm pool: a whole
+        Algorithm-1 run constructs exactly one ProcessPoolExecutor, and
+        fine_tune_threshold shuts it down when the search ends."""
+        import repro.core.executor as executor_module
+
+        created = []
+        real_pool = executor_module.ProcessPoolExecutor
+
+        def counting_pool(*args, **kwargs):
+            created.append(1)
+            return real_pool(*args, **kwargs)
+
+        monkeypatch.setattr(executor_module, "ProcessPoolExecutor", counting_pool)
+
+        images, labels = mlp_eval_arrays
+        model = _clone_mlp(trained_mlp)
+        swap_activations(model, 100.0)
+        memory = WeightMemory.from_model(model, layers=["FC-1"])
+        config = CampaignConfig(fault_rates=(1e-4, 1e-3), trials=2, seed=3)
+        evaluator = make_layer_auc_evaluator(
+            model, "FC-1", memory, images, labels, config, workers=2
+        )
+        result = fine_tune_threshold(
+            evaluator,
+            act_max=50.0,
+            config=FineTuneConfig(max_iterations=2, min_iterations=2, tolerance=0.0),
+        )
+        assert result.iterations == 2  # at least two boundary batches ran
+        assert len(created) == 1
+        assert evaluator._executor is None  # closed by fine_tune_threshold
+
+    def test_evaluate_many_serializes_each_snapshot_once(
+        self, trained_mlp, mlp_eval_arrays, monkeypatch
+    ):
+        """Each threshold's model snapshot is pickled exactly once: the
+        same bytes materialize the parent-side copy and ship to the
+        workers (run_tasks never re-pickles a pre-pickled task)."""
+        import pickle as pickle_module
+
+        import repro.core.executor as executor_module
+        import repro.core.finetune as finetune_module
+        from repro.core.executor import WeightFaultCellTask
+
+        task_dumps = []
+        real_dumps = pickle_module.dumps
+
+        def counting_dumps(obj, *args, **kwargs):
+            if isinstance(obj, WeightFaultCellTask):
+                task_dumps.append(1)
+            return real_dumps(obj, *args, **kwargs)
+
+        monkeypatch.setattr(finetune_module.pickle, "dumps", counting_dumps)
+        monkeypatch.setattr(
+            executor_module,
+            "_pickle_task",
+            lambda task: pytest.fail(
+                "executor re-pickled a task evaluate_many already serialized"
+            ),
+        )
+
+        images, labels = mlp_eval_arrays
+        model = _clone_mlp(trained_mlp)
+        swap_activations(model, 100.0)
+        memory = WeightMemory.from_model(model, layers=["FC-1"])
+        config = CampaignConfig(fault_rates=(1e-4, 1e-3), trials=2, seed=0)
+        evaluator = make_layer_auc_evaluator(
+            model, "FC-1", memory, images, labels, config, workers=2
+        )
+        thresholds = [5.0, 15.0, 40.0]
+        try:
+            pooled = evaluator.evaluate_many(thresholds)
+        finally:
+            evaluator.close()
+        assert len(task_dumps) == len(thresholds)
+        assert len(pooled) == len(thresholds)
+        assert all(0.0 <= auc <= 1.0 for auc in pooled)
 
     def test_clipping_beats_unbounded_auc(self, trained_mlp, mlp_eval_arrays):
         """Fig. 5b's red-line comparison: the clipped network's AUC beats the
