@@ -6,17 +6,21 @@
 #   make test   - the full tier-1 gate, including figure benchmarks
 #   make bench  - just the figure/infrastructure benchmarks
 #                 (BENCH_campaign.json history + BENCH_forward.json)
+#   make docs-check - documentation consistency only (README/DESIGN
+#                 references, the REPRO_* env-var table in
+#                 docs/MEMORY_MODEL.md vs src/); also runs inside fast
 #
 # REPRO_WORKERS=N fans every campaign in the suite across N worker
 # processes (0 = one per core); REPRO_NO_SUFFIX=1 disables suffix
-# re-execution; results are bit-identical either way.
+# re-execution; REPRO_NO_SHM_VIEWS=1 disables zero-copy tensor views;
+# results are bit-identical either way (see docs/MEMORY_MODEL.md).
 
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: fast test bench
+.PHONY: fast test bench docs-check
 
-fast:
+fast: docs-check
 	$(PYTEST) -q -m "not slow"
 
 test:
@@ -24,3 +28,6 @@ test:
 
 bench:
 	$(PYTEST) -q benchmarks
+
+docs-check:
+	$(PYTEST) -q tests/test_docs_consistency.py

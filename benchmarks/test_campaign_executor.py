@@ -16,6 +16,12 @@ the entry reports ``parallel_overhead_pct`` (how much the pool costs)
 instead of advertising a meaningless sub-1.0 "speedup"; multi-core
 runners get the usual ``speedup`` ratios.  Raw seconds are always
 recorded either way.
+
+Each entry also carries a ``zero_copy`` block measuring the tensor
+plane (``docs/MEMORY_MODEL.md``): the per-worker cost of attaching the
+shared-memory segment and materializing a task as read-only views
+versus deserializing a private copy, plus the peak-RSS delta between
+the two modes.
 """
 
 from __future__ import annotations
@@ -24,14 +30,17 @@ import json
 import os
 import subprocess
 import time
+from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
 from repro.core.campaign import CampaignConfig, run_campaign
+from repro.core.executor import WeightFaultCellTask
 from repro.core.quantized import run_quantized_campaign
 from repro.data import SyntheticCIFAR10
 from repro.hw.memory import WeightMemory
 from repro.models import LeNet5
+from repro.utils.shm import pack_object, ship_units, shared_memory_available
 
 from .conftest import RESULTS_DIR
 
@@ -84,6 +93,77 @@ def _append_history(path, entry: dict) -> dict:
     return {"benchmark": "campaign_executor", "history": history}
 
 
+def _rss_kb() -> int:
+    """This process's current resident set, in kB (Linux /proc)."""
+    import resource
+
+    try:
+        with open("/proc/self/statm") as handle:
+            pages = int(handle.read().split()[1])
+        return pages * (os.sysconf("SC_PAGE_SIZE") // 1024)
+    except (OSError, ValueError, IndexError):  # pragma: no cover - non-Linux
+        return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def _attach_probe(ref, copy: bool) -> dict:
+    """Runs in a fresh child: attach the plane and materialize the task.
+
+    ``copy=False`` is the zero-copy path (read-only views over the
+    mapped segment); ``copy=True`` is the historical deserializing path
+    (private writable copies).  The recorded residency is the child's
+    RSS *growth* across attach + touch-every-weight — fork-inherited
+    ``ru_maxrss`` floors at the parent's peak and would hide the
+    difference — and the checksum proves both modes materialized
+    identical bytes.
+    """
+    rss_before = _rss_kb()
+    start = time.perf_counter()
+    view = ref.open()
+    task = view.load("task/0", copy=copy)
+    checksum = float(
+        sum(float(np.sum(r.parameter.data)) for r in task.memory.regions)
+    )
+    seconds = time.perf_counter() - start
+    rss_delta = _rss_kb() - rss_before
+    del task
+    view.close()
+    return {"seconds": seconds, "rss_delta_kb": rss_delta, "checksum": checksum}
+
+
+def _zero_copy_entry(model, memory, images, labels, config) -> "dict | None":
+    """Per-worker attach cost and peak RSS, views vs private copies.
+
+    Ships one real campaign task through the tensor plane and measures,
+    in one fresh process per mode, the cost of materializing it — the
+    ISSUE-4 `BENCH_campaign.json` fields tracking what zero-copy buys
+    per worker on this host.
+    """
+    if not shared_memory_available():  # pragma: no cover - Linux runners
+        return None
+    task = WeightFaultCellTask(model, memory, images, labels, config=config)
+    shipment = ship_units([("task/0", pack_object(task))])
+    try:
+        probes = {}
+        for mode, copy in (("attach", False), ("deserialize", True)):
+            with ProcessPoolExecutor(max_workers=1) as pool:
+                probes[mode] = pool.submit(
+                    _attach_probe, shipment.ref, copy
+                ).result()
+    finally:
+        shipment.release()
+    assert probes["attach"]["checksum"] == probes["deserialize"]["checksum"]
+    return {
+        "attach_seconds": round(probes["attach"]["seconds"], 4),
+        "attach_rss_delta_kb": probes["attach"]["rss_delta_kb"],
+        "deserialize_seconds": round(probes["deserialize"]["seconds"], 4),
+        "deserialize_rss_delta_kb": probes["deserialize"]["rss_delta_kb"],
+        "peak_rss_delta_kb": (
+            probes["attach"]["rss_delta_kb"]
+            - probes["deserialize"]["rss_delta_kb"]
+        ),
+    }
+
+
 def test_bench_campaign_serial_vs_two_workers(record_result, bench_workers):
     model, images, labels = _model_and_eval_set()
     memory = WeightMemory.from_model(model)
@@ -132,6 +212,9 @@ def test_bench_campaign_serial_vs_two_workers(record_result, bench_workers):
         "quantized_parallel_seconds": round(int8_parallel_seconds, 3),
         "bit_identical": True,
     }
+    zero_copy = _zero_copy_entry(model, memory, images, labels, config)
+    if zero_copy is not None:
+        entry["zero_copy"] = zero_copy
     if cpus == 1:
         # A "speedup" below 1.0 on one CPU is just pool overhead wearing
         # a misleading name; report it as what it is.
@@ -159,6 +242,14 @@ def test_bench_campaign_serial_vs_two_workers(record_result, bench_workers):
     path = RESULTS_DIR / "BENCH_campaign.json"
     payload = _append_history(path, entry)
     path.write_text(json.dumps(payload, indent=2) + "\n")
+    zc_note = ""
+    if zero_copy is not None:
+        zc_note = (
+            "; zero-copy attach {attach_seconds}s/+{attach_rss_delta_kb}kB "
+            "vs deserialize {deserialize_seconds}s/"
+            "+{deserialize_rss_delta_kb}kB (peak-RSS delta "
+            "{peak_rss_delta_kb}kB)".format(**zero_copy)
+        )
     record_result(
         "BENCH_campaign",
         "campaign executor [{sha}, {cpus} CPUs]: serial {serial_seconds}s "
@@ -166,5 +257,6 @@ def test_bench_campaign_serial_vs_two_workers(record_result, bench_workers):
         "{quantized_serial_seconds}s vs {quantized_parallel_seconds}s; "
         .format(**entry)
         + ratios
+        + zc_note
         + f"; bit-identical curves; history entries: {len(payload['history'])}",
     )

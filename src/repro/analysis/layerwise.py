@@ -3,6 +3,13 @@
 Runs one fault-injection campaign per computational layer with faults
 scoped to that layer's weight memory, revealing which layers are most
 sensitive and where each layer's accuracy cliff sits.
+
+With ``workers > 1`` every layer's cells share one pool, one
+shared-memory tensor plane (each per-layer task's weights mapped as
+zero-copy read-only views; see ``docs/MEMORY_MODEL.md``) and one
+published clean pass per task — and because each campaign scopes its
+memory to a single layer, copy-on-write privatizes exactly that layer's
+regions per worker, the best case for the plane.
 """
 
 from __future__ import annotations

@@ -14,6 +14,12 @@ Accuracy alone hides *how* a network fails.  The dependability literature
 A key appeal of clipped activations that plain accuracy understates: they
 convert would-be SDCs into masked outcomes rather than merely shifting
 the accuracy curve.
+
+The analysis is a vector-valued cell task on the shared executor
+substrate: ``workers=`` fans it out with weights shipped zero-copy
+through the shared-memory tensor plane and the clean reference pass
+published once per host (``docs/MEMORY_MODEL.md``), bit-identical to
+the serial loop.
 """
 
 from __future__ import annotations

@@ -5,6 +5,11 @@ others (a network can collapse into predicting one class — the classic
 failure of exponent-flip corruption, where one logit's pathway saturates).
 This analysis measures per-class recall under fault injection and the
 distribution of predicted classes, exposing that collapse.
+
+Like the outcome taxonomy, it is a vector-valued cell task on the shared
+executor substrate: ``workers=`` fans it out with weights mapped
+zero-copy from the shared-memory tensor plane and the clean pass shared
+across workers (``docs/MEMORY_MODEL.md``), bit-identical to serial.
 """
 
 from __future__ import annotations

@@ -27,16 +27,31 @@ path builds the runner over the caller's live objects; a worker builds it
 over its own deserialized copy — the *same code* runs in both, so
 determinism holds by construction rather than by keeping loops in sync.
 
-**Weight shipping.**  Each task pickles once into a payload blob (reused
-as the checkpoint fingerprint's CRC input); callers that already hold a
-task's pickled bytes pass them through ``run_tasks(payloads=...)`` so no
-model snapshot is serialized twice.  The concatenated blobs ship to
-workers through one :mod:`multiprocessing.shared_memory` segment —
-written once per host, attached by each worker on its first chunk of the
-sweep's *generation* — with an automatic fallback to inline bytes when
-shared memory is unavailable (see :mod:`repro.utils.shm`).  Workers
-deserialize tasks lazily, keeping one live runner at a time, so a worker
-never holds more than one model copy.
+**Zero-copy weight shipping.**  Each task packs once into a
+:class:`~repro.utils.shm.PackedUnit` — an in-band pickle stream plus
+out-of-band tensor buffers (pickle protocol 5) — whose combined bytes
+feed the checkpoint fingerprint's CRC; callers that already hold a
+task's packed form pass it through ``run_tasks(payloads=...)`` so no
+model snapshot is serialized twice.  All units are laid out in one
+shared-memory **tensor plane** per sweep generation (a region table over
+one :mod:`multiprocessing.shared_memory` segment, see
+:mod:`repro.utils.shm`): workers attach once per generation and map
+every model tensor as a *read-only numpy view* instead of deserializing
+a private weight copy.  Mutation is copy-on-write — injection privatizes
+only the regions its fault set touches
+(:meth:`repro.hw.memory.WeightMemory.materialize`).  The plane degrades
+to inline bytes when shared memory is unavailable, and
+``REPRO_NO_SHM_VIEWS=1`` restores the historical private-copy
+deserialization; either way results are bit-identical.  Workers load
+tasks lazily, keeping one live runner at a time.
+
+**Cross-worker suffix cache.**  Before fan-out the parent runs each
+pending task's clean pass once (by building and closing a throwaway
+runner) and publishes the suffix engine's activation cache into the same
+plane (region ``suffix/<task>``); every worker's engine then attaches
+those read-only views via :func:`repro.core.suffix.shared_cache` instead
+of re-running the clean pass per worker — one clean pass per host per
+task, bit-identical by construction.
 
 **Warm pools.**  ``persistent=True`` keeps the worker pool alive across
 :meth:`CampaignExecutor.run_tasks` calls; because payloads travel per
@@ -82,9 +97,7 @@ from __future__ import annotations
 
 import json
 import os
-import pickle
 import warnings
-import zlib
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from pathlib import Path
@@ -94,7 +107,7 @@ import numpy as np
 
 from repro.core.metrics import ResilienceCurve, evaluate_accuracy_arrays
 from repro.utils.rng import SeedTree
-from repro.utils.shm import ShippedBytes, ship_bytes
+from repro.utils.shm import PackedUnit, ShippedPlane, pack_object, ship_units
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.campaign import CampaignConfig, FaultInjectionCampaign, FaultSampler
@@ -112,7 +125,10 @@ __all__ = [
     "cell_seed_path",
 ]
 
-_CHECKPOINT_VERSION = 2
+# v3: the campaign CRC fingerprint became PackedUnit.crc32() (in-band
+# stream + out-of-band tensor buffers) when the tensor plane landed; v2
+# checkpoints carry a CRC of the old in-band pickle and cannot resume.
+_CHECKPOINT_VERSION = 3
 
 
 def cell_seed_path(rate_index: int, trial: int) -> str:
@@ -219,6 +235,27 @@ def payload_state(task: CampaignCellTask) -> dict:
     return state
 
 
+def _accuracy_from_logits(
+    current: "float | None",
+    logits_batches: "Sequence[np.ndarray]",
+    labels: np.ndarray,
+) -> "float | None":
+    """Top-1 accuracy from per-batch logits, mirroring
+    :func:`~repro.core.metrics.evaluate_accuracy_arrays` exactly
+    (per-batch argmax, concatenated, compared to the labels).  Returns
+    ``current`` unchanged when it is already set or the batches do not
+    cover the evaluation set.
+    """
+    if current is not None or not logits_batches:
+        return current
+    predictions = np.concatenate(
+        [np.argmax(batch, axis=1) for batch in logits_batches]
+    )
+    if predictions.shape[0] != labels.shape[0]:  # pragma: no cover - defensive
+        return current
+    return float((predictions == labels).mean())
+
+
 class InjectionCellRunner:
     """Injector + seed tree over one (possibly worker-local) model copy.
 
@@ -316,6 +353,20 @@ class WeightFaultCellTask:
             )
         return self._clean
 
+    def absorb_clean_logits(self, logits_batches) -> None:
+        """Seed the lazy clean accuracy from an engine's clean pass.
+
+        ``logits_batches`` are a suffix engine's cached clean logits
+        over this task's evaluation set — their argmax agreement with
+        the labels is exactly what :meth:`clean_accuracy` would
+        recompute with another full forward (bit-identical logits), so
+        the executor feeds the parent-side export back instead of
+        paying that forward twice.
+        """
+        self._clean = _accuracy_from_logits(
+            self._clean, logits_batches, self.labels
+        )
+
     def measure(self, forward=None) -> float:
         """Accuracy of the (currently fault-injected) model."""
         return evaluate_accuracy_arrays(
@@ -343,14 +394,16 @@ class WeightFaultCellTask:
 # globals: ProcessPoolExecutor workers are single-threaded and each
 # process serves exactly one sweep *generation* at a time.  A warm pool
 # outlives individual sweeps (Algorithm-1 iterations reuse one pool), so
-# the payload travels with each chunk call — a tiny shared-memory
-# address, attached once per worker per generation — instead of the pool
-# initializer.  Tasks deserialize lazily and only one runner (one model
-# copy) stays live per worker.
+# the payload travels with each chunk call — a tiny tensor-plane address
+# (segment name + region table), attached once per worker per generation
+# — instead of the pool initializer.  Tasks load lazily (zero-copy views
+# by default) and only one runner stays live per worker; under
+# copy-on-write that runner privatizes only the weight regions its
+# fault sets actually write.
 _WORKER_STATE: "dict | None" = None
 
 # Parent-side generation ids: one per run_tasks scheduling pass, so a
-# worker can tell a fresh payload from the one it already attached.
+# worker can tell a fresh region table from the one it already attached.
 _GENERATION = iter(range(1, 2**62))
 
 
@@ -359,19 +412,20 @@ def _init_worker() -> None:
     global _WORKER_STATE
     _WORKER_STATE = {
         "generation": None,
-        "payload": None,
-        "spans": None,
+        "view": None,
         "task_index": None,
         "runner": None,
     }
 
 
-def _worker_state(
-    ref: ShippedBytes,
-    spans: "tuple[tuple[int, int], ...]",
-    generation: "tuple[int, int]",
-) -> dict:
-    """Attach this worker to ``ref``'s payload (once per generation)."""
+def _worker_state(plane: ShippedPlane, generation: "tuple[int, int]") -> dict:
+    """Attach this worker to ``plane``'s segment (once per generation).
+
+    Teardown order matters under zero-copy: the runner (whose model
+    arrays may be views into the old generation's segment) is released
+    *before* the old plane view detaches, so the unmap never invalidates
+    a live array.
+    """
     state = _WORKER_STATE
     if state is None:  # pragma: no cover - defensive: initializer always ran
         raise RuntimeError("campaign worker used before initialization")
@@ -380,37 +434,47 @@ def _worker_state(
             state["runner"].close()
             state["runner"] = None
         state["task_index"] = None
-        if state["payload"] is not None:
-            state["payload"].close()
-        state["payload"] = ref.open()
-        state["spans"] = spans
+        if state["view"] is not None:
+            state["view"].close()
+        state["view"] = plane.open()
         state["generation"] = generation
     return state
 
 
 def _task_runner(state: dict, task_index: int):
-    """The worker's runner for ``task_index``, (re)built on task switch."""
+    """The worker's runner for ``task_index``, (re)built on task switch.
+
+    Loading ``task/<i>`` maps the task's tensors as read-only views
+    (private copies under ``REPRO_NO_SHM_VIEWS=1``); if the parent
+    published the task's clean pass (region ``suffix/<i>``), the
+    runner's engine attaches it through the shared-cache offer instead
+    of re-running the clean forward in this worker.
+    """
     if state["task_index"] != task_index:
+        from repro.core.suffix import shared_cache
+
         if state["runner"] is not None:
             state["runner"].close()
             state["runner"] = None
             state["task_index"] = None
-        start, end = state["spans"][task_index]
-        task = pickle.loads(state["payload"].buffer[start:end])
-        state["runner"] = task.make_runner()
+        view = state["view"]
+        task = view.load(f"task/{task_index}")
+        cache_name = f"suffix/{task_index}"
+        cache = view.load(cache_name) if cache_name in view else None
+        with shared_cache(cache):
+            state["runner"] = task.make_runner()
         state["task_index"] = task_index
     return state["runner"]
 
 
 def _run_task_cells(
-    ref: ShippedBytes,
-    spans: "tuple[tuple[int, int], ...]",
+    plane: ShippedPlane,
     generation: "tuple[int, int]",
     task_index: int,
     cells: Sequence[tuple[int, int]],
 ) -> "list[tuple[int, int, int, float | Sequence[float]]]":
     """Evaluate a chunk of one task's cells in this worker."""
-    runner = _task_runner(_worker_state(ref, spans, generation), task_index)
+    runner = _task_runner(_worker_state(plane, generation), task_index)
     return [
         (task_index, rate_index, trial, runner.run_cell(rate_index, trial))
         for rate_index, trial in cells
@@ -422,19 +486,71 @@ def _run_task_cells(
 # --------------------------------------------------------------------- #
 
 
-def _pickle_task(task: CampaignCellTask) -> "tuple[bytes | None, Exception | None]":
+def _pack_task(
+    task: CampaignCellTask,
+) -> "tuple[PackedUnit | None, Exception | None]":
     """Serialize one task (model, memory, eval set, sampler) once.
 
-    The same blob feeds both the checkpoint fingerprint (CRC) and the
-    worker-pool payload, so large models are pickled exactly once per
-    run.  Returns ``(None, error)`` when the task is unpicklable (e.g.
-    a closure sampler): serial runs then fall back to config-level
-    checkpoint validation, and parallel runs raise a clear error.
+    Packs with the tensor plane's out-of-band format
+    (:func:`repro.utils.shm.pack_object`): the unit's stream + buffers
+    feed both the checkpoint fingerprint (CRC) and the worker-pool
+    payload, so large models are serialized exactly once per run — and
+    the tensor buffers still reference the live arrays, so nothing is
+    copied until the plane is laid out.  Returns ``(None, error)`` when
+    the task is unpicklable (e.g. a closure sampler): serial runs then
+    fall back to config-level checkpoint validation, and parallel runs
+    raise a clear error.
     """
     try:
-        return pickle.dumps(task), None
+        return pack_object(task), None
     except Exception as error:
         return None, error
+
+
+def _export_suffix_caches(
+    tasks: Sequence[CampaignCellTask],
+    pending: "list[list[tuple[int, int]]]",
+) -> "dict[int, PackedUnit]":
+    """Run each pending task's clean pass once and pack its cache.
+
+    Builds (and immediately closes) a parent-side runner per task purely
+    to populate its :class:`~repro.core.suffix.SuffixForwardEngine`;
+    the exported :class:`~repro.core.suffix.SharedSuffixCache` ships in
+    the same tensor plane as the weights, so every worker attaches the
+    activations read-only instead of recomputing them — one clean pass
+    per host per task.  Tasks whose engine declines to build (suffix
+    disabled, unsupported model, empty scope) simply publish nothing and
+    workers fall back to their own clean pass, which is bit-identical.
+    Runner lifecycle is parent-safe by contract: every runner's
+    ``close()`` restores the live model exactly (undoes int8
+    deployment, removes hooks), and construction failures unwind their
+    own partial side effects before propagating — a task whose runner
+    cannot be built here could not be run serially or in a worker
+    either, so the error surfaces now rather than after the fan-out.
+    """
+    from repro.core.suffix import suffix_globally_disabled
+
+    caches: "dict[int, PackedUnit]" = {}
+    if suffix_globally_disabled():
+        return caches
+    for index, task in enumerate(tasks):
+        if not pending[index]:
+            continue
+        runner = task.make_runner()
+        try:
+            engine = getattr(runner, "engine", None)
+            cache = engine.export_cache() if engine is not None else None
+        finally:
+            runner.close()
+        if cache is not None:
+            # The cache's clean logits double as the task's clean
+            # accuracy (bit-identical argmax), sparing build_result a
+            # second full forward over the evaluation set.
+            absorb = getattr(task, "absorb_clean_logits", None)
+            if absorb is not None:
+                absorb(cache.clean_logits)
+            caches[index] = pack_object(cache)
+    return caches
 
 
 class _Checkpoint:
@@ -625,7 +741,7 @@ class CampaignExecutor:
     def run_tasks(
         self,
         tasks: Sequence[CampaignCellTask],
-        payloads: "Sequence[bytes | None] | None" = None,
+        payloads: "Sequence[PackedUnit | bytes | None] | None" = None,
     ) -> list[Any]:
         """Execute several campaigns' cells through one scheduling pass.
 
@@ -635,13 +751,14 @@ class CampaignExecutor:
         historical sequential loops.  Either way each task's result is
         bit-identical, and the returned list is parallel to ``tasks``.
 
-        ``payloads`` optionally supplies pre-pickled bytes per task
-        (parallel to ``tasks``; ``None`` entries are pickled here).  A
+        ``payloads`` optionally supplies a pre-serialized form per task
+        (parallel to ``tasks``; ``None`` entries are packed here).  A
         caller that already serialized a task to snapshot it — e.g.
         :meth:`~repro.core.finetune.LayerAUCEvaluator.evaluate_many` —
-        passes the same bytes instead of paying a second serialization of
-        the model; the entry must be ``pickle.dumps`` of an object
-        equivalent to the corresponding task.
+        passes the same :class:`~repro.utils.shm.PackedUnit` (preferred:
+        its tensors ship zero-copy) or legacy ``pickle.dumps`` bytes
+        instead of paying a second serialization of the model; the entry
+        must describe an object equivalent to the corresponding task.
         """
         tasks = list(tasks)
         if not tasks:
@@ -664,20 +781,26 @@ class CampaignExecutor:
         total = sum(grid.shape[0] * grid.shape[1] for grid in grids)
 
         # One serialization per task serves both the checkpoint
-        # fingerprint and the worker payload; pre-pickled payloads are
+        # fingerprint and the worker payload; pre-packed payloads are
         # reused verbatim, so those tasks are never serialized here.
-        blobs: "list[bytes | None]" = (
-            [None] * len(tasks) if payloads is None else list(payloads)
-        )
+        # Legacy raw-bytes payloads become buffer-less units (correct,
+        # just not zero-copy).
+        units: "list[PackedUnit | None]" = [None] * len(tasks)
+        if payloads is not None:
+            for index, payload in enumerate(payloads):
+                if isinstance(payload, PackedUnit):
+                    units[index] = payload
+                elif payload is not None:
+                    units[index] = PackedUnit(payload, ())
         errors: "list[Exception | None]" = [None] * len(tasks)
         if self.checkpoint_path is not None or self.workers > 1:
             for index, task in enumerate(tasks):
-                if blobs[index] is None:
-                    blobs[index], errors[index] = _pickle_task(task)
+                if units[index] is None:
+                    units[index], errors[index] = _pack_task(task)
 
         checkpoint = None
         if self.checkpoint_path is not None:
-            if any(blob is None for blob in blobs):
+            if any(unit is None for unit in units):
                 first_error = next(e for e in errors if e is not None)
                 warnings.warn(
                     "campaign state is not picklable; the checkpoint can "
@@ -688,8 +811,8 @@ class CampaignExecutor:
                     stacklevel=2,
                 )
             crcs = [
-                f"{zlib.crc32(blob):08x}" if blob is not None else None
-                for blob in blobs
+                f"{unit.crc32():08x}" if unit is not None else None
+                for unit in units
             ]
             checkpoint = _Checkpoint(self.checkpoint_path, tasks, crcs)
 
@@ -727,8 +850,8 @@ class CampaignExecutor:
                     tasks, pending, rates_list, grids, completed, total, checkpoint
                 )
             else:
-                for task, blob, error in zip(tasks, blobs, errors):
-                    if blob is None:
+                for task, unit, error in zip(tasks, units, errors):
+                    if unit is None:
                         raise ValueError(
                             f"campaign state of {task.label or task.kind!r} must "
                             "be picklable for workers > 1; use a picklable "
@@ -736,19 +859,45 @@ class CampaignExecutor:
                             "ecc_sampler()) instead of a lambda/closure, or "
                             f"run with workers=1 ({error})"
                         ) from error
-                spans: list[tuple[int, int]] = []
-                offset = 0
-                for blob in blobs:
-                    spans.append((offset, offset + len(blob)))
-                    offset += len(blob)
-                shipment = ship_bytes(b"".join(blobs))
+                # One clean pass per host: publish each task's suffix
+                # activation cache alongside its weights (skipped on the
+                # inline transport, where the cache bytes would be
+                # copied into every chunk call instead of mapped once).
+                # The writability probe, not mere importability, gates
+                # the export so a full /dev/shm doesn't waste one clean
+                # forward per task on caches that could never ship.
+                from repro.utils.shm import shared_memory_writable
+
+                suffix_units: "dict[int, PackedUnit]" = (
+                    _export_suffix_caches(tasks, pending)
+                    if shared_memory_writable()
+                    else {}
+                )
+                task_units = [
+                    (f"task/{index}", unit) for index, unit in enumerate(units)
+                ]
+                cache_units = [
+                    (f"suffix/{index}", unit)
+                    for index, unit in sorted(suffix_units.items())
+                ]
+                shipment = ship_units(task_units + cache_units)
+                if cache_units and not shipment.ref.via_shared_memory:
+                    # Segment creation failed at runtime (e.g. /dev/shm
+                    # full): the inline transport re-pickles the plane
+                    # into every chunk call, so carrying the activation
+                    # caches there would multiply the copy cost the
+                    # publication exists to avoid.  Re-ship tasks only;
+                    # workers rebuild their clean passes locally.
+                    shipment.release()
+                    shipment = ship_units(task_units)
                 # The segment (or the inline ref) now owns the only
-                # payload copy; drop the per-task blobs so a large
-                # multi-model sweep doesn't hold them twice.
-                blobs.clear()
+                # payload copy; drop the per-task units so a large
+                # multi-model sweep doesn't hold the streams twice.
+                del task_units, cache_units, suffix_units
+                units.clear()
                 try:
                     self._run_parallel(
-                        tasks, shipment.ref, tuple(spans), pending, rates_list,
+                        tasks, shipment.ref, pending, rates_list,
                         grids, completed, total, checkpoint,
                     )
                 finally:
@@ -827,8 +976,7 @@ class CampaignExecutor:
     def _run_parallel(
         self,
         tasks: Sequence[CampaignCellTask],
-        payload: ShippedBytes,
-        spans: "tuple[tuple[int, int], ...]",
+        payload: ShippedPlane,
         pending: "list[list[tuple[int, int]]]",
         rates_list: list[np.ndarray],
         grids: list[np.ndarray],
@@ -839,9 +987,10 @@ class CampaignExecutor:
         """Fan every task's pending cells over one process pool.
 
         A persistent executor reuses its warm pool across calls; the
-        payload then travels with each chunk under a fresh generation id
-        (workers re-attach once per generation).  A one-shot executor
-        builds a right-sized pool and tears it down afterwards.
+        plane address then travels with each chunk under a fresh
+        generation id (workers re-attach once per generation).  A
+        one-shot executor builds a right-sized pool and tears it down
+        afterwards.
         """
         n_pending = sum(len(cells) for cells in pending)
         workers = (
@@ -863,7 +1012,7 @@ class CampaignExecutor:
         try:
             futures = {
                 pool.submit(
-                    _run_task_cells, payload, spans, generation, task_index, cells
+                    _run_task_cells, payload, generation, task_index, cells
                 )
                 for task_index, cells in chunks
             }

@@ -11,7 +11,6 @@ least ``M`` iterations have run.
 
 from __future__ import annotations
 
-import pickle
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
@@ -22,6 +21,7 @@ from repro.core.campaign import CampaignConfig, FaultInjectionCampaign, FaultSam
 from repro.core.executor import CampaignExecutor, WeightFaultCellTask
 from repro.core.swap import get_thresholds, set_thresholds
 from repro.hw.memory import WeightMemory
+from repro.utils.shm import pack_object
 from repro.utils.validation import check_non_negative, check_positive
 
 __all__ = [
@@ -220,10 +220,11 @@ class LayerAUCEvaluator:
     built on the first parallel evaluation and reused by every later
     iteration of Algorithm 1 (call :meth:`close` when tuning ends —
     :func:`fine_tune_threshold` and :class:`ThresholdFineTuner` do).
-    Each threshold's snapshot is serialized exactly once: the pickled
-    bytes both materialize the parent-side copy (whose clean accuracy
-    anchors the AUC) and ship to the workers via the executor's
-    pre-pickled payload path.
+    Each threshold's snapshot is serialized exactly once: the packed
+    unit both materializes the parent-side copy (whose clean accuracy
+    anchors the AUC) and ships to the workers via the executor's
+    pre-packed payload path, with its weight tensors mapped zero-copy
+    from the shared-memory tensor plane.
     """
 
     def __init__(
@@ -287,40 +288,43 @@ class LayerAUCEvaluator:
         """AUCs for several thresholds, one campaign each, one pool total.
 
         Each threshold gets its own bit-exact ``(model, memory)``
-        snapshot — one ``pickle.dumps`` of the whole cell task, whose
-        bytes serve double duty: ``pickle.loads`` materializes the
-        parent-side copy (detached from the live model, preserving the
-        memory's aliasing into the copy's parameters), and the same blob
-        ships to the warm pool through ``run_tasks(payloads=...)``, so no
-        model snapshot is ever serialized twice.
+        snapshot — one :func:`~repro.utils.shm.pack_object` of the whole
+        cell task, whose unit serves double duty:
+        :meth:`~repro.utils.shm.PackedUnit.unpack_copy` materializes the
+        detached parent-side copy (preserving the memory's aliasing into
+        the copy's parameters), and the same unit ships to the warm pool
+        through ``run_tasks(payloads=...)`` — its weight tensors laid
+        out in the shared-memory tensor plane, which workers map as
+        zero-copy read-only views.  No model snapshot is ever serialized
+        twice.
         """
         if self.workers == 1 or len(thresholds) < 2:
             return [self(threshold) for threshold in thresholds]
         initial = get_thresholds(self.model)[self.layer_name]
         tasks = []
-        blobs = []
+        units = []
         try:
             for threshold in thresholds:
                 set_thresholds(self.model, {self.layer_name: threshold})
-                blob = pickle.dumps(
+                unit = pack_object(
                     WeightFaultCellTask(
                         self.model, self.memory, self.images, self.labels,
                         config=self.campaign_config, sampler=self.sampler,
                     )
                 )
-                task = pickle.loads(blob)
+                task = unit.unpack_copy()
                 task.label = f"{self.layer_name}@T={threshold:g}"
-                # The loads round-trip duplicated the eval arrays; the
+                # The unpack round-trip duplicated the eval arrays; the
                 # parent-side copy only needs them for the clean-accuracy
                 # evaluation, so share the originals (bit-equal) instead
                 # of holding one private copy per threshold.
                 task.images = self.images
                 task.labels = self.labels
-                blobs.append(blob)
+                units.append(unit)
                 tasks.append(task)
         finally:
             set_thresholds(self.model, {self.layer_name: initial})
-        curves = self._warm_executor().run_tasks(tasks, payloads=blobs)
+        curves = self._warm_executor().run_tasks(tasks, payloads=units)
         return [
             curve.auc(include_zero_rate=self.include_zero_rate) for curve in curves
         ]

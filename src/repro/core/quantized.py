@@ -12,6 +12,13 @@ The sweep runs through the shared
 grid across a process pool (bit-identical to serial at any worker
 count), and ``progress``/``checkpoint`` stream and resume it exactly
 like the float32 campaigns.
+
+Under the zero-copy tensor plane (``docs/MEMORY_MODEL.md``) a worker's
+task arrives as read-only shared-memory views; deployment then
+copy-on-writes every region it dequantizes (int8 deployment rewrites
+the whole mapped memory by nature), so the plane's win for this
+campaign is the one-per-host transport and the published clean-pass
+activation cache rather than steady-state weight residency.
 """
 
 from __future__ import annotations
@@ -79,6 +86,19 @@ class QuantizedCellTask:
                 )
         return self._clean
 
+    def absorb_clean_logits(self, logits_batches) -> None:
+        """Seed the lazy clean accuracy from an engine's clean pass.
+
+        A quantized runner builds its suffix engine *after* deployment,
+        so the exported clean logits already reflect the dequantized
+        int8 weights — exactly what :meth:`clean_accuracy` measures.
+        """
+        from repro.core.executor import _accuracy_from_logits
+
+        self._clean = _accuracy_from_logits(
+            self._clean, logits_batches, self.labels
+        )
+
     def make_runner(self) -> "_QuantizedCellRunner":
         return _QuantizedCellRunner(self)
 
@@ -109,14 +129,22 @@ class _QuantizedCellRunner:
         self.quantized = QuantizedWeightMemory(task.memory)
         self._deployment = self.quantized.deployed()
         self._deployment.__enter__()
-        self.tree = SeedTree(task.config.seed)
-        self.engine = SuffixForwardEngine.build(
-            task.model,
-            task.images,
-            task.config.batch_size,
-            scope_layers=task.memory.layer_names(),
-            enabled=getattr(task, "suffix", True),
-        )
+        self.engine = None
+        try:
+            self.tree = SeedTree(task.config.seed)
+            self.engine = SuffixForwardEngine.build(
+                task.model,
+                task.images,
+                task.config.batch_size,
+                scope_layers=task.memory.layer_names(),
+                enabled=getattr(task, "suffix", True),
+            )
+        except BaseException:
+            # Construction must not strand the caller's live model on
+            # dequantized weights (the serial path and the executor's
+            # parent-side cache export both build runners over it).
+            self.close()
+            raise
 
     def run_cell(self, rate_index: int, trial: int) -> float:
         task = self.task

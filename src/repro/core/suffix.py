@@ -34,17 +34,31 @@ prefix was recomputed thousands of times for nothing.
   budget (``REPRO_SUFFIX_BUDGET_MB``, default 256).  A cut below every
   cached boundary — or a batch the cache does not recognise — falls back
   to the plain full forward, never to an error.
+* **One clean pass per host.**  A built engine can
+  :meth:`~SuffixForwardEngine.export_cache` its state as a picklable
+  :class:`SharedSuffixCache`; the campaign executor publishes that cache
+  through the shared-memory tensor plane (:mod:`repro.utils.shm`) and
+  every worker on the host rebuilds its engine from **read-only
+  zero-copy views** of the same activations via :func:`shared_cache`
+  instead of re-running the clean pass.  The cache is what the worker
+  would have computed — same weights (bit-exact pickle round-trip),
+  same batching, pure single-threaded NumPy — so sharing it changes
+  nothing but wall clock (``docs/MEMORY_MODEL.md`` documents the
+  lifecycle).
 
 The engine is an execution detail, not science: results are bit-identical
 with it on or off, which the determinism test matrix checks for every
-campaign type.  Disable globally with ``REPRO_NO_SUFFIX=1`` or per
-campaign with the ``suffix=False`` keyword.
+campaign type (suffix on/off x workers 1/2 x zero-copy on/off).  Disable
+globally with ``REPRO_NO_SUFFIX=1`` or per campaign with the
+``suffix=False`` keyword.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Iterable, Sequence
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -53,6 +67,8 @@ from repro.models.registry import computational_layers
 
 __all__ = [
     "SuffixForwardEngine",
+    "SharedSuffixCache",
+    "shared_cache",
     "suffix_budget_bytes",
     "suffix_globally_disabled",
 ]
@@ -76,6 +92,57 @@ def suffix_budget_bytes() -> int:
         except ValueError:
             pass
     return _DEFAULT_BUDGET_MB * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class SharedSuffixCache:
+    """A picklable snapshot of one engine's clean pass, shared via shm.
+
+    Holds everything a sibling engine over a bit-identical model copy
+    needs to skip its own clean forward: the per-batch boundary tensors,
+    the clean logits, the batch shapes, and the admitted boundary
+    indices.  All arrays are contiguous, so the tensor plane
+    (:mod:`repro.utils.shm`) ships them out-of-band and workers map them
+    as read-only views — the cache is read-mostly by design (the engine
+    never mutates cached activations).
+
+    ``batch_size`` and ``batch_shapes`` double as the compatibility
+    fingerprint: :meth:`SuffixForwardEngine.build` silently ignores a
+    cache that does not match its own evaluation set and falls back to
+    running the clean pass locally.
+    """
+
+    batch_size: int
+    batch_shapes: "tuple[tuple[int, ...], ...]"
+    cached_indices: "tuple[int, ...]"
+    cached: "tuple[dict[int, np.ndarray], ...]"
+    clean_logits: "tuple[np.ndarray, ...]"
+
+
+# The cache offered to the next engine build in this process, if any.
+# Set by the executor's worker loop around ``task.make_runner()`` — the
+# runner's engine then attaches shared activations instead of running
+# its own clean pass.  A plain module global: workers are single-threaded
+# and exactly one runner is built per context.
+_SHARED_CACHE: "SharedSuffixCache | None" = None
+
+
+@contextmanager
+def shared_cache(cache: "SharedSuffixCache | None") -> Iterator[None]:
+    """Offer ``cache`` to engines built inside the block.
+
+    The executor wraps ``task.make_runner()`` in this context on the
+    worker side; :meth:`SuffixForwardEngine.build` consumes the offer if
+    (and only if) the cache matches its evaluation set.  ``None`` is a
+    no-op, so call sites need no conditional.
+    """
+    global _SHARED_CACHE
+    previous = _SHARED_CACHE
+    _SHARED_CACHE = cache
+    try:
+        yield
+    finally:
+        _SHARED_CACHE = previous
 
 
 def _top_level_index_map(model: nn.Sequential) -> "dict[str, int] | None":
@@ -104,7 +171,11 @@ class SuffixForwardEngine:
     Build through :meth:`build`, which returns ``None`` whenever suffix
     re-execution cannot help (unsupported model shape, empty candidate
     set, global disable) — callers then simply keep the full-forward
-    path.
+    path.  When a compatible :class:`SharedSuffixCache` is offered (via
+    :func:`shared_cache`), construction attaches the published
+    activations — typically read-only shared-memory views — instead of
+    running its own clean pass; ``stats["from_shared_cache"]`` records
+    which way the engine was built.
     """
 
     def __init__(
@@ -116,6 +187,7 @@ class SuffixForwardEngine:
         candidates: Sequence[int],
         budget_bytes: int,
         clean_shortcut: bool,
+        shared: "SharedSuffixCache | None" = None,
     ):
         self.model = model
         self.batch_size = int(batch_size)
@@ -126,6 +198,7 @@ class SuffixForwardEngine:
             "batches_suffix": 0,
             "batches_full": 0,
             "cached_bytes": 0,
+            "from_shared_cache": shared is not None,
         }
 
         starts = list(range(0, images.shape[0], self.batch_size))
@@ -135,25 +208,37 @@ class SuffixForwardEngine:
         self._cached: list[dict[int, np.ndarray]] = []
         self._batch_shapes: list[tuple[int, ...]] = []
 
-        kept: "list[int] | None" = None  # decided from the first batch
-        was_training = model.training
-        model.eval()
-        try:
-            with np.errstate(over="ignore", invalid="ignore"):
-                for start in starts:
-                    batch = images[start : start + self.batch_size]
-                    self._batch_shapes.append(batch.shape)
-                    wanted = candidates if kept is None else kept
-                    logits, captured = model.forward_collect(batch, wanted)
-                    if kept is None:
-                        kept = self._admit_within_budget(
-                            captured, batch.shape[0], images.shape[0], budget_bytes
-                        )
-                        captured = {i: captured[i] for i in kept}
-                    self._cached.append(captured)
-                    self._clean_logits.append(logits)
-        finally:
-            model.train(was_training)
+        if shared is not None:
+            # Attach the published clean pass: the cache holds exactly
+            # what the loop below would compute over a bit-identical
+            # model copy, so no forward runs at all.  Cached arrays are
+            # treated as read-only throughout (suffix execution only
+            # ever reads them), so shared views need no copy.
+            self._batch_shapes = [tuple(shape) for shape in shared.batch_shapes]
+            self._cached = [dict(batch) for batch in shared.cached]
+            self._clean_logits = list(shared.clean_logits)
+            kept: "list[int] | None" = list(shared.cached_indices)
+        else:
+            kept = None  # decided from the first batch
+            was_training = model.training
+            model.eval()
+            try:
+                with np.errstate(over="ignore", invalid="ignore"):
+                    for start in starts:
+                        batch = images[start : start + self.batch_size]
+                        self._batch_shapes.append(batch.shape)
+                        wanted = candidates if kept is None else kept
+                        logits, captured = model.forward_collect(batch, wanted)
+                        if kept is None:
+                            kept = self._admit_within_budget(
+                                captured, batch.shape[0], images.shape[0],
+                                budget_bytes,
+                            )
+                            captured = {i: captured[i] for i in kept}
+                        self._cached.append(captured)
+                        self._clean_logits.append(logits)
+            finally:
+                model.train(was_training)
         self.cached_indices = sorted(kept or [])
         self.stats["cached_bytes"] = sum(
             array.nbytes for batch in self._cached for array in batch.values()
@@ -227,6 +312,11 @@ class SuffixForwardEngine:
         if not candidates and not clean_shortcut:
             return None
         budget = suffix_budget_bytes() if budget_bytes is None else int(budget_bytes)
+        shared = _SHARED_CACHE
+        if shared is not None and not cls._cache_compatible(
+            shared, images, int(batch_size), candidates
+        ):
+            shared = None  # incompatible offer: run the clean pass locally
         engine = cls(
             model,
             images,
@@ -235,12 +325,54 @@ class SuffixForwardEngine:
             candidates,
             budget,
             clean_shortcut,
+            shared=shared,
         )
         if not engine.cached_indices and not clean_shortcut:
             # Budget admitted nothing and empty fault sets cannot occur:
             # every cell would fall back to the full forward anyway.
             return None
         return engine
+
+    @staticmethod
+    def _cache_compatible(
+        cache: SharedSuffixCache,
+        images: np.ndarray,
+        batch_size: int,
+        candidates: Sequence[int],
+    ) -> bool:
+        """Whether an offered cache matches this build's evaluation set.
+
+        The batching fingerprint (batch size + per-batch shapes) must be
+        exact and every published boundary must be one this engine would
+        itself consider — anything else means the offer was made for a
+        different task, and the build quietly runs its own clean pass.
+        """
+        if cache.batch_size != batch_size:
+            return False
+        expected = tuple(
+            (min(batch_size, images.shape[0] - start),) + images.shape[1:]
+            for start in range(0, images.shape[0], batch_size)
+        )
+        if tuple(cache.batch_shapes) != expected:
+            return False
+        return set(cache.cached_indices) <= set(candidates)
+
+    def export_cache(self) -> "SharedSuffixCache | None":
+        """Snapshot the clean pass for publication to sibling engines.
+
+        Returns ``None`` once the engine is closed.  The snapshot
+        references the engine's live arrays (no copy); the tensor plane
+        copies them into the shared segment exactly once at ship time.
+        """
+        if not self._clean_logits and not self._cached:
+            return None
+        return SharedSuffixCache(
+            batch_size=self.batch_size,
+            batch_shapes=tuple(tuple(shape) for shape in self._batch_shapes),
+            cached_indices=tuple(self.cached_indices),
+            cached=tuple(dict(batch) for batch in self._cached),
+            clean_logits=tuple(self._clean_logits),
+        )
 
     # ------------------------------------------------------------------ #
 

@@ -15,8 +15,13 @@ allocates fresh output buffers), so no undo machinery is needed.
 shared :class:`~repro.core.executor.CampaignExecutor` substrate — the
 same ``rate/<i>/trial/<j>`` seed derivation, ``workers=`` fan-out
 (bit-identical to serial), progress streaming and checkpoint resume as
-the weight-fault campaigns.  Imports from :mod:`repro.core` stay inside
-functions: the hw layer otherwise does not depend on core.
+the weight-fault campaigns.  Activation faults never write to weight
+arrays, so under the zero-copy tensor plane (``docs/MEMORY_MODEL.md``)
+this campaign's workers keep the *entire* network mapped read-only —
+no copy-on-write ever fires — and share the parent's published clean
+pass for the suffix cut at the first hooked layer.  Imports from
+:mod:`repro.core` stay inside functions: the hw layer otherwise does
+not depend on core.
 """
 
 from __future__ import annotations
@@ -194,6 +199,18 @@ class ActivationFaultCellTask:
             )
         return self._clean
 
+    def absorb_clean_logits(self, logits_batches) -> None:
+        """Seed the lazy clean accuracy from an engine's clean pass.
+
+        The runner's engine runs its clean forward while the hooks are
+        dormant, so its logits match :meth:`clean_accuracy` exactly.
+        """
+        from repro.core.executor import _accuracy_from_logits
+
+        self._clean = _accuracy_from_logits(
+            self._clean, logits_batches, self.labels
+        )
+
     def make_runner(self) -> "_ActivationCellRunner":
         return _ActivationCellRunner(self)
 
@@ -231,22 +248,29 @@ class _ActivationCellRunner:
 
         self.task = task
         self.injector = ActivationFaultInjector(task.model, layers=task.layers)
-        self.tree = SeedTree(task.config.seed)
-        # layer_names is in forward order; every cell cuts at the first
-        # hooked layer, so only that one boundary is worth caching.
-        self.engine = SuffixForwardEngine.build(
-            task.model,
-            task.images,
-            task.config.batch_size,
-            scope_layers=self.injector.layer_names[:1],
-            clean_shortcut=False,
-            enabled=getattr(task, "suffix", True),
-        )
-        self._forward = (
-            None
-            if self.engine is None
-            else self.engine.forward_fn(self.injector.layer_names)
-        )
+        self.engine = None
+        self._forward = None
+        try:
+            self.tree = SeedTree(task.config.seed)
+            # layer_names is in forward order; every cell cuts at the
+            # first hooked layer, so only that boundary is worth caching.
+            self.engine = SuffixForwardEngine.build(
+                task.model,
+                task.images,
+                task.config.batch_size,
+                scope_layers=self.injector.layer_names[:1],
+                clean_shortcut=False,
+                enabled=getattr(task, "suffix", True),
+            )
+            self._forward = (
+                None
+                if self.engine is None
+                else self.engine.forward_fn(self.injector.layer_names)
+            )
+        except BaseException:
+            # Construction must not leave hooks on the caller's model.
+            self.close()
+            raise
 
     def run_cell(self, rate_index: int, trial: int) -> float:
         from repro.core.executor import cell_seed_path

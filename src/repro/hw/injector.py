@@ -4,6 +4,14 @@ The injector applies a :class:`~repro.hw.faultmodels.FaultSet` to the live
 parameter arrays, remembers the original words it touched, and can undo
 everything exactly — so one trained model serves thousands of
 fault-injection trials without reloading weights.
+
+Copy-on-write: when the model's weights are read-only shared-memory
+views (the zero-copy tensor plane, :mod:`repro.utils.shm`), injection
+requests a private copy of **only the regions the fault set touches**
+(:func:`repro.hw.memory.materialize_region`) before writing — the
+injector's ``affected_layers`` cut-point report and its CoW footprint
+are the same set by construction, and every other tensor in the network
+stays mapped read-only once per host.
 """
 
 from __future__ import annotations
@@ -22,7 +30,7 @@ from repro.hw.faultmodels import (
     FaultModel,
     FaultSet,
 )
-from repro.hw.memory import MemoryRegion, WeightMemory
+from repro.hw.memory import MemoryRegion, WeightMemory, materialize_region
 from repro.utils.rng import as_generator
 
 __all__ = ["InjectionRecord", "FaultInjector"]
@@ -96,6 +104,9 @@ class FaultInjector:
         """Apply ``fault_set``; return per-region undo state (words, values)."""
         saved: list[tuple[MemoryRegion, np.ndarray, np.ndarray]] = []
         for region, words, bits in self.memory.locate(fault_set.bit_indices):
+            # Copy-on-write: only the regions this fault set writes are
+            # privatized; the rest of the memory stays a read-only view.
+            materialize_region(region)
             flat = region.parameter.data.reshape(-1)
             # Identify this region's slice of the fault set to split by op.
             in_region = (

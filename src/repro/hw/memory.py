@@ -4,6 +4,15 @@ The fault models in :mod:`repro.hw.faultmodels` draw *global bit indices*
 uniformly over the memory; :class:`WeightMemory` maps those indices back to
 ``(parameter, word, bit)`` targets, exactly like weight words laid out
 consecutively in an accelerator's on-chip/off-chip memory (paper Fig. 1a).
+
+Copy-on-write: under the zero-copy tensor plane (:mod:`repro.utils.shm`)
+a worker's parameter arrays are *read-only* shared-memory views.  Every
+in-place mutation path in the hw layer therefore first calls
+:func:`materialize_region` (directly or via :meth:`WeightMemory.
+materialize`), which swaps a read-only region's array for a private
+writable copy — so only the regions a fault set actually touches are
+ever copied, and the untouched remainder of the network stays mapped
+once per host (see ``docs/MEMORY_MODEL.md``).
 """
 
 from __future__ import annotations
@@ -17,7 +26,23 @@ from repro import nn
 from repro.hw.bits import WORD_BITS
 from repro.models.registry import computational_layers
 
-__all__ = ["MemoryRegion", "WeightMemory"]
+__all__ = ["MemoryRegion", "WeightMemory", "materialize_region"]
+
+
+def materialize_region(region: "MemoryRegion") -> bool:
+    """Give ``region`` a private writable array if it is a read-only view.
+
+    The copy-on-write fault of the shared-memory tensor plane: workers
+    map weights read-only and the first write to a region replaces the
+    parameter's array with a bit-identical private copy.  Returns
+    whether a copy was made (False for already-writable regions, so the
+    serial path and the legacy deserializing path pay nothing).
+    """
+    data = region.parameter.data
+    if data.flags.writeable:
+        return False
+    region.parameter.data = np.array(data, copy=True)
+    return True
 
 
 @dataclass(frozen=True)
@@ -188,21 +213,48 @@ class WeightMemory:
             counts[region.layer_name] = counts.get(region.layer_name, 0) + region.num_bits
         return counts
 
+    def materialize(self, layers: "Iterable[str] | None" = None) -> int:
+        """Copy-on-write: privatize the named layers' regions (all if None).
+
+        Gives every selected region whose parameter is a read-only
+        shared-memory view a private writable copy (bit-identical by
+        construction); already-writable regions are untouched.  Callers
+        that mutate weights in place — the fault injector, the int8
+        deployment — privatize only the regions they are about to write,
+        which is what keeps the rest of the network zero-copy.  Returns
+        the number of regions copied.
+        """
+        wanted = None if layers is None else set(layers)
+        copied = 0
+        for region in self.regions:
+            if wanted is None or region.layer_name in wanted:
+                copied += materialize_region(region)
+        return copied
+
     def snapshot(self) -> list[np.ndarray]:
         """Copies of all mapped parameter arrays (full-memory checkpoint)."""
         return [region.parameter.data.copy() for region in self.regions]
 
     def restore(self, snapshot: Sequence[np.ndarray]) -> None:
-        """Restore a :meth:`snapshot` (shape-checked, in place)."""
+        """Restore a :meth:`snapshot` (shape-checked, in place, CoW-safe)."""
         if len(snapshot) != len(self.regions):
             raise ValueError(
                 f"snapshot has {len(snapshot)} arrays, memory has "
                 f"{len(self.regions)} regions"
             )
         for region, saved in zip(self.regions, snapshot):
-            if saved.shape != region.parameter.data.shape:
+            data = region.parameter.data
+            if saved.shape != data.shape:
                 raise ValueError(f"snapshot shape mismatch for {region.name!r}")
-            np.copyto(region.parameter.data, saved)
+            if data.flags.writeable:
+                np.copyto(data, saved)
+            else:
+                # Copy-on-write, single-copy: the snapshot fully
+                # overwrites the region, so rebind a private copy of it
+                # directly instead of privatizing the view first.
+                region.parameter.data = np.array(
+                    saved, dtype=data.dtype, copy=True
+                )
 
     def __repr__(self) -> str:
         return (

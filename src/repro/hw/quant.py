@@ -23,7 +23,7 @@ from typing import Iterator
 
 import numpy as np
 
-from repro.hw.memory import MemoryRegion, WeightMemory
+from repro.hw.memory import MemoryRegion, WeightMemory, materialize_region
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_probability
 
@@ -103,6 +103,11 @@ class QuantizedWeightMemory:
     # ------------------------------------------------------------------ #
 
     def _write_back(self, quant_region: _QuantRegion) -> None:
+        # Copy-on-write: deployment rewrites the region in place, so a
+        # read-only shared-memory view is privatized on first write
+        # (int8 deployment touches every region by nature — the zero-copy
+        # win for quantized sweeps is the transport, not residency).
+        materialize_region(quant_region.region)
         flat = quant_region.region.parameter.data.reshape(-1)
         flat[:] = dequantize_symmetric(quant_region.codes, quant_region.scale)
 

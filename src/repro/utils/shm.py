@@ -1,24 +1,63 @@
-"""Best-effort shared-memory shipping of worker payload bytes.
+"""Shared-memory tensor plane: zero-copy shipping of campaign state.
 
-A parallel campaign serializes its state (model weights, evaluation
-arrays, sampler) once and hands the blob to every worker process.
-Passing the blob through the pool initializer's arguments copies it once
-per worker over a pipe; for full-size VGG sweeps that per-worker copy
-dominates pool start-up.  :func:`ship_bytes` instead writes the blob to
-one POSIX shared-memory segment (:mod:`multiprocessing.shared_memory`)
-per host; workers attach by name and read it without another copy.
+This module is the transport layer of the parallel campaign executor
+(:mod:`repro.core.executor`).  It grew out of a bytes-shipping helper
+into a **tensor plane**: one :mod:`multiprocessing.shared_memory` segment
+per host holds, at known offsets, every large tensor a sweep needs —
+model weight arrays, evaluation arrays, and the suffix engine's cached
+clean activations — plus the (small) in-band pickle streams that tie
+them together.  Worker processes attach the segment by name and map each
+tensor as a **read-only numpy view**, so a worker never deserializes a
+private copy of the weights; mutation is handled upstream by
+copy-on-write (see :meth:`repro.hw.memory.WeightMemory.materialize` and
+``docs/MEMORY_MODEL.md`` for the full memory model).
 
-Shared memory may be unavailable (no ``/dev/shm``, permissions, missing
-``_posixshmem``) — :func:`ship_bytes` then degrades to carrying the
-bytes inline through the initializer arguments, which is exactly the
-pre-shared-memory transport.  Either way the worker-facing API is the
-same: a picklable :class:`ShippedBytes` address whose :meth:`~ShippedBytes.open`
-yields a readable buffer.
+The mechanism is pickle protocol 5's out-of-band buffers:
+
+* :func:`pack_object` serializes an object once, extracting every
+  contiguous numpy array into a :class:`pickle.PickleBuffer` — the
+  in-band stream keeps only dtype/shape metadata, and the buffers still
+  reference the caller's live arrays (no copy yet).
+* :func:`ship_units` lays all packed units out in one segment — the
+  *region table* maps each unit's stream and each of its tensor buffers
+  to an ``(offset, size)`` span — and returns a picklable
+  :class:`ShippedPlane` address.
+* :meth:`ShippedPlane.open` attaches (once per worker per generation)
+  and :meth:`PlaneView.load` reconstructs a unit with
+  ``pickle.loads(stream, buffers=...)`` where each buffer is a
+  *read-only memoryview slice* of the mapped segment — numpy rebuilds
+  its arrays directly over those slices, copying nothing.
+
+Degradation is always graceful and bit-identical:
+
+* **Shared memory unavailable** (no ``/dev/shm``, permissions, missing
+  ``_posixshmem``, segment creation fails): the plane's bytes travel
+  inline through the pickled task address instead — one private copy
+  per worker, exactly the pre-shared-memory transport.  Loads still
+  reconstruct read-only views (into the worker's private bytes), so the
+  copy-on-write discipline is exercised identically.
+* **``REPRO_NO_SHM_VIEWS=1``**: the escape hatch.  Packing and shipping
+  are unchanged (so checkpoint CRCs match across modes), but
+  :meth:`PlaneView.load` hands numpy *writable private copies* of every
+  buffer — the historical deserializing path, byte for byte.
+
+Lifecycle and cleanup: the creating process owns the segment and must
+call :meth:`Shipment.release` (close + unlink) exactly once;
+:class:`CampaignExecutor` does so in a ``finally`` even when a worker
+raises or the sweep is interrupted, and :class:`Shipment` carries a
+best-effort ``__del__`` backstop.  Workers detach on generation change;
+a detach that would invalidate still-live views is skipped (the mapping
+then lives until process exit — the segment itself is already unlinked,
+so the memory is reclaimed when the last mapping goes away).
 """
 
 from __future__ import annotations
 
+import os
+import pickle
+import zlib
 from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
 
 __all__ = [
     "ShippedBytes",
@@ -26,6 +65,15 @@ __all__ = [
     "Shipment",
     "ship_bytes",
     "shared_memory_available",
+    "shared_memory_writable",
+    "shm_views_disabled",
+    "PackedUnit",
+    "pack_object",
+    "UnitSpan",
+    "ShippedPlane",
+    "PlaneView",
+    "PlaneShipment",
+    "ship_units",
 ]
 
 try:  # pragma: no cover - import succeeds on all supported platforms
@@ -33,10 +81,56 @@ try:  # pragma: no cover - import succeeds on all supported platforms
 except ImportError:  # pragma: no cover - exotic builds without _posixshmem
     _shared_memory = None
 
+_NO_VIEWS_ENV = "REPRO_NO_SHM_VIEWS"
+
 
 def shared_memory_available() -> bool:
     """Whether this interpreter can create shared-memory segments."""
     return _shared_memory is not None
+
+
+def shm_views_disabled() -> bool:
+    """Whether ``REPRO_NO_SHM_VIEWS`` forces private-copy deserialization.
+
+    The escape hatch of the zero-copy tensor plane: packing, shipping
+    and checkpoint CRCs are unchanged, but every :meth:`PlaneView.load`
+    copies each tensor buffer into private writable memory instead of
+    mapping a read-only view — the historical per-worker deserializing
+    path, bit-identical by construction.
+    """
+    return os.environ.get(_NO_VIEWS_ENV, "").strip() not in ("", "0")
+
+
+def _create_segment(size: int):
+    """Create a shared-memory segment of ``size`` bytes, or ``None``.
+
+    ``None`` — shared memory unavailable, non-positive size, or creation
+    failed (e.g. ``/dev/shm`` missing or full) — means the caller should
+    fall back to the inline transport.
+    """
+    if _shared_memory is None or size <= 0:
+        return None
+    try:
+        return _shared_memory.SharedMemory(create=True, size=size)
+    except OSError:
+        return None
+
+
+def shared_memory_writable() -> bool:
+    """Whether a segment can actually be created right now.
+
+    Stronger than :func:`shared_memory_available` (which only checks
+    importability): probes a 1-byte segment, so a missing or full
+    ``/dev/shm`` is detected *before* a caller pays for work — like the
+    executor's parent-side clean passes — that only helps when the plane
+    lands in shared memory.
+    """
+    segment = _create_segment(1)
+    if segment is None:
+        return False
+    segment.close()
+    segment.unlink()
+    return True
 
 
 def _attach_segment(name: str):
@@ -48,6 +142,14 @@ def _attach_segment(name: str):
     unlinks it after the pool shuts down.
     """
     return _shared_memory.SharedMemory(name=name)
+
+
+# Attachments whose detach was skipped because numpy views were still
+# live (see ShippedBuffer.close).  Keeping the handles referenced stops
+# their __del__ from re-attempting the doomed unmap at GC time; the
+# mappings are reclaimed by the OS at process exit, and the segments
+# themselves are unlinked by their creating process regardless.
+_LEAKED_MAPPINGS: "list" = []
 
 
 class ShippedBuffer:
@@ -65,11 +167,20 @@ class ShippedBuffer:
         return self._buffer
 
     def close(self) -> None:
-        """Detach from the segment (no-op for the inline transport)."""
+        """Detach from the segment (no-op for the inline transport).
+
+        If numpy views created over the segment are still alive the
+        unmap would invalidate them; the detach is then skipped (see the
+        module docstring: the parent has already unlinked the segment,
+        so the memory is reclaimed when the process exits).
+        """
         self._buffer = None
         if self._segment is not None:
-            self._segment.close()
-            self._segment = None
+            segment, self._segment = self._segment, None
+            try:
+                segment.close()
+            except BufferError:
+                _LEAKED_MAPPINGS.append(segment)
 
 
 @dataclass(frozen=True)
@@ -78,12 +189,12 @@ class ShippedBytes:
 
     Either the name of a shared-memory segment (``segment``) or, when the
     fallback transport is in use, the payload bytes themselves
-    (``inline``).
+    (``inline`` — any picklable bytes-like object).
     """
 
     segment: "str | None"
     size: int
-    inline: "bytes | None" = None
+    inline: "bytes | bytearray | None" = None
 
     @property
     def via_shared_memory(self) -> bool:
@@ -112,6 +223,15 @@ class Shipment:
             segment.close()
             segment.unlink()
 
+    def __del__(self) -> None:  # pragma: no cover - GC-timing dependent
+        # Backstop only: owners release() deterministically (the executor
+        # does so in a finally); this catches abandoned shipments so an
+        # interrupted caller cannot leak a segment for the host's lifetime.
+        try:
+            self.release()
+        except Exception:
+            pass
+
 
 def ship_bytes(data: bytes) -> Shipment:
     """Place ``data`` where worker processes can read it once per host.
@@ -121,14 +241,256 @@ def ship_bytes(data: bytes) -> Shipment:
     the pool initializer's pickled arguments) when shared memory is
     unavailable or segment creation fails.
     """
-    if _shared_memory is not None and len(data) > 0:
+    segment = _create_segment(len(data))
+    if segment is not None:
         try:
-            segment = _shared_memory.SharedMemory(create=True, size=len(data))
-        except OSError:
-            pass  # e.g. /dev/shm missing or full: fall back to inline
-        else:
             segment.buf[: len(data)] = data
-            return Shipment(
-                ShippedBytes(segment=segment.name, size=len(data)), segment
-            )
+        except BaseException:  # pragma: no cover - partial-write cleanup
+            segment.close()
+            segment.unlink()
+            raise
+        return Shipment(
+            ShippedBytes(segment=segment.name, size=len(data)), segment
+        )
     return Shipment(ShippedBytes(segment=None, size=len(data), inline=data))
+
+
+# --------------------------------------------------------------------- #
+# the tensor plane
+# --------------------------------------------------------------------- #
+
+
+class PackedUnit:
+    """One object serialized with its tensors extracted out-of-band.
+
+    ``stream`` is the in-band pickle (metadata, scalars, python objects);
+    ``buffers`` are :class:`pickle.PickleBuffer` handles still referencing
+    the caller's live arrays — nothing is copied until the unit is laid
+    out in a segment by :func:`ship_units`.  The unit is parent-side
+    only (PickleBuffer does not pickle); what ships is its span in the
+    plane's region table.
+    """
+
+    __slots__ = ("stream", "buffers")
+
+    def __init__(self, stream: bytes, buffers: "Sequence[pickle.PickleBuffer]"):
+        self.stream = stream
+        self.buffers = tuple(buffers)
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload size: in-band stream plus every tensor buffer."""
+        return len(self.stream) + sum(
+            buffer.raw().nbytes for buffer in self.buffers
+        )
+
+    def crc32(self) -> int:
+        """CRC over the stream *and* every buffer, in order.
+
+        Covers exactly the bytes a plain in-band pickle would contain,
+        so the checksum fingerprints the full campaign content; it is
+        identical across zero-copy on/off (packing never changes — only
+        how workers load).
+        """
+        crc = zlib.crc32(self.stream)
+        for buffer in self.buffers:
+            crc = zlib.crc32(buffer.raw(), crc)
+        return crc
+
+    def unpack_copy(self) -> Any:
+        """Reconstruct a fully private, writable copy of the object.
+
+        Each buffer is copied into a fresh ``bytearray``, so the result
+        shares no memory with the original arrays — the parent-side
+        snapshot path (:meth:`LayerAUCEvaluator.evaluate_many` detaches
+        per-threshold model copies this way).
+        """
+        return pickle.loads(
+            self.stream,
+            buffers=[bytearray(buffer.raw()) for buffer in self.buffers],
+        )
+
+
+def pack_object(obj: Any) -> PackedUnit:
+    """Serialize ``obj`` once, extracting contiguous arrays out-of-band.
+
+    Uses pickle protocol 5 with a ``buffer_callback``: numpy serializes
+    every C/F-contiguous array as a :class:`pickle.PickleBuffer`
+    referencing the live data (non-contiguous arrays fall back in-band).
+    The same packing feeds the worker payload, the checkpoint CRC and
+    parent-side snapshot copies, so large models are serialized exactly
+    once per run.
+    """
+    buffers: "list[pickle.PickleBuffer]" = []
+    stream = pickle.dumps(obj, protocol=5, buffer_callback=buffers.append)
+    return PackedUnit(stream, buffers)
+
+
+@dataclass(frozen=True)
+class UnitSpan:
+    """The region-table entry of one packed unit inside the plane.
+
+    ``stream`` is the (offset, end) span of the unit's in-band pickle;
+    ``buffers`` the spans of its out-of-band tensor regions, in pickle
+    order.
+    """
+
+    name: str
+    stream: "tuple[int, int]"
+    buffers: "tuple[tuple[int, int], ...]"
+
+
+@dataclass(frozen=True)
+class ShippedPlane:
+    """Picklable address of a tensor plane: payload blob + region table.
+
+    ``payload`` locates the single per-host segment (or carries the
+    bytes inline on the fallback transport); ``units`` is the region
+    table, one :class:`UnitSpan` per packed unit, keyed by name (e.g.
+    ``task/0``, ``suffix/0``).
+    """
+
+    payload: ShippedBytes
+    units: "tuple[UnitSpan, ...]"
+
+    @property
+    def via_shared_memory(self) -> bool:
+        """Whether the plane lives in a shared-memory segment."""
+        return self.payload.via_shared_memory
+
+    def names(self) -> "list[str]":
+        """Region-table unit names, in layout order."""
+        return [unit.name for unit in self.units]
+
+    def open(self) -> "PlaneView":
+        """Attach to the plane; the caller must :meth:`~PlaneView.close` it."""
+        return PlaneView(self, self.payload.open())
+
+
+class PlaneView:
+    """A worker-side attachment of one :class:`ShippedPlane`.
+
+    :meth:`load` reconstructs units on demand; by default every tensor
+    comes back as a **read-only numpy view** over the mapped segment
+    (zero-copy), unless ``REPRO_NO_SHM_VIEWS=1`` requests writable
+    private copies.  Close when the generation ends; views created from
+    this attachment must not be used afterwards.
+    """
+
+    def __init__(self, plane: ShippedPlane, shipped: ShippedBuffer):
+        self._plane = plane
+        self._shipped = shipped
+        self._spans = {unit.name: unit for unit in plane.units}
+        raw = shipped.buffer
+        self._memory = raw if isinstance(raw, memoryview) else memoryview(raw)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._spans
+
+    def load(self, name: str, copy: "bool | None" = None) -> Any:
+        """Reconstruct the unit called ``name``.
+
+        ``copy=None`` (default) consults :func:`shm_views_disabled`;
+        ``copy=False`` forces zero-copy read-only views, ``copy=True``
+        forces writable private copies.
+        """
+        if self._memory is None:
+            raise ValueError("plane view is closed")
+        unit = self._spans[name]
+        if copy is None:
+            copy = shm_views_disabled()
+        start, end = unit.stream
+        stream = self._memory[start:end]
+        if copy:
+            buffers: "list[Any]" = [
+                bytearray(self._memory[a:b]) for a, b in unit.buffers
+            ]
+        else:
+            buffers = [self._memory[a:b].toreadonly() for a, b in unit.buffers]
+        return pickle.loads(stream, buffers=buffers)
+
+    def close(self) -> None:
+        """Detach from the segment (idempotent; see :meth:`ShippedBuffer.close`)."""
+        self._memory = None
+        if self._shipped is not None:
+            shipped, self._shipped = self._shipped, None
+            shipped.close()
+
+
+class PlaneShipment:
+    """Parent-side owner of a shipped plane; release() frees the segment."""
+
+    def __init__(self, ref: ShippedPlane, shipment: Shipment):
+        self.ref = ref
+        self._shipment = shipment
+
+    def release(self) -> None:
+        """Unlink the plane's segment (idempotent)."""
+        self._shipment.release()
+
+    def __enter__(self) -> "PlaneShipment":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+
+def ship_units(units: "Iterable[tuple[str, PackedUnit]]") -> PlaneShipment:
+    """Lay packed units out in one per-host segment and return its address.
+
+    Builds the region table (one :class:`UnitSpan` per unit: the in-band
+    stream span followed by each tensor-buffer span), concatenates the
+    bytes once into a shared-memory segment — or inline bytes on the
+    fallback transport — and returns the parent-side owner.  The caller
+    must :meth:`~PlaneShipment.release` it exactly once, in a ``finally``.
+    """
+    chunks: "list[Any]" = []
+    spans: "list[UnitSpan]" = []
+    offset = 0
+
+    def place(chunk) -> "tuple[int, int]":
+        nonlocal offset
+        chunks.append(chunk)
+        size = chunk.nbytes if isinstance(chunk, memoryview) else len(chunk)
+        span = (offset, offset + size)
+        offset += size
+        return span
+
+    for name, unit in units:
+        stream_span = place(unit.stream)
+        buffer_spans = tuple(
+            place(buffer.raw().cast("B")) for buffer in unit.buffers
+        )
+        spans.append(UnitSpan(name=name, stream=stream_span, buffers=buffer_spans))
+
+    def write_into(target) -> None:
+        cursor = 0
+        for chunk in chunks:
+            size = chunk.nbytes if isinstance(chunk, memoryview) else len(chunk)
+            target[cursor : cursor + size] = chunk
+            cursor += size
+
+    # Write each chunk straight into the segment: the plane's only full
+    # copy is the mapped one (a multi-GB sweep would not survive the
+    # transient join-then-copy the byte transport would need).
+    segment = _create_segment(offset)
+    if segment is not None:
+        try:
+            write_into(segment.buf)
+        except BaseException:  # pragma: no cover - partial-write cleanup
+            segment.close()
+            segment.unlink()
+            raise
+        shipment = Shipment(
+            ShippedBytes(segment=segment.name, size=offset), segment
+        )
+        return PlaneShipment(ShippedPlane(shipment.ref, tuple(spans)), shipment)
+
+    data = bytearray(offset)
+    write_into(data)
+    # The bytearray itself travels inline (picklable, sliceable): a
+    # bytes() conversion would transiently double the degraded path's
+    # peak memory for nothing.  Loads stay read-only regardless —
+    # PlaneView hands out .toreadonly() views in zero-copy mode.
+    shipment = Shipment(ShippedBytes(segment=None, size=offset, inline=data))
+    return PlaneShipment(ShippedPlane(shipment.ref, tuple(spans)), shipment)

@@ -573,21 +573,26 @@ class TestWarmPool:
     def test_prepickled_payloads_skip_reserialization(
         self, campaign_parts, monkeypatch
     ):
-        """run_tasks(payloads=...) must use the given bytes verbatim."""
+        """run_tasks(payloads=...) must use the given payloads verbatim —
+        both the legacy raw-bytes form and the packed-unit form."""
         import pickle
 
         import repro.core.executor as executor_module
+        from repro.utils.shm import pack_object
 
         model, memory, images, labels, config = campaign_parts
         task = WeightFaultCellTask(model, memory, images, labels, config=config)
         blob = pickle.dumps(task)
+        unit = pack_object(task)
         monkeypatch.setattr(
             executor_module,
-            "_pickle_task",
-            lambda task: pytest.fail("pre-pickled task was re-serialized"),
+            "_pack_task",
+            lambda task: pytest.fail("pre-packed task was re-serialized"),
         )
         baseline = run_campaign(model, memory, images, labels, config)
         curve = CampaignExecutor(workers=2).run_tasks([task], payloads=[blob])[0]
+        np.testing.assert_array_equal(curve.accuracies, baseline.accuracies)
+        curve = CampaignExecutor(workers=2).run_tasks([task], payloads=[unit])[0]
         np.testing.assert_array_equal(curve.accuracies, baseline.accuracies)
 
     def test_payloads_length_mismatch_rejected(self, campaign_parts):
@@ -622,3 +627,183 @@ class TestExecutorValidation:
         from repro.core.campaign import random_bitflip_sampler
 
         assert isinstance(random_bitflip_sampler(), RandomBitFlipSampler)
+
+
+class _ExplodingSampler:
+    """Picklable sampler that blows up inside a worker's run_cell."""
+
+    def __call__(self, memory, rate, rng):
+        raise RuntimeError("boom in worker")
+
+
+def _tracking_shm(monkeypatch):
+    """Wrap SharedMemory so every create/unlink is recorded parent-side."""
+    import repro.utils.shm as shm_module
+
+    real = shm_module._shared_memory
+    created, unlinked = [], []
+
+    class TrackingSharedMemory(real.SharedMemory):
+        def __init__(self, *args, **kwargs):
+            super().__init__(*args, **kwargs)
+            if kwargs.get("create"):
+                created.append(self.name)
+
+        def unlink(self):
+            unlinked.append(self.name)
+            super().unlink()
+
+    class TrackingModule:
+        SharedMemory = TrackingSharedMemory
+
+    monkeypatch.setattr(shm_module, "_shared_memory", TrackingModule)
+    return created, unlinked
+
+
+class TestSegmentCleanup:
+    """Shm segments must be unlinked no matter how the sweep ends."""
+
+    def test_normal_run_releases_every_segment(self, campaign_parts, monkeypatch):
+        from repro.utils.shm import shared_memory_available
+
+        if not shared_memory_available():  # pragma: no cover
+            pytest.skip("platform without shared memory")
+        created, unlinked = _tracking_shm(monkeypatch)
+        model, memory, images, labels, config = campaign_parts
+        run_campaign(model, memory, images, labels, config, workers=2)
+        assert created, "parallel run did not use shared memory"
+        assert sorted(created) == sorted(unlinked)
+
+    def test_worker_exception_still_unlinks(self, campaign_parts, monkeypatch):
+        created, unlinked = _tracking_shm(monkeypatch)
+        model, memory, images, labels, config = campaign_parts
+        task = WeightFaultCellTask(
+            model, memory, images, labels, config=config,
+            sampler=_ExplodingSampler(),
+        )
+        with pytest.raises(RuntimeError, match="boom in worker"):
+            CampaignExecutor(workers=2).run_tasks([task])
+        assert created, "parallel run did not use shared memory"
+        assert sorted(created) == sorted(unlinked)
+
+    def test_parent_interrupt_still_unlinks(self, campaign_parts, monkeypatch):
+        """A KeyboardInterrupt mid-sweep must not leak the segment."""
+        created, unlinked = _tracking_shm(monkeypatch)
+        model, memory, images, labels, config = campaign_parts
+
+        def interrupt(result):
+            raise KeyboardInterrupt
+
+        executor = CampaignExecutor(workers=2, progress=interrupt)
+        task = WeightFaultCellTask(model, memory, images, labels, config=config)
+        with pytest.raises(KeyboardInterrupt):
+            executor.run_tasks([task])
+        assert created, "parallel run did not use shared memory"
+        assert sorted(created) == sorted(unlinked)
+
+
+class TestZeroCopyFallbackMatrix:
+    """ISSUE 4: shm unavailable, suffix budget exceeded and
+    REPRO_NO_SHM_VIEWS=1 must all be bit-identical to the mapped path."""
+
+    def _parallel(self, campaign_parts):
+        model, memory, images, labels, config = campaign_parts
+        return run_campaign(model, memory, images, labels, config, workers=2)
+
+    @pytest.fixture
+    def baseline(self, campaign_parts):
+        model, memory, images, labels, config = campaign_parts
+        return run_campaign(model, memory, images, labels, config)
+
+    def test_zero_copy_views_bit_identical(self, campaign_parts, baseline):
+        curve = self._parallel(campaign_parts)
+        np.testing.assert_array_equal(curve.accuracies, baseline.accuracies)
+
+    def test_no_shm_views_bit_identical(self, campaign_parts, baseline, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_SHM_VIEWS", "1")
+        curve = self._parallel(campaign_parts)
+        np.testing.assert_array_equal(curve.accuracies, baseline.accuracies)
+
+    def test_shm_unavailable_bit_identical(self, campaign_parts, baseline, monkeypatch):
+        import repro.utils.shm as shm_module
+
+        monkeypatch.setattr(shm_module, "_shared_memory", None)
+        curve = self._parallel(campaign_parts)
+        np.testing.assert_array_equal(curve.accuracies, baseline.accuracies)
+
+    def test_suffix_budget_exhausted_bit_identical(
+        self, campaign_parts, baseline, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_SUFFIX_BUDGET_MB", "0")
+        curve = self._parallel(campaign_parts)
+        np.testing.assert_array_equal(curve.accuracies, baseline.accuracies)
+
+    def test_no_suffix_and_no_views_combined(self, campaign_parts, baseline, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_SUFFIX", "1")
+        monkeypatch.setenv("REPRO_NO_SHM_VIEWS", "1")
+        curve = self._parallel(campaign_parts)
+        np.testing.assert_array_equal(curve.accuracies, baseline.accuracies)
+
+
+class TestWorkerPlaneWiring:
+    """In-process exercise of the worker-side plane machinery."""
+
+    def test_worker_runner_maps_views_and_shared_cache(self, campaign_parts):
+        import repro.core.executor as executor_module
+        from repro.core.executor import (
+            _export_suffix_caches,
+            _init_worker,
+            _run_task_cells,
+        )
+        from repro.utils.shm import pack_object, ship_units, shared_memory_available
+
+        if not shared_memory_available():  # pragma: no cover
+            pytest.skip("platform without shared memory")
+        model, memory, images, labels, config = campaign_parts
+        task = WeightFaultCellTask(model, memory, images, labels, config=config)
+        unit = pack_object(task)
+        pending = [[(0, 0)]]
+        caches = _export_suffix_caches([task], pending)
+        shipment = ship_units(
+            [("task/0", unit)]
+            + [(f"suffix/{i}", u) for i, u in caches.items()]
+        )
+        baseline = task.make_runner()
+        try:
+            expected = baseline.run_cell(0, 0)
+        finally:
+            baseline.close()
+        saved_state = executor_module._WORKER_STATE
+        try:
+            _init_worker()
+            results = _run_task_cells(shipment.ref, (0, 1), 0, [(0, 0)])
+            assert results == [(0, 0, 0, expected)]
+            state = executor_module._WORKER_STATE
+            runner = state["runner"]
+            # The worker's engine attached the published clean pass...
+            assert runner.engine is not None
+            assert runner.engine.stats["from_shared_cache"] is True
+            # ...and its model is mapped, not copied: exactly the
+            # regions the cell's fault set wrote were privatized.
+            from repro.hw.injector import FaultInjector
+            from repro.utils.rng import SeedTree
+
+            rng = SeedTree(config.seed).generator(cell_seed_path(0, 0))
+            fault_set = task.sampler(memory, float(config.fault_rates[0]), rng)
+            affected = set(FaultInjector(memory).affected_layers(fault_set))
+            writable = {
+                r.layer_name
+                for r in runner.task.memory.regions
+                if r.parameter.data.flags.writeable
+            }
+            assert writable == affected
+            assert not runner.task.images.flags.writeable
+            runner.close()
+            state["runner"] = None
+            # Drop every view-holding reference before the detach, as
+            # the worker loop does (runner first, then the old plane).
+            del runner
+            state["view"].close()
+        finally:
+            executor_module._WORKER_STATE = saved_state
+            shipment.release()

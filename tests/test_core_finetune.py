@@ -231,29 +231,27 @@ class TestLayerEvaluator:
     def test_evaluate_many_serializes_each_snapshot_once(
         self, trained_mlp, mlp_eval_arrays, monkeypatch
     ):
-        """Each threshold's model snapshot is pickled exactly once: the
-        same bytes materialize the parent-side copy and ship to the
-        workers (run_tasks never re-pickles a pre-pickled task)."""
-        import pickle as pickle_module
-
+        """Each threshold's model snapshot is packed exactly once: the
+        same unit materializes the parent-side copy and ships to the
+        workers (run_tasks never re-serializes a pre-packed task)."""
         import repro.core.executor as executor_module
         import repro.core.finetune as finetune_module
         from repro.core.executor import WeightFaultCellTask
+        from repro.utils.shm import pack_object as real_pack_object
 
         task_dumps = []
-        real_dumps = pickle_module.dumps
 
-        def counting_dumps(obj, *args, **kwargs):
+        def counting_pack(obj, *args, **kwargs):
             if isinstance(obj, WeightFaultCellTask):
                 task_dumps.append(1)
-            return real_dumps(obj, *args, **kwargs)
+            return real_pack_object(obj, *args, **kwargs)
 
-        monkeypatch.setattr(finetune_module.pickle, "dumps", counting_dumps)
+        monkeypatch.setattr(finetune_module, "pack_object", counting_pack)
         monkeypatch.setattr(
             executor_module,
-            "_pickle_task",
+            "_pack_task",
             lambda task: pytest.fail(
-                "executor re-pickled a task evaluate_many already serialized"
+                "executor re-packed a task evaluate_many already serialized"
             ),
         )
 

@@ -317,3 +317,115 @@ class TestTimingSmoke:
             f"suffix engine slower than full forward: "
             f"{suffix_seconds:.3f}s vs {full_seconds:.3f}s"
         )
+
+
+class TestSharedSuffixCache:
+    """One clean pass per host: exported caches rebuild engines exactly."""
+
+    def _engine_parts(self):
+        model = LeNet5(seed=0)
+        model.eval()
+        images, _ = SyntheticCIFAR10(seed=5).generate(48, "test")
+        memory = WeightMemory.from_model(model)
+        return model, images, memory
+
+    def test_export_import_is_bit_identical(self):
+        import pickle
+
+        from repro.core.suffix import shared_cache
+
+        model, images, memory = self._engine_parts()
+        engine = SuffixForwardEngine.build(
+            model, images, 16, scope_layers=memory.layer_names()
+        )
+        cache = engine.export_cache()
+        assert cache is not None
+
+        # A bit-exact sibling (what a worker deserializes) + the cache.
+        sibling = pickle.loads(pickle.dumps(model))
+        with shared_cache(cache):
+            shared = SuffixForwardEngine.build(
+                sibling, images, 16, scope_layers=memory.layer_names()
+            )
+        assert shared.stats["from_shared_cache"] is True
+        assert shared.cached_indices == engine.cached_indices
+
+        # Suffix forwards from every cached boundary agree bit for bit.
+        for layer in memory.layer_names():
+            local_fn = engine.forward_fn([layer])
+            shared_fn = shared.forward_fn([layer])
+            assert (local_fn is None) == (shared_fn is None)
+            if local_fn is None:
+                continue
+            for start in range(0, images.shape[0], 16):
+                batch = images[start : start + 16]
+                np.testing.assert_array_equal(
+                    local_fn(batch, start), shared_fn(batch, start)
+                )
+        # The clean shortcut replays identical logits too.
+        for start in range(0, images.shape[0], 16):
+            batch = images[start : start + 16]
+            np.testing.assert_array_equal(
+                engine.forward_fn([])(batch, start),
+                shared.forward_fn([])(batch, start),
+            )
+
+    def test_incompatible_cache_is_ignored(self):
+        from repro.core.suffix import shared_cache
+
+        model, images, memory = self._engine_parts()
+        engine = SuffixForwardEngine.build(
+            model, images, 16, scope_layers=memory.layer_names()
+        )
+        cache = engine.export_cache()
+        with shared_cache(cache):
+            # Different batching: the offer must be declined, not misused.
+            rebuilt = SuffixForwardEngine.build(
+                model, images, 24, scope_layers=memory.layer_names()
+            )
+        assert rebuilt.stats["from_shared_cache"] is False
+
+    def test_none_offer_is_a_noop(self):
+        from repro.core.suffix import shared_cache
+
+        model, images, memory = self._engine_parts()
+        with shared_cache(None):
+            engine = SuffixForwardEngine.build(
+                model, images, 16, scope_layers=memory.layer_names()
+            )
+        assert engine.stats["from_shared_cache"] is False
+
+    def test_closed_engine_exports_nothing(self):
+        model, images, memory = self._engine_parts()
+        engine = SuffixForwardEngine.build(
+            model, images, 16, scope_layers=memory.layer_names()
+        )
+        engine.close()
+        assert engine.export_cache() is None
+
+    def test_executor_publishes_caches_for_pending_tasks(self):
+        """_export_suffix_caches packs one cache per pending task."""
+        from repro.core.executor import _export_suffix_caches
+        from repro.utils.shm import PackedUnit
+
+        model, images, memory = self._engine_parts()
+        labels = np.zeros(images.shape[0], dtype=np.int64)
+        config = CampaignConfig(fault_rates=(1e-4,), trials=1, seed=3)
+        tasks = [
+            WeightFaultCellTask(model, memory, images, labels, config=config)
+            for _ in range(2)
+        ]
+        caches = _export_suffix_caches(tasks, [[(0, 0)], []])
+        assert sorted(caches) == [0]  # only the pending task publishes
+        assert isinstance(caches[0], PackedUnit)
+        assert len(caches[0].buffers) > 0  # activations ship out-of-band
+
+    def test_export_respects_global_disable(self, monkeypatch):
+        from repro.core.executor import _export_suffix_caches
+
+        monkeypatch.setenv("REPRO_NO_SUFFIX", "1")
+        model, images, memory = self._engine_parts()
+        labels = np.zeros(images.shape[0], dtype=np.int64)
+        config = CampaignConfig(fault_rates=(1e-4,), trials=1, seed=3)
+        task = WeightFaultCellTask(model, memory, images, labels, config=config)
+        assert _export_suffix_caches([task], [[(0, 0)]]) == {}

@@ -59,6 +59,52 @@ class TestExamplesIndexed:
             assert example.stem in text, f"{example.name} not mentioned in README"
 
 
+class TestEnvVarTable:
+    """docs/MEMORY_MODEL.md owns the authoritative REPRO_* table.
+
+    Both directions are enforced: every ``REPRO_*`` name used anywhere
+    under ``src/`` must have a row in the table, and every row must
+    correspond to a name the source actually reads — so the table can
+    neither rot nor advertise dead knobs.
+    """
+
+    ENV_RE = re.compile(r"\bREPRO_[A-Z0-9_]+\b")
+
+    def _documented(self):
+        doc = ROOT / "docs" / "MEMORY_MODEL.md"
+        assert doc.exists(), "docs/MEMORY_MODEL.md missing"
+        rows = re.findall(r"^\|\s*`(REPRO_[A-Z0-9_]+)`", doc.read_text(), re.M)
+        assert rows, "docs/MEMORY_MODEL.md has no REPRO_* table rows"
+        return set(rows)
+
+    def _in_source(self):
+        names = set()
+        for path in (ROOT / "src").rglob("*.py"):
+            names |= set(self.ENV_RE.findall(path.read_text()))
+        return names
+
+    def test_every_source_env_var_is_documented(self):
+        missing = self._in_source() - self._documented()
+        assert not missing, (
+            f"REPRO_* env vars used in src/ but absent from the "
+            f"docs/MEMORY_MODEL.md table: {sorted(missing)}"
+        )
+
+    def test_every_documented_env_var_exists_in_source(self):
+        stale = self._documented() - self._in_source()
+        assert not stale, (
+            f"docs/MEMORY_MODEL.md documents REPRO_* env vars no longer "
+            f"used in src/: {sorted(stale)}"
+        )
+
+    def test_memory_model_is_linked_from_readme_and_design(self):
+        for name in ("README.md", "DESIGN.md"):
+            text = (ROOT / name).read_text()
+            assert "docs/MEMORY_MODEL.md" in text, (
+                f"{name} does not link docs/MEMORY_MODEL.md"
+            )
+
+
 class TestPaperFigureCoverage:
     def test_all_paper_figures_have_bench(self):
         """Every evaluation figure of the paper maps to a bench file."""

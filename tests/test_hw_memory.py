@@ -133,3 +133,101 @@ class TestHelpers:
     def test_repr(self):
         memory = WeightMemory.from_model(LeNet5(seed=0))
         assert "WeightMemory" in repr(memory)
+
+
+class TestCopyOnWrite:
+    """Read-only (shm-view) regions are privatized on first write only."""
+
+    def _read_only_memory(self):
+        model = LeNet5(seed=0)
+        memory = WeightMemory.from_model(model)
+        original = memory.snapshot()
+        for region in memory.regions:
+            region.parameter.data.flags.writeable = False
+        return model, memory, original
+
+    def test_materialize_region_copies_read_only(self):
+        from repro.hw.memory import materialize_region
+
+        _, memory, original = self._read_only_memory()
+        region = memory.regions[0]
+        assert materialize_region(region) is True
+        assert region.parameter.data.flags.writeable
+        np.testing.assert_array_equal(region.parameter.data, original[0])
+        # Second call is a no-op on an already-private region.
+        assert materialize_region(region) is False
+
+    def test_materialize_region_noop_on_writable(self):
+        from repro.hw.memory import materialize_region
+
+        model = LeNet5(seed=0)
+        memory = WeightMemory.from_model(model)
+        before = memory.regions[0].parameter.data
+        assert materialize_region(memory.regions[0]) is False
+        assert memory.regions[0].parameter.data is before
+
+    def test_materialize_scopes_to_named_layers(self):
+        _, memory, _ = self._read_only_memory()
+        copied = memory.materialize(["CONV-2"])
+        by_layer = {
+            region.layer_name: region.parameter.data.flags.writeable
+            for region in memory.regions
+        }
+        assert by_layer["CONV-2"] is True
+        assert copied == sum(
+            1 for r in memory.regions if r.layer_name == "CONV-2"
+        )
+        for layer, writable in by_layer.items():
+            if layer != "CONV-2":
+                assert writable is False, f"{layer} was copied needlessly"
+
+    def test_materialize_all(self):
+        _, memory, original = self._read_only_memory()
+        copied = memory.materialize()
+        assert copied == len(memory.regions)
+        for region, saved in zip(memory.regions, original):
+            assert region.parameter.data.flags.writeable
+            np.testing.assert_array_equal(region.parameter.data, saved)
+
+    def test_restore_works_on_read_only_memory(self):
+        _, memory, original = self._read_only_memory()
+        memory.restore(original)
+        for region, saved in zip(memory.regions, original):
+            np.testing.assert_array_equal(region.parameter.data, saved)
+
+    def test_injection_privatizes_only_affected_regions(self):
+        """The CoW footprint equals the fault set's affected regions."""
+        from repro.hw.faultmodels import FaultSet
+        from repro.hw.injector import FaultInjector
+
+        _, memory, original = self._read_only_memory()
+        # All faults inside the FC-2 weight region.
+        target = next(r for r in memory.regions if r.name == "FC-2.weight")
+        bits = np.asarray(
+            [target.bit_offset, target.bit_offset + 33], dtype=np.int64
+        )
+        injector = FaultInjector(memory)
+        with injector.apply(FaultSet.flips(bits)):
+            touched = [
+                r.layer_name
+                for r in memory.regions
+                if r.parameter.data.flags.writeable
+            ]
+            assert set(touched) == {"FC-2"}
+        # Restore is exact on the private copy; untouched regions are
+        # still the original read-only arrays.
+        for region, saved in zip(memory.regions, original):
+            np.testing.assert_array_equal(region.parameter.data, saved)
+            if region.layer_name != "FC-2":
+                assert not region.parameter.data.flags.writeable
+
+    def test_quantized_deploy_privatizes_on_write_back(self):
+        from repro.hw.quant import QuantizedWeightMemory
+
+        _, memory, original = self._read_only_memory()
+        quantized = QuantizedWeightMemory(memory)
+        with quantized.deployed():
+            for region in memory.regions:
+                assert region.parameter.data.flags.writeable
+        for region, saved in zip(memory.regions, original):
+            np.testing.assert_array_equal(region.parameter.data, saved)

@@ -1,10 +1,12 @@
-"""Property tests for shared-memory payload shipping (hypothesis).
+"""Property tests for the shared-memory tensor plane (hypothesis).
 
-The executor ships pickled campaign weights through one shared-memory
-segment per host (see :mod:`repro.utils.shm`); the contract is that the
-round-trip is the exact identity for arbitrary payloads — any dtype, any
-shape — and that the inline fallback transports the same bytes when
-shared memory is unavailable.
+The executor ships campaign state through one shared-memory segment per
+host (see :mod:`repro.utils.shm`).  Two contracts are pinned here: the
+byte transport's round-trip is the exact identity for arbitrary
+payloads — any dtype, any shape — with an inline fallback when shared
+memory is unavailable; and the *tensor plane* reconstructs packed
+objects as zero-copy read-only views (writable private copies under
+``REPRO_NO_SHM_VIEWS=1``), bit-equal to the originals in every mode.
 """
 
 import pickle
@@ -14,7 +16,15 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.utils import shm
-from repro.utils.shm import ShippedBytes, ship_bytes, shared_memory_available
+from repro.utils.shm import (
+    PackedUnit,
+    ShippedBytes,
+    pack_object,
+    ship_bytes,
+    ship_units,
+    shared_memory_available,
+    shm_views_disabled,
+)
 
 DTYPES = (
     np.float32,
@@ -184,3 +194,163 @@ class TestShippedBytesContract:
         clone = pickle.loads(pickle.dumps(ref))
         assert clone == ref
         assert bytes(clone.open().buffer) == b"abc"
+
+
+def _sample_payload(seed: int = 0) -> dict:
+    rng = np.random.default_rng(seed)
+    return {
+        "weights": rng.standard_normal((6, 4)).astype(np.float32),
+        "bias": rng.standard_normal(4).astype(np.float32),
+        "labels": rng.integers(0, 10, 16),
+        "name": "unit-under-test",
+        "scale": 0.5,
+    }
+
+
+class TestTensorPlane:
+    def test_packed_unit_extracts_buffers_out_of_band(self):
+        unit = pack_object(_sample_payload())
+        assert isinstance(unit, PackedUnit)
+        assert len(unit.buffers) == 3  # one per contiguous array
+        assert unit.nbytes > len(unit.stream)
+
+    def test_crc_covers_tensor_content(self):
+        payload = _sample_payload()
+        baseline = pack_object(payload).crc32()
+        assert pack_object(_sample_payload()).crc32() == baseline
+        payload["weights"][0, 0] += 1.0
+        assert pack_object(payload).crc32() != baseline
+
+    def test_unpack_copy_is_private_and_writable(self):
+        payload = _sample_payload()
+        copy = pack_object(payload).unpack_copy()
+        np.testing.assert_array_equal(copy["weights"], payload["weights"])
+        assert copy["weights"].flags.writeable
+        assert not np.shares_memory(copy["weights"], payload["weights"])
+
+    def test_shipped_plane_loads_read_only_views(self):
+        """The zero-copy contract: mapped arrays are bit-equal, read-only."""
+        payload = _sample_payload()
+        shipment = ship_units([("task/0", pack_object(payload))])
+        try:
+            ref = pickle.loads(pickle.dumps(shipment.ref))  # worker transit
+            assert ref.names() == ["task/0"]
+            view = ref.open()
+            try:
+                loaded = view.load("task/0")
+                for key in ("weights", "bias", "labels"):
+                    np.testing.assert_array_equal(loaded[key], payload[key])
+                    assert not loaded[key].flags.writeable
+                assert loaded["name"] == payload["name"]
+                with pytest.raises(ValueError):
+                    loaded["weights"][0, 0] = 1.0
+                del loaded
+            finally:
+                view.close()
+        finally:
+            shipment.release()
+
+    def test_copy_mode_yields_writable_private_arrays(self):
+        payload = _sample_payload()
+        shipment = ship_units([("task/0", pack_object(payload))])
+        try:
+            view = shipment.ref.open()
+            try:
+                loaded = view.load("task/0", copy=True)
+                np.testing.assert_array_equal(loaded["weights"], payload["weights"])
+                assert loaded["weights"].flags.writeable
+                loaded["weights"][0, 0] += 1.0  # must not raise
+            finally:
+                view.close()
+        finally:
+            shipment.release()
+
+    def test_no_shm_views_env_switches_default_to_copies(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_SHM_VIEWS", "1")
+        assert shm_views_disabled()
+        shipment = ship_units([("task/0", pack_object(_sample_payload()))])
+        try:
+            view = shipment.ref.open()
+            try:
+                assert view.load("task/0")["weights"].flags.writeable
+            finally:
+                view.close()
+        finally:
+            shipment.release()
+        monkeypatch.setenv("REPRO_NO_SHM_VIEWS", "0")
+        assert not shm_views_disabled()
+
+    def test_inline_fallback_still_serves_views(self, monkeypatch):
+        """Without shared memory the plane travels inline, same contract."""
+        monkeypatch.setattr(shm, "_shared_memory", None)
+        payload = _sample_payload()
+        shipment = ship_units([("task/0", pack_object(payload))])
+        try:
+            assert not shipment.ref.via_shared_memory
+            view = shipment.ref.open()
+            try:
+                loaded = view.load("task/0")
+                np.testing.assert_array_equal(loaded["weights"], payload["weights"])
+                assert not loaded["weights"].flags.writeable
+            finally:
+                view.close()
+        finally:
+            shipment.release()
+
+    def test_multiple_units_load_independently(self):
+        units = [
+            (f"task/{i}", pack_object(_sample_payload(seed=i))) for i in range(3)
+        ]
+        shipment = ship_units(units)
+        try:
+            view = shipment.ref.open()
+            try:
+                assert "task/2" in view and "missing" not in view
+                for i in (2, 0, 1):  # any order
+                    loaded = view.load(f"task/{i}")
+                    expected = _sample_payload(seed=i)
+                    np.testing.assert_array_equal(
+                        loaded["weights"], expected["weights"]
+                    )
+                # Views must die before the detach (the executor drops
+                # its runner before closing the old generation's plane).
+                del loaded
+            finally:
+                view.close()
+        finally:
+            shipment.release()
+
+    def test_closed_view_rejects_loads(self):
+        shipment = ship_units([("task/0", pack_object(_sample_payload()))])
+        try:
+            view = shipment.ref.open()
+            view.close()
+            view.close()  # idempotent
+            with pytest.raises(ValueError):
+                view.load("task/0")
+        finally:
+            shipment.release()
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        dtype_index=st.integers(0, len(DTYPES) - 1),
+        shape=st.lists(st.integers(0, 7), min_size=0, max_size=4),
+    )
+    def test_arbitrary_arrays_roundtrip_as_views(self, seed, dtype_index, shape):
+        """Any dtype/shape maps through the plane bit-exactly."""
+        rng = np.random.default_rng(seed)
+        array = (rng.standard_normal(shape) * 64).astype(DTYPES[dtype_index])
+        shipment = ship_units([("unit", pack_object(array))])
+        try:
+            view = shipment.ref.open()
+            try:
+                loaded = view.load("unit", copy=False)
+                assert loaded.dtype == array.dtype
+                assert loaded.shape == array.shape
+                np.testing.assert_array_equal(loaded, array)
+                del loaded
+            finally:
+                view.close()
+        finally:
+            shipment.release()
