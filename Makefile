@@ -8,7 +8,12 @@
 #                 (BENCH_campaign.json history + BENCH_forward.json)
 #   make docs-check - documentation consistency only (README/DESIGN
 #                 references, the REPRO_* env-var table in
-#                 docs/MEMORY_MODEL.md vs src/); also runs inside fast
+#                 docs/MEMORY_MODEL.md vs src/, the scenario-spec
+#                 schema/fault-model/cookbook tables in
+#                 docs/SCENARIOS.md vs repro.scenarios); also runs
+#                 inside fast
+#   make scenarios-smoke - run every bundled scenario spec end-to-end
+#                 on tiny synthetic data (part of the fast tier)
 #
 # REPRO_WORKERS=N fans every campaign in the suite across N worker
 # processes (0 = one per core); REPRO_NO_SUFFIX=1 disables suffix
@@ -18,7 +23,7 @@
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: fast test bench docs-check
+.PHONY: fast test bench docs-check scenarios-smoke
 
 fast: docs-check
 	$(PYTEST) -q -m "not slow"
@@ -31,3 +36,6 @@ bench:
 
 docs-check:
 	$(PYTEST) -q tests/test_docs_consistency.py
+
+scenarios-smoke:
+	$(PYTEST) -q tests/test_scenarios_smoke.py

@@ -16,6 +16,7 @@ __all__ = [
     "format_box_table",
     "format_histogram",
     "format_rate",
+    "format_scenario_table",
 ]
 
 
@@ -109,6 +110,49 @@ def format_box_table(curve: ResilienceCurve, title: str = "") -> str:
         )
     return format_table(
         ["fault_rate", "min", "q1", "median", "q3", "max"], rows, title=title
+    )
+
+
+def format_scenario_table(results: Sequence, title: str = "") -> str:
+    """One row per scenario of a :func:`repro.scenarios.run_scenarios` run.
+
+    ``results`` are :class:`~repro.scenarios.compile.ScenarioResult`
+    objects; the table summarizes each expanded scenario (model,
+    campaign kind, mitigation variant, fault model) with its clean
+    accuracy, the mean accuracy at the sweep's low and high ends, and
+    the AUC — the cross-scenario counterpart of
+    :func:`format_comparison_table`, which requires a shared rate grid.
+    """
+    rows = []
+    for result in results:
+        spec = result.spec
+        means = result.curve.mean_accuracies()
+        fault = spec.fault_model.name
+        if spec.fault_model.params:
+            fault += "(" + ",".join(
+                f"{key}={value}"
+                for key, value in sorted(spec.fault_model.params.items())
+            ) + ")"
+        rows.append(
+            [
+                spec.name,
+                spec.model,
+                spec.campaign,
+                spec.variant,
+                fault,
+                result.curve.clean_accuracy,
+                float(means[0]),
+                float(means[-1]),
+                result.curve.auc(),
+            ]
+        )
+    return format_table(
+        [
+            "scenario", "model", "campaign", "variant", "fault_model",
+            "clean", "acc@low", "acc@high", "AUC",
+        ],
+        rows,
+        title=title,
     )
 
 

@@ -7,6 +7,9 @@ without writing Python:
 * ``profile``   — Step 1: per-layer activation statistics / ACT_max;
 * ``harden``    — Steps 1-3: produce fine-tuned clipping thresholds;
 * ``campaign``  — fault-injection sweep on the chosen variant;
+* ``scenarios`` — run a declarative scenario file (or bundled spec) —
+  every expanded scenario through one shared executor pool (see
+  docs/SCENARIOS.md);
 * ``layerwise`` — per-layer sensitivity analysis (paper Fig. 3);
 * ``bitpos``    — bit-position sensitivity study;
 * ``outcomes``  — masked / benign / SDC / DUE fault-outcome taxonomy.
@@ -79,6 +82,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true", help="print one line per completed cell"
     )
 
+    p_scenarios = sub.add_parser(
+        "scenarios",
+        help="run a declarative scenario spec file (see docs/SCENARIOS.md)",
+    )
+    p_scenarios.add_argument(
+        "spec",
+        nargs="?",
+        default=None,
+        help="path to a YAML/JSON scenario file, or the name of a bundled "
+        "spec (--list shows them)",
+    )
+    p_scenarios.add_argument(
+        "--list", action="store_true", help="list bundled scenario specs"
+    )
+    p_scenarios.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes shared by every scenario in the matrix "
+        "(0 = one per CPU core; default: the file's workers key, else 1); "
+        "results are bit-identical at any worker count",
+    )
+    p_scenarios.add_argument(
+        "--checkpoint",
+        default=None,
+        help="one JSON file recording completed cells across ALL scenarios; "
+        "re-running with the same spec resumes the whole matrix",
+    )
+    p_scenarios.add_argument(
+        "--progress", action="store_true", help="print one line per completed cell"
+    )
+    p_scenarios.add_argument(
+        "--out",
+        default=None,
+        help="directory for per-scenario result JSON files plus summary.json",
+    )
+
     p_layer = sub.add_parser("layerwise", help="per-layer sensitivity (Fig. 3)")
     add_model_arg(p_layer)
     add_workers_arg(p_layer)
@@ -101,6 +141,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_outcomes.add_argument("--seed", type=int, default=55)
 
     return parser
+
+
+def _cell_progress_printer(show_label: bool = False):
+    """One line per completed campaign cell (the --progress format).
+
+    Shared by ``campaign`` and ``scenarios``; ``show_label`` prefixes
+    the owning scenario's name in cross-campaign sweeps.
+    """
+
+    def progress(cell):
+        resumed = " (checkpointed)" if cell.from_checkpoint else ""
+        label = f"{cell.campaign_label} " if show_label else ""
+        print(
+            f"[{cell.completed}/{cell.total}] {label}"
+            f"rate={cell.fault_rate:.2e} trial={cell.trial} "
+            f"accuracy={cell.accuracy:.4f}{resumed}"
+        )
+
+    return progress
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
@@ -196,15 +255,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     # cache Algorithm 1's fine-tuning campaigns dominate this command.
     model, sampler = prepare_campaign_variant(bundle, args.variant, args.workers)
 
-    progress = None
-    if args.progress:
-
-        def progress(cell):
-            resumed = " (checkpointed)" if cell.from_checkpoint else ""
-            print(
-                f"[{cell.completed}/{cell.total}] rate={cell.fault_rate:.2e} "
-                f"trial={cell.trial} accuracy={cell.accuracy:.4f}{resumed}"
-            )
+    progress = _cell_progress_printer() if args.progress else None
 
     memory = WeightMemory.from_model(model)
     if args.variant == "int8":
@@ -238,6 +289,62 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         )
     )
     print(f"AUC = {curve.auc():.4f}")
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis.reporting import format_scenario_table
+    from repro.scenarios import (
+        bundled_spec_names,
+        bundled_spec_path,
+        load_scenarios,
+        run_scenarios,
+    )
+
+    if args.list:
+        for name in bundled_spec_names():
+            print(name)
+        return 0
+    if args.spec is None:
+        print(
+            "error: provide a scenario file or bundled spec name "
+            "(--list shows bundled specs)",
+            file=sys.stderr,
+        )
+        return 2
+    source = Path(args.spec)
+    if not source.exists() and source.suffix == "":
+        try:
+            source = bundled_spec_path(args.spec)
+        except KeyError as error:
+            print(f"error: {error.args[0]}", file=sys.stderr)
+            return 2
+    try:
+        suite = load_scenarios(source)
+    except (FileNotFoundError, ValueError, ImportError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    progress = _cell_progress_printer(show_label=True) if args.progress else None
+
+    results = run_scenarios(
+        suite,
+        workers=args.workers,
+        progress=progress,
+        checkpoint=args.checkpoint,
+        out_dir=args.out,
+    )
+    print(
+        format_scenario_table(
+            results,
+            title=f"{suite.name}: {len(results)} scenarios through one "
+            "executor pool",
+        )
+    )
+    if args.out:
+        print(f"results written to {Path(args.out) / 'summary.json'}")
     return 0
 
 
@@ -353,6 +460,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "harden": _cmd_harden,
     "campaign": _cmd_campaign,
+    "scenarios": _cmd_scenarios,
     "layerwise": _cmd_layerwise,
     "bitpos": _cmd_bitpos,
     "outcomes": _cmd_outcomes,

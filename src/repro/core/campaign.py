@@ -45,7 +45,10 @@ __all__ = [
 
 # A fault sampler draws the *effective* fault set for one trial at one rate.
 # Protection baselines (ECC/TMR) plug in here: they sample raw faults over
-# their enlarged protected bit space and return only the survivors.
+# their enlarged protected bit space and return only the survivors, and
+# declarative scenarios (repro.scenarios.SpecFaultSampler) compile their
+# fault_model block to this same protocol — stuck-at / burst / targeted
+# models reach any weight-fault campaign through it.
 #
 # Samplers are expressed as module-level callable classes rather than
 # closures so they pickle — a parallel campaign (workers > 1) ships its

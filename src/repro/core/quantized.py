@@ -59,6 +59,7 @@ class QuantizedCellTask:
         config: "CampaignConfig | None" = None,
         label: str = "int8",
         suffix: bool = True,
+        sampler: "Callable | None" = None,
     ):
         self.model = model
         self.memory = memory
@@ -68,6 +69,13 @@ class QuantizedCellTask:
         self.label = label
         self._clean: "float | None" = None
         self.suffix = bool(suffix)
+        # Optional picklable fault sampler over the *int8 code space*:
+        # called as sampler(quantized_memory, rate, rng) and may return a
+        # bit-index array or a FaultSet (stuck-at ops included).  None
+        # keeps the historical random-bit-flip sweep.  Part of the
+        # pickled payload: a stuck-at checkpoint can never resume a
+        # random-flip sweep.
+        self.sampler = sampler
 
     def __getstate__(self) -> dict:
         return payload_state(self)
@@ -150,13 +158,17 @@ class _QuantizedCellRunner:
         task = self.task
         rate = float(task.config.fault_rates[rate_index])
         rng = self.tree.generator(cell_seed_path(rate_index, trial))
-        bit_indices = self.quantized.sample_bitflips(rate, rng)
+        sampler = getattr(task, "sampler", None)
+        if sampler is None:
+            faults = self.quantized.sample_bitflips(rate, rng)
+        else:
+            faults = sampler(self.quantized, rate, rng)
         forward = None
         if self.engine is not None:
             forward = self.engine.forward_fn(
-                self.quantized.affected_layers(bit_indices)
+                self.quantized.affected_layers(faults)
             )
-        with self.quantized.apply(bit_indices):
+        with self.quantized.apply(faults):
             return evaluate_accuracy_arrays(
                 task.model, task.images, task.labels, task.config.batch_size,
                 forward=forward,
@@ -182,6 +194,7 @@ def run_quantized_campaign(
     progress: "Callable | None" = None,
     checkpoint: "str | None" = None,
     suffix: bool = True,
+    sampler: "Callable | None" = None,
 ) -> ResilienceCurve:
     """Rate sweep x trials with faults in the int8 code space.
 
@@ -193,10 +206,15 @@ def run_quantized_campaign(
     kind, so an int8 checkpoint can never resume a float32 sweep.
     ``suffix`` toggles suffix re-execution on the serial path
     (bit-identical either way; workers always run with the engine on —
-    ``REPRO_NO_SUFFIX=1`` disables it everywhere).
+    ``REPRO_NO_SUFFIX=1`` disables it everywhere).  ``sampler``
+    optionally replaces the random-bit-flip draw with a picklable
+    ``(quantized_memory, rate, rng) -> FaultSet | bit indices``
+    callable — how declarative scenarios (:mod:`repro.scenarios`) run
+    stuck-at/burst/targeted fault models against int8 storage.
     """
     task = QuantizedCellTask(
-        model, memory, images, labels, config, label=label, suffix=suffix
+        model, memory, images, labels, config, label=label, suffix=suffix,
+        sampler=sampler,
     )
     executor = CampaignExecutor(
         workers=workers, progress=progress, checkpoint=checkpoint

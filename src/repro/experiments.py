@@ -185,7 +185,11 @@ CAMPAIGN_VARIANTS = (
 
 
 def prepare_campaign_variant(
-    bundle: PretrainedBundle, variant: str, workers: int = 1
+    bundle: PretrainedBundle,
+    variant: str,
+    workers: int = 1,
+    harden_config: "FTClipActConfig | None" = None,
+    cache: "ArtifactCache | None" = None,
 ) -> "tuple[nn.Module, Any]":
     """The ``(model, sampler)`` for one canonical campaign variant.
 
@@ -194,7 +198,10 @@ def prepare_campaign_variant(
     unmodified clone plus their protection sampler.  ``workers`` threads
     into the hardening step for ``ftclipact`` (on a cold cache Algorithm
     1's fine-tuning campaigns dominate) — hardening results are
-    identical at any worker count.
+    identical at any worker count.  ``harden_config`` / ``cache``
+    override the FT-ClipAct pipeline configuration and artifact cache
+    for that step (the scenario compiler's smoke mode shrinks both);
+    both are ignored by every other variant.
     """
     from repro.core.baselines import (
         apply_relu6,
@@ -210,7 +217,12 @@ def prepare_campaign_variant(
         )
     sampler = None
     if variant == "ftclipact":
-        model, _, _ = hardened_clone(bundle, default_harden_config(workers=workers))
+        config = (
+            harden_config
+            if harden_config is not None
+            else default_harden_config(workers=workers)
+        )
+        model, _, _ = hardened_clone(bundle, config, cache=cache)
     else:
         model = clone_model(bundle)
         if variant == "relu6":

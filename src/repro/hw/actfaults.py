@@ -15,7 +15,10 @@ allocates fresh output buffers), so no undo machinery is needed.
 shared :class:`~repro.core.executor.CampaignExecutor` substrate — the
 same ``rate/<i>/trial/<j>`` seed derivation, ``workers=`` fan-out
 (bit-identical to serial), progress streaming and checkpoint resume as
-the weight-fault campaigns.  Activation faults never write to weight
+the weight-fault campaigns; declarative scenarios reach it via
+``campaign: activation`` (only the ``random_bitflip`` fault model —
+corruption is sampled per layer output inside the forward pass, so
+position-addressed models have no meaning on this surface).  Activation faults never write to weight
 arrays, so under the zero-copy tensor plane (``docs/MEMORY_MODEL.md``)
 this campaign's workers keep the *entire* network mapped read-only —
 no copy-on-write ever fires — and share the parent's published clean

@@ -1,13 +1,27 @@
 """Fault models: distributions over weight-memory bit corruptions.
 
-A fault model is a sampler: given a :class:`~repro.hw.memory.WeightMemory`
-and a random generator it produces a :class:`FaultSet` — concrete bit
-targets plus the operation applied to each (flip, stuck-at-0, stuck-at-1).
+A fault model is a sampler: given a weight memory and a random generator
+it produces a :class:`FaultSet` — concrete bit targets plus the operation
+applied to each (flip, stuck-at-0, stuck-at-1).  The paper's experiments
+use independent random bit flips at a per-bit fault rate (transient
+upsets / the aggregate effect Fig. 1a sketches); stuck-at and burst
+models cover the permanent/manufacturing-defect cases its introduction
+discusses, and :class:`TargetedBitFlip` / :class:`FixedFaultMap` support
+the bit-position sensitivity study and defect-map scenarios.
 
-The paper's experiments use independent random bit flips at a per-bit
-fault rate (transient upsets / the aggregate effect Fig. 1a sketches);
-stuck-at and burst models cover the permanent/manufacturing-defect cases
-its introduction discusses.
+Every model is *memory-polymorphic*: it reads only the addressed space's
+``total_bits`` / ``total_words`` / ``bits_per_word`` attributes, so the
+same model samples the float32 bit space of
+:class:`~repro.hw.memory.WeightMemory` (32 bits per word) or the int8
+code space of :class:`~repro.hw.quant.QuantizedWeightMemory` (8 bits per
+word).  That polymorphism is what lets a declarative campaign spec
+(:mod:`repro.scenarios`) request, say, stuck-at-0 faults against either
+storage model with one ``fault_model:`` block.
+
+Models are deliberately *cheap, picklable value objects*: a parallel
+campaign ships its sampler to every worker process, and the spec
+compiler rebuilds one per ``(rate, memory)`` pair — construction must
+not touch the memory it will later sample.
 """
 
 from __future__ import annotations
@@ -41,7 +55,19 @@ _VALID_OPS = (OP_FLIP, OP_STUCK0, OP_STUCK1)
 
 @dataclass(frozen=True)
 class FaultSet:
-    """Concrete fault targets: parallel arrays of bit indices and operations."""
+    """Concrete fault targets: parallel arrays of bit indices and operations.
+
+    The exchange format between sampling and injection: a fault model
+    *draws* a ``FaultSet``; :class:`~repro.hw.injector.FaultInjector`
+    (float32 space) or :meth:`~repro.hw.quant.QuantizedWeightMemory.apply`
+    (int8 code space) *applies* it.  ``bit_indices`` are global indices
+    into the addressed memory's bit space and must be unique — one
+    physical cell cannot simultaneously be stuck at two values — which
+    also makes every per-word combination of operations order-free.
+    Protection filters (ECC/TMR/DMR) consume and emit this type too:
+    they sample raw faults over their enlarged bit space and return the
+    surviving subset via :meth:`subset`.
+    """
 
     bit_indices: np.ndarray  # int64 global bit indices, unique
     operations: np.ndarray  # uint8 operation codes, same length
@@ -79,7 +105,17 @@ class FaultSet:
 
 
 class FaultModel:
-    """Base class for fault samplers."""
+    """Base class for fault samplers.
+
+    Subclasses hold the model's *parameters* (rates, counts, positions)
+    and implement :meth:`sample`, which draws concrete bit targets for
+    one injection trial.  ``memory`` may be any bit-addressable space
+    exposing ``total_bits``, ``total_words`` and ``bits_per_word`` —
+    see the module docstring for the polymorphism contract.  Sampling
+    must be a pure function of ``(self, memory, rng)``: campaign
+    determinism (bit-identical parallel runs) relies on the fault set
+    depending only on the per-cell generator, never on ambient state.
+    """
 
     def sample(self, memory: WeightMemory, rng: np.random.Generator) -> FaultSet:
         """Draw a concrete :class:`FaultSet` for ``memory``."""
@@ -93,13 +129,28 @@ class FaultModel:
 def _sample_unique_bits(
     total_bits: int, count: int, rng: np.random.Generator
 ) -> np.ndarray:
-    """``count`` distinct bit indices uniform over ``[0, total_bits)``."""
+    """``count`` distinct bit indices uniform over ``[0, total_bits)``.
+
+    The shared placement primitive behind every rate-driven model.
+    Returns a *sorted* int64 array (sorted order keeps downstream
+    region lookups cache-friendly and makes results reproducible
+    independent of set-iteration order).  Two regimes, both drawing
+    from the same ``rng`` so the choice of algorithm is part of the
+    determinism contract:
+
+    * sparse (``count < total_bits // 64``): rejection sampling —
+      repeatedly draw batches with replacement and keep new indices
+      until ``count`` distinct ones accumulate.  O(count) instead of
+      ``rng.choice``'s O(total_bits) permutation, which dominates at
+      the paper's 1e-7..1e-4 rates over multi-megabit memories;
+    * dense: fall back to ``rng.choice(..., replace=False)``, whose
+      full permutation cost is acceptable when the draw is a sizable
+      fraction of the space anyway.
+    """
     if count == 0:
         return np.empty(0, dtype=np.int64)
     if count >= total_bits:
         return np.arange(total_bits, dtype=np.int64)
-    # rng.choice without replacement is O(total_bits); rejection sampling is
-    # much cheaper at the sparse fault rates the paper studies.
     if count < total_bits // 64:
         chosen: set[int] = set()
         while len(chosen) < count:
@@ -136,8 +187,18 @@ class RandomBitFlip(FaultModel):
 class StuckAt(FaultModel):
     """Permanent stuck-at faults at a per-bit ``fault_rate``.
 
-    Each faulty cell is stuck at ``value`` (0 or 1); a stuck bit that
-    already holds the stuck value is benign, matching real silicon.
+    Models manufacturing defects and end-of-life cell failures: the
+    number of defective cells is Binomial(``total_bits``,
+    ``fault_rate``), their positions uniform without replacement, and
+    each is stuck at ``value`` (0 or 1) — the injector forces the bit
+    to that value rather than toggling it, so a stuck bit that already
+    holds the stuck value is benign, matching real silicon.  Note the
+    asymmetry this creates versus :class:`RandomBitFlip`: at equal
+    rates roughly half the stuck-at faults are masked by agreeing
+    storage, and stuck-at-1 in a float32 exponent field is far more
+    damaging than stuck-at-0 (which can only shrink magnitudes).
+    Positions are re-drawn per trial; pin a persistent defect map
+    across trials with :class:`FixedFaultMap` instead.
     """
 
     def __init__(self, fault_rate: float, value: int = 1):
@@ -160,8 +221,17 @@ class StuckAt(FaultModel):
 class BurstFault(FaultModel):
     """``n_bursts`` bursts of ``burst_length`` consecutive flipped bits.
 
-    Models multi-bit upsets / row failures where physically adjacent cells
-    fail together.
+    Models multi-bit upsets and row/column failures where physically
+    adjacent cells fail together (a single energetic particle or a
+    shorted wordline takes out a run of neighbouring bits).  Burst
+    *start* positions are uniform over the memory; bursts may overlap,
+    in which case the overlapping bits are flipped once (the resulting
+    :class:`FaultSet` de-duplicates), so the realized fault count can
+    be slightly below ``n_bursts * burst_length``.  Compared with
+    :class:`RandomBitFlip` at the same total bit budget, bursts
+    concentrate damage: a burst crossing a float32 word boundary
+    corrupts sign, exponent and mantissa of adjacent weights at once,
+    while sparse flips spread thinly over many words.
     """
 
     def __init__(self, n_bursts: int, burst_length: int = 8):
@@ -189,9 +259,16 @@ class BurstFault(FaultModel):
 class FixedFaultMap(FaultModel):
     """A deterministic, pre-drawn fault set (manufacturing defect map).
 
-    Sampling ignores the generator and always returns the same faults, so
-    the same physical defects persist across every inference run — the
-    permanent-fault scenario of paper Fig. 1a.
+    Sampling ignores the generator and always returns the same faults,
+    so the same physical defects persist across every inference run —
+    the permanent-fault scenario of paper Fig. 1a, and the natural way
+    to replay a defect map measured on real silicon.  In a campaign
+    this collapses the trial axis (every trial injects identical
+    faults; rates are ignored too), which is itself useful: the
+    trial-to-trial accuracy spread then isolates *evaluation* noise
+    from *placement* noise.  The map is validated against the target
+    memory at sample time — a map drawn for one model cannot silently
+    alias into a smaller memory's bit space.
     """
 
     fault_set: FaultSet = field(default_factory=FaultSet.empty)
@@ -211,8 +288,16 @@ class FixedFaultMap(FaultModel):
 class TargetedBitFlip(FaultModel):
     """Flip a fixed *bit position* of ``n_faults`` randomly chosen words.
 
-    Used by the bit-position sensitivity study: e.g. flip only bit 30 (the
-    exponent MSB) of 10 random weights and observe the damage.
+    The adversarial/worst-case model behind the bit-position
+    sensitivity study: e.g. flip only bit 30 (the float32 exponent MSB)
+    of 10 random weights and observe the damage, versus the same count
+    of mantissa flips doing essentially nothing.  Word choice is
+    uniform without replacement (at most one targeted flip per word);
+    the position is interpreted against the sampled memory's own word
+    width (``memory.bits_per_word``: 32 for float32 weight memories, 8
+    for the int8 code space), so "sign bit" means bit 31 or bit 7
+    depending on the storage model — positions at or beyond the
+    memory's word width raise at sample time.
     """
 
     def __init__(self, bit_position: int, n_faults: int):
@@ -226,11 +311,17 @@ class TargetedBitFlip(FaultModel):
         self.n_faults = int(n_faults)
 
     def sample(self, memory: WeightMemory, rng: np.random.Generator) -> FaultSet:
+        bits_per_word = int(getattr(memory, "bits_per_word", WORD_BITS))
+        if self.bit_position >= bits_per_word:
+            raise ValueError(
+                f"bit_position {self.bit_position} does not exist in a "
+                f"{bits_per_word}-bit word memory"
+            )
         if self.n_faults == 0:
             return FaultSet.empty()
         count = min(self.n_faults, memory.total_words)
         words = _sample_unique_bits(memory.total_words, count, rng)
-        bits = words * WORD_BITS + self.bit_position
+        bits = words * bits_per_word + self.bit_position
         return FaultSet.flips(bits)
 
     def describe(self) -> str:

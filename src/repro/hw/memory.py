@@ -95,6 +95,10 @@ class WeightMemory:
         self._offsets = np.asarray(offsets, dtype=np.int64)
         self.total_bits = self.regions[-1].bit_end
         self.total_words = self.total_bits // WORD_BITS
+        # Fault models address words of this width; the int8 shadow memory
+        # (repro.hw.quant.QuantizedWeightMemory) advertises 8 instead, so
+        # word-addressed samplers (TargetedBitFlip) work over either space.
+        self.bits_per_word = WORD_BITS
 
     # ------------------------------------------------------------------ #
     # construction

@@ -11,8 +11,16 @@ to floating-point storage:
 * symmetric per-tensor int8 quantization of every mapped parameter;
 * a reversible quantizer that runs the model on dequantized-int8 weights
   (so clean accuracy honestly includes quantization error);
-* an injector that flips bits of the *int8 codes* and writes the
-  dequantized result back into the live float parameters.
+* an injector that corrupts bits of the *int8 codes* — random flips or
+  any :class:`~repro.hw.faultmodels.FaultSet` (stuck-at-0/1, bursts,
+  targeted positions) — and writes the dequantized result back into the
+  live float parameters.
+
+The memory advertises ``total_bits`` / ``total_words`` /
+``bits_per_word`` (= 8), so every fault model in
+:mod:`repro.hw.faultmodels` samples this code space directly and the
+declarative scenario layer (:mod:`repro.scenarios`) can request "int8
+variants" of any weight-memory fault scenario.
 """
 
 from __future__ import annotations
@@ -88,6 +96,11 @@ class QuantizedWeightMemory:
             )
             offset += codes.size * INT8_BITS
         self.total_bits = offset
+        # The fault-model polymorphism contract (repro.hw.faultmodels):
+        # this memory is an 8-bit-word space, so word-addressed models
+        # (TargetedBitFlip) stride by 8 and "sign bit" means bit 7.
+        self.total_words = offset // INT8_BITS
+        self.bits_per_word = INT8_BITS
 
     @property
     def deployed_now(self) -> bool:
@@ -144,30 +157,55 @@ class QuantizedWeightMemory:
             generator.choice(self.total_bits, size=count, replace=False).astype(np.int64)
         )
 
-    def _locate(self, bit_indices: np.ndarray) -> list[tuple[_QuantRegion, np.ndarray, np.ndarray]]:
+    @staticmethod
+    def _as_fault_set(faults) -> "FaultSet":
+        """Coerce ``faults`` (bit-index array or FaultSet) to a FaultSet.
+
+        The historical injection API took a flat array of bit indices
+        (pure flips); declarative scenarios (:mod:`repro.scenarios`)
+        sample full :class:`~repro.hw.faultmodels.FaultSet` objects so
+        stuck-at fault models work in the int8 code space too.
+        """
+        from repro.hw.faultmodels import FaultSet
+
+        if isinstance(faults, FaultSet):
+            return faults
+        return FaultSet.flips(np.asarray(faults, dtype=np.int64))
+
+    def _locate(
+        self, bit_indices: np.ndarray, operations: "np.ndarray | None" = None
+    ) -> list[tuple[_QuantRegion, np.ndarray, np.ndarray, "np.ndarray | None"]]:
         offsets = np.asarray([q.code_offset for q in self._regions], dtype=np.int64)
         region_ids = np.searchsorted(offsets, bit_indices, side="right") - 1
         located = []
         for region_id in np.unique(region_ids):
             quant_region = self._regions[int(region_id)]
-            local = bit_indices[region_ids == region_id] - quant_region.code_offset
+            mask = region_ids == region_id
+            local = bit_indices[mask] - quant_region.code_offset
             located.append(
-                (quant_region, local // INT8_BITS, (local % INT8_BITS).astype(np.uint8))
+                (
+                    quant_region,
+                    local // INT8_BITS,
+                    (local % INT8_BITS).astype(np.uint8),
+                    operations[mask] if operations is not None else None,
+                )
             )
         return located
 
-    def affected_layers(self, bit_indices: np.ndarray) -> list[str]:
-        """Distinct layer names the given int8-code bits belong to.
+    def affected_layers(self, faults) -> list[str]:
+        """Distinct layer names the given int8-code faults belong to.
 
+        ``faults`` is a bit-index array or a
+        :class:`~repro.hw.faultmodels.FaultSet` over this code space.
         The cut-point report for suffix re-execution: layers upstream of
         the first affected layer keep their deployed (dequantized) weights
         bit-identical through an :meth:`apply` block.
         """
-        bit_indices = np.asarray(bit_indices, dtype=np.int64)
+        bit_indices = self._as_fault_set(faults).bit_indices
         if bit_indices.size == 0:
             return []
         seen: list[str] = []
-        for quant_region, _, _ in self._locate(bit_indices):
+        for quant_region, _, _, _ in self._locate(bit_indices):
             name = quant_region.region.layer_name
             if name not in seen:
                 seen.append(name)
@@ -186,37 +224,71 @@ class QuantizedWeightMemory:
         with self.apply(bit_indices) as count:
             yield count
 
-    @contextmanager
-    def apply(self, bit_indices: np.ndarray) -> Iterator[int]:
-        """Flip the given int8-code bits inside the block; restore after.
+    @staticmethod
+    def _code_masks(
+        code_indices: np.ndarray, bit_positions: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-unique-code OR-combined bit masks.
 
-        Must be used inside :meth:`deployed`.  Yields the number of flips.
-        Splitting sampling from application lets callers inspect the fault
-        set (e.g. :meth:`affected_layers` for the suffix cut point) without
-        perturbing the random stream.
+        Bit indices are unique within a fault set, so each (code, bit)
+        pair appears at most once and OR-reduce equals XOR-reduce.
         """
+        order = np.argsort(code_indices, kind="stable")
+        sorted_codes = code_indices[order]
+        sorted_bits = bit_positions[order]
+        unique_codes, starts = np.unique(sorted_codes, return_index=True)
+        masks = np.bitwise_or.reduceat(
+            (np.uint8(1) << sorted_bits).astype(np.uint8), starts
+        )
+        return unique_codes, masks
+
+    @contextmanager
+    def apply(self, faults) -> Iterator[int]:
+        """Apply int8-code faults inside the block; restore after.
+
+        ``faults`` is either a flat array of code-space bit indices
+        (pure flips — the historical API) or a
+        :class:`~repro.hw.faultmodels.FaultSet`, whose stuck-at
+        operations force bits to 0/1 instead of toggling them — a stuck
+        bit already holding the stuck value is benign, exactly as in
+        the float32 :class:`~repro.hw.injector.FaultInjector`.
+
+        Must be used inside :meth:`deployed`.  Yields the number of
+        faulted bits.  Splitting sampling from application lets callers
+        inspect the fault set (e.g. :meth:`affected_layers` for the
+        suffix cut point) without perturbing the random stream.
+        """
+        from repro.hw.faultmodels import OP_FLIP, OP_STUCK0, OP_STUCK1
+
         if not self.deployed_now:
             raise RuntimeError("session requires the memory to be deployed()")
-        bit_indices = np.asarray(bit_indices, dtype=np.int64)
+        fault_set = self._as_fault_set(faults)
+        bit_indices = fault_set.bit_indices
         if bit_indices.size and (
             bit_indices.min() < 0 or bit_indices.max() >= self.total_bits
         ):
             raise IndexError("int8 bit index out of range")
 
         undo: list[tuple[_QuantRegion, np.ndarray, np.ndarray]] = []
-        for quant_region, code_indices, bit_positions in self._locate(bit_indices):
+        for quant_region, code_indices, bit_positions, operations in self._locate(
+            bit_indices, fault_set.operations
+        ):
             unique_codes = np.unique(code_indices)
             undo.append((quant_region, unique_codes, quant_region.codes[unique_codes].copy()))
             view = quant_region.codes.view(np.uint8)
-            # Combine multiple flips per code with XOR-reduce by sorting.
-            order = np.argsort(code_indices, kind="stable")
-            sorted_codes = code_indices[order]
-            sorted_bits = bit_positions[order]
-            starts = np.unique(sorted_codes, return_index=True)[1]
-            masks = np.bitwise_xor.reduceat(
-                (np.uint8(1) << sorted_bits).astype(np.uint8), starts
-            )
-            view[unique_codes] ^= masks
+            for op in (OP_FLIP, OP_STUCK0, OP_STUCK1):
+                selected = operations == op
+                if not selected.any():
+                    continue
+                codes, masks = self._code_masks(
+                    code_indices[selected], bit_positions[selected]
+                )
+                if op == OP_FLIP:
+                    view[codes] ^= masks
+                elif op == OP_STUCK1:
+                    view[codes] |= masks
+                else:
+                    view[codes] &= np.invert(masks)
             self._write_back(quant_region)
         try:
             yield int(bit_indices.size)

@@ -1,0 +1,80 @@
+"""Declarative campaign scenarios: spec in, executor sweep out.
+
+``repro.scenarios`` turns the execution substrate built by the
+executor/suffix/tensor-plane layers into a *scenario engine*: a
+:class:`CampaignSpec` (loadable from YAML/JSON, matrix-expandable via
+``grid:`` blocks) names a model, a dataset slice, a fault model with
+parameters, a mitigation variant and a sweep grid; the compiler lowers
+every expanded spec onto the existing campaign cell tasks and runs the
+whole matrix through **one** shared
+:class:`~repro.core.executor.CampaignExecutor` pool with one resumable
+checkpoint file — bit-identical to the equivalent direct API calls at
+any worker count.
+
+Authoritative schema reference: ``docs/SCENARIOS.md``.  CLI entry
+point: ``python -m repro scenarios <spec.yaml or bundled name>``.
+"""
+
+from repro.scenarios.bundled import (
+    SPEC_DIR,
+    bundled_spec_names,
+    bundled_spec_path,
+    load_bundled,
+)
+from repro.scenarios.compile import (
+    ScenarioContext,
+    ScenarioResult,
+    compile_spec,
+    run_scenarios,
+    smoke_context,
+    write_results,
+)
+from repro.scenarios.faults import (
+    FAULT_MODELS,
+    NAMED_BIT_POSITIONS,
+    FaultModelInfo,
+    SpecFaultSampler,
+    build_fault_model,
+    resolve_bit_position,
+    validate_fault_params,
+)
+from repro.scenarios.spec import (
+    CAMPAIGN_KINDS,
+    MITIGATION_VARIANTS,
+    REDUNDANCY_VARIANTS,
+    CampaignSpec,
+    FaultModelSpec,
+    ScenarioSuite,
+    expand_entry,
+    load_scenarios,
+    parse_suite,
+)
+
+__all__ = [
+    "CAMPAIGN_KINDS",
+    "MITIGATION_VARIANTS",
+    "REDUNDANCY_VARIANTS",
+    "FAULT_MODELS",
+    "NAMED_BIT_POSITIONS",
+    "SPEC_DIR",
+    "CampaignSpec",
+    "FaultModelInfo",
+    "FaultModelSpec",
+    "ScenarioContext",
+    "ScenarioResult",
+    "ScenarioSuite",
+    "SpecFaultSampler",
+    "build_fault_model",
+    "bundled_spec_names",
+    "bundled_spec_path",
+    "compile_spec",
+    "expand_entry",
+    "load_bundled",
+    "load_scenarios",
+    "parse_suite",
+    "resolve_bit_position",
+    "run_scenarios",
+    "smoke_context",
+    "validate_fault_params",
+    "write_results",
+]

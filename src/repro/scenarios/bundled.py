@@ -1,0 +1,46 @@
+"""Registry of bundled scenario specs shipped with the package.
+
+The YAML files under ``src/repro/scenarios/specs/`` reproduce each paper
+figure's campaign as a declarative spec and add the new scenario
+families (stuck-at memories, multi-bit bursts, targeted bit attacks,
+activation faults, int8 storage variants).  ``docs/SCENARIOS.md``
+documents every bundled spec in its cookbook section —
+``tests/test_docs_consistency.py`` enforces the gallery against this
+directory in both directions — and ``make scenarios-smoke`` runs each
+one end-to-end on tiny synthetic data.
+
+The CLI resolves a bare name through this registry::
+
+    python -m repro scenarios fig7_alexnet --workers 2
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.scenarios.spec import ScenarioSuite, load_scenarios
+
+__all__ = ["SPEC_DIR", "bundled_spec_names", "bundled_spec_path", "load_bundled"]
+
+SPEC_DIR = Path(__file__).resolve().parent / "specs"
+
+
+def bundled_spec_names() -> list[str]:
+    """Sorted names of every bundled spec file (without extension)."""
+    return sorted(path.stem for path in SPEC_DIR.glob("*.yaml"))
+
+
+def bundled_spec_path(name: str) -> Path:
+    """The file path of one bundled spec, by name."""
+    path = SPEC_DIR / f"{name}.yaml"
+    if not path.exists():
+        raise KeyError(
+            f"no bundled scenario spec named {name!r}; available: "
+            f"{bundled_spec_names()}"
+        )
+    return path
+
+
+def load_bundled(name: str) -> ScenarioSuite:
+    """Load (and fully expand) one bundled spec by name."""
+    return load_scenarios(bundled_spec_path(name))

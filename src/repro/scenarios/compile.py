@@ -1,0 +1,334 @@
+"""Lower campaign specs onto the executor substrate and run them.
+
+:func:`compile_spec` turns one :class:`~repro.scenarios.spec.CampaignSpec`
+into the matching executor cell task
+(:class:`~repro.core.executor.WeightFaultCellTask`,
+:class:`~repro.core.quantized.QuantizedCellTask` or
+:class:`~repro.hw.actfaults.ActivationFaultCellTask`);
+:func:`run_scenarios` compiles a whole suite and submits **every**
+expanded scenario's (rate x trial) cells into **one**
+:class:`~repro.core.executor.CampaignExecutor` scheduling pass
+(``run_tasks``) — cross-scenario fan-out over a single worker pool, one
+shared tensor plane per generation, the published per-task suffix
+caches, and one resumable multi-campaign checkpoint file.  Results are
+bit-identical to calling each scenario's direct API
+(``run_campaign`` / ``run_quantized_campaign`` /
+``run_activation_campaign``) back-to-back at any worker count, which
+``tests/test_scenarios.py`` asserts.
+
+A :class:`ScenarioContext` owns the expensive shared artifacts: trained
+bundles are produced once per model and prepared mitigation clones once
+per ``(model, variant)`` pair, so a 20-scenario matrix over three
+variants of one model trains and hardens exactly once each.  The
+context also carries the override knobs (zoo config overrides, a small
+FT-ClipAct config) that :func:`smoke_context` uses to run every bundled
+spec on tiny synthetic data inside the fast test tier.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
+
+from repro.core.campaign import CampaignConfig
+from repro.scenarios.faults import SpecFaultSampler
+from repro.scenarios.spec import (
+    REDUNDANCY_VARIANTS,
+    CampaignSpec,
+    ScenarioSuite,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.metrics import ResilienceCurve
+    from repro.core.pipeline import FTClipActConfig
+    from repro.models.zoo import PretrainedBundle
+    from repro.utils.cache import ArtifactCache
+
+__all__ = [
+    "ScenarioContext",
+    "ScenarioResult",
+    "compile_spec",
+    "run_scenarios",
+    "smoke_context",
+    "write_results",
+]
+
+
+@dataclass
+class ScenarioContext:
+    """Shared model/mitigation artifacts for one batch of scenarios.
+
+    ``bundle_overrides`` are applied to every model's
+    :class:`~repro.models.zoo.ZooConfig` (the smoke context shrinks
+    training there); ``harden_config`` overrides the FT-ClipAct pipeline
+    for ``ftclipact`` scenarios; ``harden_workers`` threads into the
+    hardening campaigns when no explicit config is given (hardening is
+    bit-identical at any worker count).  Bundles and prepared variant
+    clones are memoised, so every scenario sharing a ``(model,
+    variant)`` pair reuses one artifact.
+    """
+
+    cache: "ArtifactCache | None" = None
+    bundle_overrides: Mapping[str, Any] = field(default_factory=dict)
+    harden_config: "FTClipActConfig | None" = None
+    harden_workers: int = 1
+
+    def __post_init__(self) -> None:
+        self._bundles: dict[str, "PretrainedBundle"] = {}
+        self._prepared: dict[tuple[str, str], tuple[Any, Any]] = {}
+
+    def bundle(self, model: str) -> "PretrainedBundle":
+        """The (cached) pre-trained bundle for ``model``."""
+        if model not in self._bundles:
+            from repro.experiments import experiment_bundle
+
+            self._bundles[model] = experiment_bundle(
+                model, cache=self.cache, **dict(self.bundle_overrides)
+            )
+        return self._bundles[model]
+
+    def prepared(self, model: str, variant: str) -> tuple[Any, Any]:
+        """The (cached) ``(model, sampler)`` pair for one mitigation variant."""
+        key = (model, variant)
+        if key not in self._prepared:
+            from repro.experiments import prepare_campaign_variant
+
+            self._prepared[key] = prepare_campaign_variant(
+                self.bundle(model),
+                variant,
+                workers=self.harden_workers,
+                harden_config=self.harden_config,
+                cache=self.cache,
+            )
+        return self._prepared[key]
+
+
+def smoke_context() -> ScenarioContext:
+    """A context sized for the fast test tier (seconds, not minutes).
+
+    Tiny synthetic splits, one training epoch per model, and a minimal
+    FT-ClipAct pipeline (network-scope tuning, one Algorithm-1
+    iteration) — enough to drive every bundled spec end-to-end through
+    the real compiler and executor without paying full-fidelity
+    training or hardening.
+    """
+    from repro.core.campaign import default_fault_rates
+    from repro.core.finetune import FineTuneConfig
+    from repro.core.pipeline import FTClipActConfig
+
+    return ScenarioContext(
+        bundle_overrides={"n_train": 96, "n_val": 48, "n_test": 64, "epochs": 1},
+        harden_config=FTClipActConfig(
+            profile_images=16,
+            eval_images=16,
+            batch_size=16,
+            trials=1,
+            fault_rates=tuple(default_fault_rates(1e-5, 1e-4, 1)),
+            tune_scope="network",
+            finetune=FineTuneConfig(
+                max_iterations=1, min_iterations=1, tolerance=0.1
+            ),
+        ),
+    )
+
+
+def compile_spec(
+    spec: CampaignSpec, context: "ScenarioContext | None" = None
+):
+    """Lower one spec to its executor cell task.
+
+    The task's ``label`` is the scenario name, so progress callbacks,
+    checkpoints and result tables stay addressable per scenario inside
+    a cross-scenario sweep.
+    """
+    from repro.hw.memory import WeightMemory
+
+    context = context if context is not None else ScenarioContext()
+    bundle = context.bundle(spec.model)
+    split = bundle.test_set if spec.split == "test" else bundle.val_set
+    images, labels = split.arrays()
+    if spec.eval_images > images.shape[0]:
+        raise ValueError(
+            f"scenario {spec.name!r} wants {spec.eval_images} eval images "
+            f"but the {spec.split} split holds {images.shape[0]}"
+        )
+    images = images[: spec.eval_images]
+    labels = labels[: spec.eval_images]
+    config = CampaignConfig(
+        fault_rates=spec.rates,
+        trials=spec.trials,
+        seed=spec.seed,
+        batch_size=spec.batch_size,
+    )
+    model, variant_sampler = context.prepared(spec.model, spec.variant)
+
+    # random_bitflip compiles to sampler=None so a spec-driven run is the
+    # *same object shape* as the direct API call (bit-identical is then
+    # trivially preserved); every other model compiles to a picklable
+    # SpecFaultSampler over the target bit space.
+    spec_sampler = None
+    if spec.fault_model.name != "random_bitflip":
+        spec_sampler = SpecFaultSampler(
+            spec.fault_model.name, spec.fault_model.params
+        )
+
+    if spec.campaign == "weight":
+        from repro.core.executor import WeightFaultCellTask
+
+        sampler = spec_sampler
+        if spec.variant in REDUNDANCY_VARIANTS:
+            sampler = variant_sampler  # protection filter over raw flips
+        return WeightFaultCellTask(
+            model,
+            WeightMemory.from_model(model),
+            images,
+            labels,
+            config=config,
+            sampler=sampler,
+            label=spec.name,
+        )
+    if spec.campaign == "quantized":
+        from repro.core.quantized import QuantizedCellTask
+
+        return QuantizedCellTask(
+            model,
+            WeightMemory.from_model(model),
+            images,
+            labels,
+            config=config,
+            label=spec.name,
+            sampler=spec_sampler,
+        )
+    # activation (spec validation admits nothing else)
+    from repro.hw.actfaults import ActivationFaultCellTask
+
+    return ActivationFaultCellTask(
+        model,
+        images,
+        labels,
+        config=config,
+        layers=list(spec.layers) if spec.layers is not None else None,
+        label=spec.name,
+    )
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """One scenario's spec together with its resilience curve."""
+
+    spec: CampaignSpec
+    curve: "ResilienceCurve"
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def file_stem(self) -> str:
+        """A filesystem-safe stem for this scenario's result file."""
+        return re.sub(r"[^A-Za-z0-9._+=-]+", "-", self.spec.name)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "spec": self.spec.to_dict(),
+            "clean_accuracy": float(self.curve.clean_accuracy),
+            "fault_rates": [float(r) for r in self.curve.fault_rates],
+            "accuracies": self.curve.accuracies.tolist(),
+            "mean_accuracies": self.curve.mean_accuracies().tolist(),
+            "auc": float(self.curve.auc()),
+        }
+
+
+def run_scenarios(
+    scenarios: "ScenarioSuite | Sequence[CampaignSpec]",
+    workers: "int | None" = None,
+    progress: "Callable | None" = None,
+    checkpoint: "str | Path | None" = None,
+    out_dir: "str | Path | None" = None,
+    context: "ScenarioContext | None" = None,
+) -> list[ScenarioResult]:
+    """Run a whole scenario matrix through one shared executor pool.
+
+    ``workers=None`` uses the suite's ``workers:`` key (default 1);
+    ``checkpoint`` names one JSON file covering *every* scenario's cells
+    (the multi-campaign fingerprint of
+    :class:`~repro.core.executor.CampaignExecutor` guards resume);
+    ``out_dir`` writes one ``<scenario>.json`` per result plus a
+    consolidated ``summary.json``.  Results are returned in spec order.
+    """
+    from repro.core.executor import CampaignExecutor
+
+    if isinstance(scenarios, ScenarioSuite):
+        specs: Sequence[CampaignSpec] = scenarios.specs
+        if workers is None:
+            workers = scenarios.workers
+        suite_name = scenarios.name
+    else:
+        specs = list(scenarios)
+        suite_name = "scenarios"
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ValueError("scenario names must be unique within a run")
+    if not specs:
+        return []
+    workers = 1 if workers is None else workers
+    context = context if context is not None else ScenarioContext()
+    tasks = [compile_spec(spec, context) for spec in specs]
+    executor = CampaignExecutor(
+        workers=workers, progress=progress, checkpoint=checkpoint
+    )
+    curves = executor.run_tasks(tasks)
+    results = [
+        ScenarioResult(spec=spec, curve=curve)
+        for spec, curve in zip(specs, curves)
+    ]
+    if out_dir is not None:
+        write_results(results, out_dir, suite=suite_name, workers=workers)
+    return results
+
+
+def write_results(
+    results: Sequence[ScenarioResult],
+    out_dir: "str | Path",
+    suite: str = "scenarios",
+    workers: int = 1,
+) -> Path:
+    """Write per-scenario JSON files plus ``summary.json``; returns it."""
+    target = Path(out_dir)
+    target.mkdir(parents=True, exist_ok=True)
+    stems = [result.file_stem() for result in results]
+    if len(set(stems)) != len(stems):  # pragma: no cover - defensive
+        raise ValueError("scenario names collide after filename sanitizing")
+    rows = []
+    for result, stem in zip(results, stems):
+        path = target / f"{stem}.json"
+        path.write_text(json.dumps(result.to_dict(), indent=1, sort_keys=True))
+        rows.append(
+            {
+                "name": result.name,
+                "file": path.name,
+                "model": result.spec.model,
+                "campaign": result.spec.campaign,
+                "variant": result.spec.variant,
+                "fault_model": result.spec.fault_model.to_dict(),
+                "clean_accuracy": float(result.curve.clean_accuracy),
+                "auc": float(result.curve.auc()),
+                "mean_accuracies": result.curve.mean_accuracies().tolist(),
+            }
+        )
+    summary = target / "summary.json"
+    summary.write_text(
+        json.dumps(
+            {
+                "suite": suite,
+                "workers": int(workers),
+                "count": len(rows),
+                "scenarios": rows,
+            },
+            indent=1,
+            sort_keys=True,
+        )
+    )
+    return summary

@@ -1,0 +1,263 @@
+"""Fault-model registry: names + parameters a scenario spec may request.
+
+Maps the declarative ``fault_model:`` block of a :class:`~repro.scenarios.spec.CampaignSpec`
+onto the concrete :mod:`repro.hw.faultmodels` classes.  The registry
+(:data:`FAULT_MODELS`) is the single source of truth for which model
+names exist, which parameters each accepts and which campaign kinds can
+run it — ``docs/SCENARIOS.md`` documents exactly this table and
+``tests/test_docs_consistency.py`` enforces the two against each other
+in both directions.
+
+Rate semantics
+--------------
+
+A campaign sweeps one *rate axis*; each fault model interprets the rate
+so that comparable rates mean comparable corruption budgets:
+
+* ``random_bitflip`` / ``stuck_at`` — per-bit fault probability (the
+  number of faulty bits is Binomial(total_bits, rate));
+* ``burst`` — expected *fraction of faulty bits*: the burst count is
+  ``round(rate * total_bits / burst_length)`` (deterministic per rate;
+  placement random per trial);
+* ``targeted_bit`` — per-*word* fault probability: ``round(rate *
+  total_words)`` words get their targeted bit flipped;
+* ``fixed_map`` — the rate axis is ignored; every cell injects the
+  same pre-drawn map (the trial spread then isolates evaluation noise).
+
+Every model samples through the memory-polymorphism contract of
+:mod:`repro.hw.faultmodels` (``total_bits`` / ``total_words`` /
+``bits_per_word``), so the same spec block targets the float32 weight
+memory (``campaign: weight``) or the int8 code space
+(``campaign: quantized``) unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.hw.faultmodels import (
+    OP_FLIP,
+    OP_STUCK0,
+    OP_STUCK1,
+    BurstFault,
+    FaultModel,
+    FaultSet,
+    FixedFaultMap,
+    RandomBitFlip,
+    StuckAt,
+    TargetedBitFlip,
+)
+
+__all__ = [
+    "FaultModelInfo",
+    "FAULT_MODELS",
+    "NAMED_BIT_POSITIONS",
+    "SpecFaultSampler",
+    "build_fault_model",
+    "resolve_bit_position",
+    "validate_fault_params",
+]
+
+# Symbolic bit positions a ``targeted_bit`` spec may use instead of an
+# integer.  ``sign`` resolves against the sampled memory's word width
+# (bit 31 in float32, bit 7 in int8); the float32 field names are only
+# valid on 32-bit-word memories and raise against int8 storage.
+NAMED_BIT_POSITIONS: dict[str, "int | None"] = {
+    "sign": None,  # bits_per_word - 1, any storage
+    "exponent_msb": 30,  # float32 only
+    "mantissa_msb": 22,  # float32 only
+}
+
+_OP_NAMES = {"flip": OP_FLIP, "stuck0": OP_STUCK0, "stuck1": OP_STUCK1}
+
+
+@dataclass(frozen=True)
+class FaultModelInfo:
+    """One registry row: parameter schema + supported campaign kinds."""
+
+    name: str
+    campaigns: tuple[str, ...]
+    params: Mapping[str, str] = field(default_factory=dict)  # name -> doc
+
+
+FAULT_MODELS: dict[str, FaultModelInfo] = {
+    info.name: info
+    for info in (
+        FaultModelInfo(
+            name="random_bitflip",
+            campaigns=("weight", "quantized", "activation"),
+        ),
+        FaultModelInfo(
+            name="stuck_at",
+            campaigns=("weight", "quantized"),
+            params={"value": "stuck value, 0 or 1 (default 1)"},
+        ),
+        FaultModelInfo(
+            name="burst",
+            campaigns=("weight", "quantized"),
+            params={
+                "burst_length": "consecutive bits per burst (default 8)"
+            },
+        ),
+        FaultModelInfo(
+            name="targeted_bit",
+            campaigns=("weight", "quantized"),
+            params={
+                "bit": (
+                    "bit position within each word: an integer or one of "
+                    "'sign', 'exponent_msb', 'mantissa_msb' (default 'sign')"
+                )
+            },
+        ),
+        FaultModelInfo(
+            name="fixed_map",
+            campaigns=("weight", "quantized"),
+            params={
+                "bits": "list of global bit indices to corrupt (required)",
+                "op": "'flip', 'stuck0' or 'stuck1' (default 'flip')",
+            },
+        ),
+    )
+}
+
+
+def resolve_bit_position(
+    bit: "int | str", bits_per_word: "int | None" = None
+) -> "int | None":
+    """Resolve a ``targeted_bit`` position (validating symbolic names).
+
+    With ``bits_per_word=None`` only the *name* is validated (spec parse
+    time, before any memory exists) and symbolic positions return
+    ``None``; with a concrete width the resolved integer position is
+    returned and range-checked against that width.
+    """
+    if isinstance(bit, str):
+        if bit not in NAMED_BIT_POSITIONS:
+            raise ValueError(
+                f"unknown bit position name {bit!r}; use an integer or one "
+                f"of {sorted(NAMED_BIT_POSITIONS)}"
+            )
+        if bits_per_word is None:
+            return NAMED_BIT_POSITIONS[bit]
+        if bit == "sign":
+            return bits_per_word - 1
+        position = NAMED_BIT_POSITIONS[bit]
+    elif isinstance(bit, (int, np.integer)) and not isinstance(bit, bool):
+        position = int(bit)
+        if position < 0:
+            raise ValueError(f"bit position must be non-negative, got {position}")
+    else:
+        raise TypeError(
+            f"bit position must be an int or a name, got {type(bit).__name__}"
+        )
+    if bits_per_word is not None and position >= bits_per_word:
+        raise ValueError(
+            f"bit position {bit!r} (= {position}) does not exist in a "
+            f"{bits_per_word}-bit word memory"
+        )
+    return position
+
+
+def validate_fault_params(name: str, params: Mapping[str, Any]) -> None:
+    """Validate a fault-model block at spec-parse time (no memory needed)."""
+    try:
+        info = FAULT_MODELS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault model {name!r}; available: {sorted(FAULT_MODELS)}"
+        ) from None
+    unknown = set(params) - set(info.params)
+    if unknown:
+        raise ValueError(
+            f"fault model {name!r} got unknown parameter(s) "
+            f"{sorted(unknown)}; accepts {sorted(info.params) or 'none'}"
+        )
+    if name == "stuck_at" and params.get("value", 1) not in (0, 1):
+        raise ValueError(
+            f"stuck_at value must be 0 or 1, got {params['value']!r}"
+        )
+    if name == "burst":
+        length = params.get("burst_length", 8)
+        if not isinstance(length, (int, np.integer)) or length <= 0:
+            raise ValueError(
+                f"burst_length must be a positive integer, got {length!r}"
+            )
+    if name == "targeted_bit":
+        resolve_bit_position(params.get("bit", "sign"))
+    if name == "fixed_map":
+        bits = params.get("bits")
+        if bits is None:
+            raise ValueError("fixed_map requires a 'bits' list")
+        array = np.asarray(list(bits), dtype=np.int64)
+        if array.ndim != 1 or (array.size and array.min() < 0):
+            raise ValueError("fixed_map bits must be non-negative integers")
+        if array.size and np.unique(array).size != array.size:
+            raise ValueError("fixed_map bits must be unique")
+        op = params.get("op", "flip")
+        if op not in _OP_NAMES:
+            raise ValueError(
+                f"fixed_map op must be one of {sorted(_OP_NAMES)}, got {op!r}"
+            )
+
+
+def build_fault_model(
+    name: str, params: Mapping[str, Any], rate: float, memory: Any
+) -> FaultModel:
+    """Instantiate the concrete fault model for one ``(rate, memory)`` pair.
+
+    ``memory`` is any bit-addressable space honouring the polymorphism
+    contract (:class:`~repro.hw.memory.WeightMemory` or
+    :class:`~repro.hw.quant.QuantizedWeightMemory`).
+    """
+    validate_fault_params(name, params)
+    if name == "random_bitflip":
+        return RandomBitFlip(rate)
+    if name == "stuck_at":
+        return StuckAt(rate, value=int(params.get("value", 1)))
+    if name == "burst":
+        length = int(params.get("burst_length", 8))
+        n_bursts = int(round(rate * memory.total_bits / length))
+        return BurstFault(n_bursts=n_bursts, burst_length=length)
+    if name == "targeted_bit":
+        position = resolve_bit_position(
+            params.get("bit", "sign"), memory.bits_per_word
+        )
+        n_faults = int(round(rate * memory.total_words))
+        return TargetedBitFlip(position, n_faults)
+    # fixed_map (validate_fault_params rejected everything else)
+    bits = np.asarray(list(params["bits"]), dtype=np.int64)
+    op = _OP_NAMES[params.get("op", "flip")]
+    return FixedFaultMap(
+        FaultSet(bits, np.full(bits.shape, op, dtype=np.uint8))
+    )
+
+
+class SpecFaultSampler:
+    """Picklable fault sampler compiled from a spec's ``fault_model`` block.
+
+    Satisfies the :data:`~repro.core.campaign.FaultSampler` protocol for
+    float32 campaigns and the quantized-sampler hook of
+    :class:`~repro.core.quantized.QuantizedCellTask` for int8 campaigns:
+    the concrete fault model is rebuilt per ``(rate, memory)`` call, so
+    rate-scaled models (burst, targeted_bit) derive their counts from
+    the memory they are actually sampling.  A module-level class (not a
+    closure) so spec-driven campaigns pickle and fan out across worker
+    processes.
+    """
+
+    def __init__(self, name: str, params: "Mapping[str, Any] | None" = None):
+        self.name = str(name)
+        self.params = dict(params or {})
+        validate_fault_params(self.name, self.params)
+
+    def __call__(
+        self, memory: Any, rate: float, rng: np.random.Generator
+    ) -> FaultSet:
+        model = build_fault_model(self.name, self.params, rate, memory)
+        return model.sample(memory, rng)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpecFaultSampler({self.name!r}, {self.params!r})"

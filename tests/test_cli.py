@@ -166,3 +166,67 @@ class TestCommands:
         )
         out = capsys.readouterr().out
         assert "SDC" in out and "masked" in out
+
+
+class TestScenariosCommand:
+    def test_list_bundled(self, capsys):
+        assert main(["scenarios", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7_alexnet" in out and "stuck_at_memory" in out
+
+    def test_missing_spec_errors(self, capsys):
+        assert main(["scenarios"]) == 2
+        assert "bundled" in capsys.readouterr().err
+
+    def test_unknown_bundled_name_errors(self, capsys):
+        assert main(["scenarios", "not_a_spec"]) == 2
+        assert "no bundled" in capsys.readouterr().err
+
+    def test_missing_file_errors_cleanly(self, capsys, tmp_path):
+        assert main(["scenarios", str(tmp_path / "nope.yaml")]) == 2
+        assert "no such scenario file" in capsys.readouterr().err
+
+    def test_invalid_spec_file_errors_cleanly(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps([{"name": "x", "campaign": "voltage"}]))
+        assert main(["scenarios", str(path)]) == 2
+        assert "unknown campaign" in capsys.readouterr().err
+
+    def test_runs_spec_file_and_writes_results(self, capsys, tmp_path):
+        spec = {
+            "name": "cli-tiny",
+            "defaults": {
+                "model": "lenet5",
+                "trials": 1,
+                "eval_images": 16,
+                "batch_size": 16,
+                "rates": [1e-5, 1e-4],
+            },
+            "scenarios": [
+                {"name": "t", "grid": {"campaign": ["weight", "quantized"]}}
+            ],
+        }
+        path = tmp_path / "tiny.json"
+        path.write_text(json.dumps(spec))
+        out_dir = tmp_path / "out"
+        assert (
+            main(
+                [
+                    "scenarios",
+                    str(path),
+                    "--progress",
+                    "--out",
+                    str(out_dir),
+                    "--checkpoint",
+                    str(tmp_path / "ckpt.json"),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "t/campaign=weight" in out and "t/campaign=quantized" in out
+        assert "summary.json" in out
+        summary = json.loads((out_dir / "summary.json").read_text())
+        assert summary["count"] == 2
+        # Re-running resumes every cell from the checkpoint.
+        assert main(["scenarios", str(path), "--checkpoint", str(tmp_path / "ckpt.json")]) == 0

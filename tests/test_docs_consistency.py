@@ -105,6 +105,105 @@ class TestEnvVarTable:
             )
 
 
+class TestScenarioDocs:
+    """docs/SCENARIOS.md owns the authoritative scenario-spec reference.
+
+    Mirrors the ``REPRO_*`` table treatment: the spec-schema field
+    table, the fault-model sections (names *and* parameter tables) and
+    the bundled-spec cookbook are each enforced against the
+    implementation in both directions, so the document can neither rot
+    nor advertise schema that does not exist.
+    """
+
+    DOC = ROOT / "docs" / "SCENARIOS.md"
+
+    def _text(self):
+        assert self.DOC.exists(), "docs/SCENARIOS.md missing"
+        return self.DOC.read_text()
+
+    def _section(self, title):
+        """The body of one ``## title`` section."""
+        text = self._text()
+        match = re.search(
+            rf"^## {re.escape(title)}$(.*?)(?=^## |\Z)", text, re.M | re.S
+        )
+        assert match, f"docs/SCENARIOS.md has no '## {title}' section"
+        return match.group(1)
+
+    def test_schema_table_matches_dataclass(self):
+        import dataclasses
+
+        from repro.scenarios import CampaignSpec
+
+        documented = set(
+            re.findall(r"^\|\s*`([a-z_]+)`", self._section("Spec schema"), re.M)
+        )
+        actual = {field.name for field in dataclasses.fields(CampaignSpec)}
+        assert documented == actual, (
+            f"docs/SCENARIOS.md spec-schema table disagrees with "
+            f"CampaignSpec: missing rows {sorted(actual - documented)}, "
+            f"stale rows {sorted(documented - actual)}"
+        )
+
+    def test_fault_model_sections_match_registry(self):
+        from repro.scenarios import FAULT_MODELS
+
+        documented = set(
+            re.findall(r"^### `([a-z0-9_]+)`", self._section("Fault models"), re.M)
+        )
+        actual = set(FAULT_MODELS)
+        assert documented == actual, (
+            f"docs/SCENARIOS.md fault-model sections disagree with the "
+            f"registry: missing {sorted(actual - documented)}, "
+            f"stale {sorted(documented - actual)}"
+        )
+
+    def test_fault_model_params_documented_both_directions(self):
+        from repro.scenarios import FAULT_MODELS
+
+        section = self._section("Fault models")
+        chunks = re.split(r"^### `([a-z0-9_]+)`$", section, flags=re.M)
+        bodies = dict(zip(chunks[1::2], chunks[2::2]))
+        for name, info in FAULT_MODELS.items():
+            rows = set(re.findall(r"^\|\s*`([a-z_]+)`", bodies[name], re.M))
+            actual = set(info.params)
+            assert rows == actual, (
+                f"fault model {name!r}: documented parameter rows {sorted(rows)} "
+                f"!= registry parameters {sorted(actual)}"
+            )
+
+    def test_bundled_cookbook_matches_spec_dir(self):
+        from repro.scenarios import bundled_spec_names
+
+        referenced = set(re.findall(r"specs/(\w+)\.yaml", self._text()))
+        actual = set(bundled_spec_names())
+        assert referenced == actual, (
+            f"docs/SCENARIOS.md cookbook disagrees with "
+            f"src/repro/scenarios/specs/: missing "
+            f"{sorted(actual - referenced)}, stale "
+            f"{sorted(referenced - actual)}"
+        )
+
+    def test_every_bundled_spec_parses(self):
+        from repro.scenarios import bundled_spec_names, load_bundled
+
+        for name in bundled_spec_names():
+            assert load_bundled(name).specs
+
+    def test_experiments_md_references_real_specs(self):
+        from repro.scenarios import bundled_spec_names
+
+        text = (ROOT / "EXPERIMENTS.md").read_text()
+        referenced = set(re.findall(r"specs/(\w+)\.yaml", text))
+        missing = referenced - set(bundled_spec_names())
+        assert not missing, (
+            f"EXPERIMENTS.md references missing scenario specs: {missing}"
+        )
+
+    def test_scenarios_doc_is_linked_from_readme(self):
+        assert "docs/SCENARIOS.md" in (ROOT / "README.md").read_text()
+
+
 class TestPaperFigureCoverage:
     def test_all_paper_figures_have_bench(self):
         """Every evaluation figure of the paper maps to a bench file."""

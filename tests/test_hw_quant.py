@@ -161,3 +161,89 @@ class TestQuantizedCampaign:
         after = trained_mlp.state_dict()
         for key in before:
             np.testing.assert_array_equal(before[key], after[key])
+
+
+class TestFaultSetApply:
+    """FaultSet-aware injection in the int8 code space (scenario support)."""
+
+    def test_word_space_attributes(self):
+        _, _, quantized = _setup(100)
+        assert quantized.total_words == 100
+        assert quantized.bits_per_word == INT8_BITS
+
+    def test_flip_faultset_equals_bit_indices(self):
+        from repro.hw.faultmodels import FaultSet
+
+        param, _, quantized = _setup(64, seed=1)
+        bits = np.asarray([3, 17, 200, 511], dtype=np.int64)
+        with quantized.deployed():
+            with quantized.apply(bits):
+                via_indices = param.data.copy()
+            with quantized.apply(FaultSet.flips(bits)):
+                via_fault_set = param.data.copy()
+        assert np.array_equal(via_indices, via_fault_set)
+
+    def test_stuck_at_ops_force_bits(self):
+        from repro.hw.faultmodels import OP_STUCK0, OP_STUCK1, FaultSet
+
+        _, _, quantized = _setup(32, seed=2)
+        region = quantized._regions[0]
+        code_index, bit = 5, 6
+        global_bit = code_index * INT8_BITS + bit
+        with quantized.deployed():
+            for op, expected in ((OP_STUCK1, 1), (OP_STUCK0, 0)):
+                faults = FaultSet(
+                    np.asarray([global_bit], dtype=np.int64),
+                    np.asarray([op], dtype=np.uint8),
+                )
+                with quantized.apply(faults):
+                    stored = int(region.codes.view(np.uint8)[code_index])
+                    assert (stored >> bit) & 1 == expected
+
+    def test_stuck_at_agreeing_bit_is_benign(self):
+        from repro.hw.faultmodels import OP_STUCK0, OP_STUCK1, FaultSet
+
+        param, _, quantized = _setup(64, seed=3)
+        region = quantized._regions[0]
+        with quantized.deployed():
+            baseline = param.data.copy()
+            view = region.codes.view(np.uint8)
+            code_index = 11
+            for bit in range(INT8_BITS):
+                held = (int(view[code_index]) >> bit) & 1
+                op = OP_STUCK1 if held else OP_STUCK0
+                faults = FaultSet(
+                    np.asarray([code_index * INT8_BITS + bit], dtype=np.int64),
+                    np.asarray([op], dtype=np.uint8),
+                )
+                with quantized.apply(faults):
+                    assert np.array_equal(param.data, baseline)
+
+    def test_mixed_ops_restore_exactly(self):
+        from repro.hw.faultmodels import (
+            OP_FLIP,
+            OP_STUCK0,
+            OP_STUCK1,
+            FaultSet,
+        )
+
+        param, _, quantized = _setup(128, seed=4)
+        rng = np.random.default_rng(9)
+        bits = np.sort(
+            rng.choice(quantized.total_bits, size=24, replace=False)
+        ).astype(np.int64)
+        ops = rng.choice([OP_FLIP, OP_STUCK0, OP_STUCK1], size=24).astype(np.uint8)
+        with quantized.deployed():
+            deployed = param.data.copy()
+            codes_before = quantized._regions[0].codes.copy()
+            with quantized.apply(FaultSet(bits, ops)):
+                pass
+            assert np.array_equal(param.data, deployed)
+            assert np.array_equal(quantized._regions[0].codes, codes_before)
+
+    def test_affected_layers_accepts_fault_set(self):
+        from repro.hw.faultmodels import FaultSet
+
+        _, _, quantized = _setup(16, seed=5)
+        assert quantized.affected_layers(FaultSet.flips(np.asarray([0]))) == ["p"]
+        assert quantized.affected_layers(FaultSet.empty()) == []
