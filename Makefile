@@ -14,6 +14,10 @@
 #                 inside fast
 #   make scenarios-smoke - run every bundled scenario spec end-to-end
 #                 on tiny synthetic data (part of the fast tier)
+#   make stats  - just the statistical-correctness simulations for the
+#                 adaptive stopping rule (interval coverage, sequential
+#                 stopping, importance-sampling unbiasedness); these are
+#                 pure-numpy, fixed-seed, and also run inside fast
 #
 # REPRO_WORKERS=N fans every campaign in the suite across N worker
 # processes (0 = one per core); REPRO_NO_SUFFIX=1 disables suffix
@@ -23,7 +27,7 @@
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: fast test bench docs-check scenarios-smoke
+.PHONY: fast test bench docs-check scenarios-smoke stats
 
 fast: docs-check
 	$(PYTEST) -q -m "not slow"
@@ -39,3 +43,6 @@ docs-check:
 
 scenarios-smoke:
 	$(PYTEST) -q tests/test_scenarios_smoke.py
+
+stats:
+	$(PYTEST) -q -m stats

@@ -81,6 +81,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_campaign.add_argument(
         "--progress", action="store_true", help="print one line per completed cell"
     )
+    p_campaign.add_argument(
+        "--mode",
+        default="exact",
+        choices=("exact", "adaptive"),
+        help="exact runs the full (rates x trials) grid; adaptive stops each "
+        "rate's trial family once its accuracy confidence interval is tight "
+        "enough (see docs/SCENARIOS.md)",
+    )
+    p_campaign.add_argument(
+        "--ci-halfwidth",
+        type=float,
+        default=0.02,
+        help="adaptive mode: stop a family once its CI half-width falls "
+        "under this tolerance",
+    )
+    p_campaign.add_argument(
+        "--batch-k",
+        type=int,
+        default=0,
+        help="fault variants evaluated per dispatch through the "
+        "bitwise-verified batched kernel (0/1 = per-cell; adaptive mode "
+        "treats 0 as its default chunk of 8)",
+    )
 
     p_scenarios = sub.add_parser(
         "scenarios",
@@ -258,7 +281,34 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     progress = _cell_progress_printer() if args.progress else None
 
     memory = WeightMemory.from_model(model)
-    if args.variant == "int8":
+    adaptive = None
+    if args.mode == "adaptive":
+        from repro.core.batched import AdaptiveCampaignTask
+        from repro.core.executor import CampaignExecutor, WeightFaultCellTask
+        from repro.core.quantized import QuantizedCellTask
+
+        if args.variant == "int8":
+            base = QuantizedCellTask(
+                model, memory, images, labels, config,
+                label=args.variant, batch_k=args.batch_k,
+            )
+        else:
+            base = WeightFaultCellTask(
+                model, memory, images, labels, config=config,
+                sampler=sampler, label=args.variant, batch_k=args.batch_k,
+            )
+        task = AdaptiveCampaignTask(
+            base,
+            ci_halfwidth=args.ci_halfwidth,
+            batch_k=args.batch_k,
+            label=args.variant,
+        )
+        executor = CampaignExecutor(
+            workers=args.workers, progress=progress, checkpoint=args.checkpoint
+        )
+        adaptive = executor.run_tasks([task])[0]
+        curve = adaptive.curve
+    elif args.variant == "int8":
         curve = run_quantized_campaign(
             model,
             memory,
@@ -269,6 +319,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             workers=args.workers,
             progress=progress,
             checkpoint=args.checkpoint,
+            batch_k=args.batch_k,
         )
     else:
         curve = run_campaign(
@@ -282,6 +333,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             workers=args.workers,
             progress=progress,
             checkpoint=args.checkpoint,
+            batch_k=args.batch_k,
         )
     print(
         format_curve_table(
@@ -289,6 +341,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         )
     )
     print(f"AUC = {curve.auc():.4f}")
+    if adaptive is not None:
+        print(
+            f"adaptive: executed {adaptive.cells_executed}/"
+            f"{adaptive.cells_total} cells "
+            f"(skipped {adaptive.cells_skipped}); max CI half-width "
+            f"{max(adaptive.halfwidths):.4f} "
+            f"(tolerance {adaptive.tolerance:.4f})"
+        )
     return 0
 
 

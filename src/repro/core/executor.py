@@ -101,7 +101,7 @@ import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Callable, Protocol, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Protocol, Sequence
 
 import numpy as np
 
@@ -273,6 +273,7 @@ class InjectionCellRunner:
     """
 
     def __init__(self, task):
+        from repro.core.batched import BatchedSuffixKernel
         from repro.core.suffix import SuffixForwardEngine
         from repro.hw.injector import FaultInjector
 
@@ -286,17 +287,64 @@ class InjectionCellRunner:
             scope_layers=task.memory.layer_names(),
             enabled=getattr(task, "suffix", True),
         )
+        self.kernel = BatchedSuffixKernel(
+            task.model,
+            task.images,
+            task.config.batch_size,
+            engine=self.engine,
+            batch_k=getattr(task, "batch_k", 0),
+        )
 
-    def run_cell(self, rate_index: int, trial: int) -> "float | Sequence[float]":
+    @property
+    def cells_per_call(self) -> int:
+        """Preferred dispatch group width (1 = plain per-cell calls)."""
+        return self.kernel.batch_k if self.kernel.enabled else 1
+
+    def _fault_set(self, rate_index: int, trial: int):
+        """The cell's fault draw on its deterministic seed path."""
         task = self.task
         rate = float(task.config.fault_rates[rate_index])
         rng = self.tree.generator(cell_seed_path(rate_index, trial))
-        fault_set = task.sampler(task.memory, rate, rng)
+        return task.sampler(task.memory, rate, rng)
+
+    def run_cell(self, rate_index: int, trial: int) -> "float | Sequence[float]":
+        fault_set = self._fault_set(rate_index, trial)
         forward = None
         if self.engine is not None:
             forward = self.engine.forward_fn(self.injector.affected_layers(fault_set))
         with self.injector.apply(fault_set):
-            return task.measure(forward=forward)
+            return self.task.measure(forward=forward)
+
+    def run_cells(
+        self, cells: Sequence[tuple[int, int]]
+    ) -> "list[float | Sequence[float]]":
+        """Evaluate a group of cells through the batched kernel.
+
+        Bit-identical to calling :meth:`run_cell` per cell in order:
+        fault sets are drawn from the same per-cell seed paths, and the
+        kernel either shares a bitwise-verified wide tail across the
+        group or falls back to exactly the per-cell forward.
+        """
+        return self.run_fault_sets(
+            [self._fault_set(rate_index, trial) for rate_index, trial in cells]
+        )
+
+    def run_fault_sets(self, fault_sets) -> "list[float | Sequence[float]]":
+        """Measure the model under each pre-drawn fault set (in order)."""
+        from functools import partial
+
+        from repro.core.batched import FaultVariant
+
+        variants = [
+            FaultVariant(
+                apply=partial(self.injector.apply, fault_set),
+                affected=tuple(self.injector.affected_layers(fault_set)),
+            )
+            for fault_set in fault_sets
+        ]
+        return self.kernel.run_family(
+            variants, lambda forward: self.task.measure(forward=forward)
+        )
 
     def close(self) -> None:
         # Injection restores per cell; only the activation cache remains.
@@ -329,6 +377,7 @@ class WeightFaultCellTask:
         label: str = "",
         clean_accuracy: "float | None" = None,
         suffix: bool = True,
+        batch_k: int = 0,
     ):
         from repro.core.campaign import CampaignConfig, random_bitflip_sampler
 
@@ -341,6 +390,13 @@ class WeightFaultCellTask:
         self.label = label
         self._clean = None if clean_accuracy is None else float(clean_accuracy)
         self.suffix = bool(suffix)
+        # Variant-batching width for the runner's BatchedSuffixKernel
+        # (repro.core.batched): 0/1 keeps the historical per-cell loop,
+        # K > 1 shares bitwise-verified wide tails across K cells.
+        # Results are bit-identical either way; the value travels in the
+        # pickled payload because adaptive wrappers reuse it as their
+        # (scientific) stopping-chunk width.
+        self.batch_k = int(batch_k)
 
     def __getstate__(self) -> dict:
         return payload_state(self)
@@ -467,6 +523,29 @@ def _task_runner(state: dict, task_index: int):
     return state["runner"]
 
 
+def _runner_groups(
+    runner, cells: Sequence[tuple[int, int]]
+) -> "Iterator[tuple[list[tuple[int, int]], list]]":
+    """Yield ``(cell group, values)`` pairs in serial cell order.
+
+    Runners advertising ``cells_per_call > 1`` (the batched kernel) get
+    their pending cells in groups via :meth:`run_cells`; everything else
+    runs the historical one-call-per-cell loop.  Grouping is pure
+    dispatch: values are bit-identical either way, and callers still
+    record/emit/checkpoint cell by cell.
+    """
+    group = max(1, int(getattr(runner, "cells_per_call", 1)))
+    for start in range(0, len(cells), group):
+        chunk = list(cells[start : start + group])
+        if group > 1 and len(chunk) > 1:
+            yield chunk, list(runner.run_cells(chunk))
+        else:
+            yield chunk, [
+                runner.run_cell(rate_index, trial)
+                for rate_index, trial in chunk
+            ]
+
+
 def _run_task_cells(
     plane: ShippedPlane,
     generation: "tuple[int, int]",
@@ -476,8 +555,9 @@ def _run_task_cells(
     """Evaluate a chunk of one task's cells in this worker."""
     runner = _task_runner(_worker_state(plane, generation), task_index)
     return [
-        (task_index, rate_index, trial, runner.run_cell(rate_index, trial))
-        for rate_index, trial in cells
+        (task_index, rate_index, trial, value)
+        for chunk, values in _runner_groups(runner, cells)
+        for (rate_index, trial), value in zip(chunk, values)
     ]
 
 
@@ -723,6 +803,7 @@ class CampaignExecutor:
         sampler: "FaultSampler | None" = None,
         label: str = "",
         suffix: bool = True,
+        batch_k: int = 0,
     ) -> ResilienceCurve:
         """Execute one weight-fault campaign's sweep and build its curve."""
         task = WeightFaultCellTask(
@@ -735,6 +816,7 @@ class CampaignExecutor:
             label=label,
             clean_accuracy=campaign.clean_accuracy,
             suffix=suffix,
+            batch_k=batch_k,
         )
         return self.run_tasks([task])[0]
 
@@ -958,18 +1040,18 @@ class CampaignExecutor:
                 continue
             runner = task.make_runner()
             try:
-                for rate_index, trial in pending[task_index]:
-                    value = runner.run_cell(rate_index, trial)
-                    grids[task_index][rate_index, trial] = value
-                    completed += 1
-                    self._emit(
-                        task, task_index, rate_index, trial,
-                        rates_list[task_index],
-                        grids[task_index][rate_index, trial], completed, total,
-                    )
-                    if checkpoint is not None:
-                        checkpoint.record(task_index, rate_index, trial, value)
-                        checkpoint.flush()
+                for chunk, values in _runner_groups(runner, pending[task_index]):
+                    for (rate_index, trial), value in zip(chunk, values):
+                        grids[task_index][rate_index, trial] = value
+                        completed += 1
+                        self._emit(
+                            task, task_index, rate_index, trial,
+                            rates_list[task_index],
+                            grids[task_index][rate_index, trial], completed, total,
+                        )
+                        if checkpoint is not None:
+                            checkpoint.record(task_index, rate_index, trial, value)
+                            checkpoint.flush()
             finally:
                 runner.close()
 

@@ -60,6 +60,7 @@ class QuantizedCellTask:
         label: str = "int8",
         suffix: bool = True,
         sampler: "Callable | None" = None,
+        batch_k: int = 0,
     ):
         self.model = model
         self.memory = memory
@@ -69,6 +70,8 @@ class QuantizedCellTask:
         self.label = label
         self._clean: "float | None" = None
         self.suffix = bool(suffix)
+        # Variant-batching width (repro.core.batched); 0/1 = per-cell.
+        self.batch_k = int(batch_k)
         # Optional picklable fault sampler over the *int8 code space*:
         # called as sampler(quantized_memory, rate, rng) and may return a
         # bit-index array or a FaultSet (stuck-at ops included).  None
@@ -131,6 +134,7 @@ class _QuantizedCellRunner:
     """
 
     def __init__(self, task: QuantizedCellTask):
+        from repro.core.batched import BatchedSuffixKernel
         from repro.core.suffix import SuffixForwardEngine
 
         self.task = task
@@ -147,6 +151,13 @@ class _QuantizedCellRunner:
                 scope_layers=task.memory.layer_names(),
                 enabled=getattr(task, "suffix", True),
             )
+            self.kernel = BatchedSuffixKernel(
+                task.model,
+                task.images,
+                task.config.batch_size,
+                engine=self.engine,
+                batch_k=getattr(task, "batch_k", 0),
+            )
         except BaseException:
             # Construction must not strand the caller's live model on
             # dequantized weights (the serial path and the executor's
@@ -154,25 +165,57 @@ class _QuantizedCellRunner:
             self.close()
             raise
 
-    def run_cell(self, rate_index: int, trial: int) -> float:
+    @property
+    def cells_per_call(self) -> int:
+        """Preferred dispatch group width (1 = plain per-cell calls)."""
+        return self.kernel.batch_k if self.kernel.enabled else 1
+
+    def _fault_set(self, rate_index: int, trial: int):
         task = self.task
         rate = float(task.config.fault_rates[rate_index])
         rng = self.tree.generator(cell_seed_path(rate_index, trial))
         sampler = getattr(task, "sampler", None)
         if sampler is None:
-            faults = self.quantized.sample_bitflips(rate, rng)
-        else:
-            faults = sampler(self.quantized, rate, rng)
+            return self.quantized.sample_bitflips(rate, rng)
+        return sampler(self.quantized, rate, rng)
+
+    def _measure(self, forward) -> float:
+        task = self.task
+        return evaluate_accuracy_arrays(
+            task.model, task.images, task.labels, task.config.batch_size,
+            forward=forward,
+        )
+
+    def run_cell(self, rate_index: int, trial: int) -> float:
+        faults = self._fault_set(rate_index, trial)
         forward = None
         if self.engine is not None:
             forward = self.engine.forward_fn(
                 self.quantized.affected_layers(faults)
             )
         with self.quantized.apply(faults):
-            return evaluate_accuracy_arrays(
-                task.model, task.images, task.labels, task.config.batch_size,
-                forward=forward,
+            return self._measure(forward)
+
+    def run_cells(self, cells) -> "list[float]":
+        """Batched-kernel group dispatch; bit-identical to per-cell."""
+        return self.run_fault_sets(
+            [self._fault_set(rate_index, trial) for rate_index, trial in cells]
+        )
+
+    def run_fault_sets(self, fault_sets) -> "list[float]":
+        """Measure the deployed model under each pre-drawn fault set."""
+        from functools import partial
+
+        from repro.core.batched import FaultVariant
+
+        variants = [
+            FaultVariant(
+                apply=partial(self.quantized.apply, faults),
+                affected=tuple(self.quantized.affected_layers(faults)),
             )
+            for faults in fault_sets
+        ]
+        return self.kernel.run_family(variants, self._measure)
 
     def close(self) -> None:
         if self.engine is not None:
@@ -195,6 +238,7 @@ def run_quantized_campaign(
     checkpoint: "str | None" = None,
     suffix: bool = True,
     sampler: "Callable | None" = None,
+    batch_k: int = 0,
 ) -> ResilienceCurve:
     """Rate sweep x trials with faults in the int8 code space.
 
@@ -214,7 +258,7 @@ def run_quantized_campaign(
     """
     task = QuantizedCellTask(
         model, memory, images, labels, config, label=label, suffix=suffix,
-        sampler=sampler,
+        sampler=sampler, batch_k=batch_k,
     )
     executor = CampaignExecutor(
         workers=workers, progress=progress, checkpoint=checkpoint

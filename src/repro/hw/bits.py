@@ -66,13 +66,19 @@ def decompose(value: float) -> tuple[int, int, int]:
     return sign, exponent, mantissa
 
 
-def flip_scalar_bit(value: float, position: int) -> float:
-    """Flip one bit of one float32 value (reference implementation)."""
+def flip_scalar_bit(value: float, position: int) -> np.float32:
+    """Flip one bit of one float32 value (reference implementation).
+
+    Returns an ``np.float32`` scalar rather than a python float: a flip
+    landing on a signaling-NaN pattern must keep its payload bit-exact,
+    and the float32 -> float64 -> float32 round-trip of ``float()``
+    would quiet the NaN (x86 cvtss2sd), breaking flip-twice-is-identity.
+    """
     if not 0 <= position < WORD_BITS:
         raise ValueError(f"bit position must lie in [0, {WORD_BITS}), got {position}")
     word = float_to_bits(np.asarray([value], dtype=np.float32))
     word[0] ^= np.uint32(1 << position)
-    return float(bits_to_float(word)[0])
+    return bits_to_float(word)[0]
 
 
 def _masks_by_word(

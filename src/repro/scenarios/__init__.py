@@ -40,6 +40,7 @@ from repro.scenarios.faults import (
 )
 from repro.scenarios.spec import (
     CAMPAIGN_KINDS,
+    EXECUTION_MODES,
     MITIGATION_VARIANTS,
     REDUNDANCY_VARIANTS,
     CampaignSpec,
@@ -52,6 +53,7 @@ from repro.scenarios.spec import (
 
 __all__ = [
     "CAMPAIGN_KINDS",
+    "EXECUTION_MODES",
     "MITIGATION_VARIANTS",
     "REDUNDANCY_VARIANTS",
     "FAULT_MODELS",

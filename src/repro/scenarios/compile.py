@@ -181,7 +181,7 @@ def compile_spec(
         sampler = spec_sampler
         if spec.variant in REDUNDANCY_VARIANTS:
             sampler = variant_sampler  # protection filter over raw flips
-        return WeightFaultCellTask(
+        task = WeightFaultCellTask(
             model,
             WeightMemory.from_model(model),
             images,
@@ -189,11 +189,12 @@ def compile_spec(
             config=config,
             sampler=sampler,
             label=spec.name,
+            batch_k=spec.batch_k,
         )
-    if spec.campaign == "quantized":
+    elif spec.campaign == "quantized":
         from repro.core.quantized import QuantizedCellTask
 
-        return QuantizedCellTask(
+        task = QuantizedCellTask(
             model,
             WeightMemory.from_model(model),
             images,
@@ -201,26 +202,50 @@ def compile_spec(
             config=config,
             label=spec.name,
             sampler=spec_sampler,
+            batch_k=spec.batch_k,
         )
-    # activation (spec validation admits nothing else)
-    from repro.hw.actfaults import ActivationFaultCellTask
+    else:
+        # activation (spec validation admits nothing else)
+        from repro.hw.actfaults import ActivationFaultCellTask
 
-    return ActivationFaultCellTask(
-        model,
-        images,
-        labels,
-        config=config,
-        layers=list(spec.layers) if spec.layers is not None else None,
-        label=spec.name,
-    )
+        task = ActivationFaultCellTask(
+            model,
+            images,
+            labels,
+            config=config,
+            layers=list(spec.layers) if spec.layers is not None else None,
+            label=spec.name,
+            batch_k=spec.batch_k,
+        )
+    if spec.mode == "adaptive":
+        from repro.core.batched import AdaptiveCampaignTask
+
+        # Spec validation already restricted adaptive mode to the scalar
+        # accuracy campaigns, so the wrap below cannot fail on shape.
+        task = AdaptiveCampaignTask(
+            task,
+            ci_halfwidth=spec.ci_halfwidth,
+            max_trials=spec.trials,
+            batch_k=spec.batch_k,
+            importance=spec.importance,
+            label=spec.name,
+        )
+    return task
 
 
 @dataclass(frozen=True)
 class ScenarioResult:
-    """One scenario's spec together with its resilience curve."""
+    """One scenario's spec together with its resilience curve.
+
+    Adaptive-mode scenarios additionally carry the raw
+    :class:`~repro.core.batched.AdaptiveResult` (interval widths, cells
+    executed/skipped, importance weights); their ``curve`` fills the
+    skipped trials with the family's interval estimate.
+    """
 
     spec: CampaignSpec
     curve: "ResilienceCurve"
+    adaptive: "Any | None" = None
 
     @property
     def name(self) -> str:
@@ -231,7 +256,7 @@ class ScenarioResult:
         return re.sub(r"[^A-Za-z0-9._+=-]+", "-", self.spec.name)
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        payload = {
             "spec": self.spec.to_dict(),
             "clean_accuracy": float(self.curve.clean_accuracy),
             "fault_rates": [float(r) for r in self.curve.fault_rates],
@@ -239,6 +264,9 @@ class ScenarioResult:
             "mean_accuracies": self.curve.mean_accuracies().tolist(),
             "auc": float(self.curve.auc()),
         }
+        if self.adaptive is not None:
+            payload["adaptive"] = self.adaptive.to_dict()
+        return payload
 
 
 def run_scenarios(
@@ -279,10 +307,14 @@ def run_scenarios(
     executor = CampaignExecutor(
         workers=workers, progress=progress, checkpoint=checkpoint
     )
+    from repro.core.batched import AdaptiveResult
+
     curves = executor.run_tasks(tasks)
     results = [
-        ScenarioResult(spec=spec, curve=curve)
-        for spec, curve in zip(specs, curves)
+        ScenarioResult(spec=spec, curve=value.curve, adaptive=value)
+        if isinstance(value, AdaptiveResult)
+        else ScenarioResult(spec=spec, curve=value)
+        for spec, value in zip(specs, curves)
     ]
     if out_dir is not None:
         write_results(results, out_dir, suite=suite_name, workers=workers)
@@ -305,19 +337,21 @@ def write_results(
     for result, stem in zip(results, stems):
         path = target / f"{stem}.json"
         path.write_text(json.dumps(result.to_dict(), indent=1, sort_keys=True))
-        rows.append(
-            {
-                "name": result.name,
-                "file": path.name,
-                "model": result.spec.model,
-                "campaign": result.spec.campaign,
-                "variant": result.spec.variant,
-                "fault_model": result.spec.fault_model.to_dict(),
-                "clean_accuracy": float(result.curve.clean_accuracy),
-                "auc": float(result.curve.auc()),
-                "mean_accuracies": result.curve.mean_accuracies().tolist(),
-            }
-        )
+        row = {
+            "name": result.name,
+            "file": path.name,
+            "model": result.spec.model,
+            "campaign": result.spec.campaign,
+            "variant": result.spec.variant,
+            "fault_model": result.spec.fault_model.to_dict(),
+            "clean_accuracy": float(result.curve.clean_accuracy),
+            "auc": float(result.curve.auc()),
+            "mean_accuracies": result.curve.mean_accuracies().tolist(),
+        }
+        if result.adaptive is not None:
+            row["cells_executed"] = int(result.adaptive.cells_executed)
+            row["cells_skipped"] = int(result.adaptive.cells_skipped)
+        rows.append(row)
     summary = target / "summary.json"
     summary.write_text(
         json.dumps(

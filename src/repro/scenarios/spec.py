@@ -46,6 +46,7 @@ from repro.utils.validation import check_positive
 
 __all__ = [
     "CAMPAIGN_KINDS",
+    "EXECUTION_MODES",
     "MITIGATION_VARIANTS",
     "REDUNDANCY_VARIANTS",
     "FaultModelSpec",
@@ -71,6 +72,12 @@ MITIGATION_VARIANTS = ("unprotected", "ftclipact", "relu6", "ecc", "tmr", "dmr")
 REDUNDANCY_VARIANTS = ("ecc", "tmr", "dmr")
 
 _SPLITS = ("test", "val")
+
+# Execution modes: "exact" runs the full (rates x trials) grid;
+# "adaptive" wraps the campaign in sequential stopping
+# (repro.core.batched.AdaptiveCampaignTask) — per-rate trial families
+# terminate once their accuracy confidence interval is tight enough.
+EXECUTION_MODES = ("exact", "adaptive")
 
 
 def _default_rates() -> tuple[float, ...]:
@@ -135,6 +142,10 @@ class CampaignSpec:
     split: str = "test"
     batch_size: int = 128
     layers: "tuple[str, ...] | None" = None
+    mode: str = "exact"
+    ci_halfwidth: float = 0.02
+    batch_k: int = 0
+    importance: "float | None" = None
 
     def __post_init__(self) -> None:
         if not self.name or not isinstance(self.name, str):
@@ -183,6 +194,26 @@ class CampaignSpec:
                 self, "layers", tuple(str(layer) for layer in self.layers)
             )
 
+        if self.mode not in EXECUTION_MODES:
+            raise ValueError(
+                f"unknown mode {self.mode!r}; available: "
+                f"{list(EXECUTION_MODES)}"
+            )
+        object.__setattr__(self, "ci_halfwidth", float(self.ci_halfwidth))
+        if not 0.0 < self.ci_halfwidth <= 0.5:
+            raise ValueError(
+                "ci_halfwidth must lie in (0, 0.5], got "
+                f"{self.ci_halfwidth}"
+            )
+        if int(self.batch_k) < 0:
+            raise ValueError(f"batch_k must be >= 0, got {self.batch_k}")
+        object.__setattr__(self, "batch_k", int(self.batch_k))
+        if self.importance is not None:
+            value = float(self.importance)
+            if value <= 0:
+                raise ValueError(f"importance boost must be > 0, got {value}")
+            object.__setattr__(self, "importance", value)
+
         # Cross-field rules (documented in docs/SCENARIOS.md).
         info = FAULT_MODELS[self.fault_model.name]
         if self.campaign not in info.campaigns:
@@ -200,6 +231,33 @@ class CampaignSpec:
             resolve_bit_position(
                 self.fault_model.params.get("bit", "sign"), bits_per_word
             )
+        if self.mode == "adaptive" and self.campaign == "activation":
+            raise ValueError(
+                "mode 'adaptive' requires campaign 'weight' or 'quantized' "
+                "(activation faults are sampled inside the forward pass, "
+                "so their trial families cannot be batched or reweighted)"
+            )
+        if self.importance is not None:
+            if self.mode != "adaptive":
+                raise ValueError(
+                    "importance sampling requires mode 'adaptive'"
+                )
+            if self.campaign != "weight":
+                raise ValueError(
+                    "importance sampling tilts the float32 weight bit "
+                    "space; it requires campaign 'weight'"
+                )
+            if self.fault_model.name != "random_bitflip":
+                raise ValueError(
+                    "importance sampling reweights the 'random_bitflip' "
+                    f"model; it cannot tilt {self.fault_model.name!r}"
+                )
+            if self.variant in REDUNDANCY_VARIANTS:
+                raise ValueError(
+                    f"importance sampling bypasses the {self.variant!r} "
+                    "protection filter; combine it only with unprotected "
+                    "or activation-clipping variants"
+                )
         if self.variant in REDUNDANCY_VARIANTS:
             if self.campaign != "weight":
                 raise ValueError(
@@ -231,9 +289,14 @@ class CampaignSpec:
             "eval_images": self.eval_images,
             "split": self.split,
             "batch_size": self.batch_size,
+            "mode": self.mode,
+            "ci_halfwidth": float(self.ci_halfwidth),
+            "batch_k": int(self.batch_k),
         }
         if self.layers is not None:
             payload["layers"] = list(self.layers)
+        if self.importance is not None:
+            payload["importance"] = float(self.importance)
         return payload
 
     @classmethod
