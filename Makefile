@@ -14,6 +14,11 @@
 #                 inside fast
 #   make scenarios-smoke - run every bundled scenario spec end-to-end
 #                 on tiny synthetic data (part of the fast tier)
+#   make shard-smoke - split a bundled smoke suite 3 ways, run each
+#                 shard in a separate process, merge, and assert the
+#                 merged summary.json is byte-identical to the
+#                 unsharded run (part of the fast tier; see
+#                 docs/SCENARIOS.md "Sharded & segmented runs")
 #   make stats  - just the statistical-correctness simulations for the
 #                 adaptive stopping rule (interval coverage, sequential
 #                 stopping, importance-sampling unbiasedness); these are
@@ -27,7 +32,7 @@
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: fast test bench docs-check scenarios-smoke stats
+.PHONY: fast test bench docs-check scenarios-smoke shard-smoke stats
 
 fast: docs-check
 	$(PYTEST) -q -m "not slow"
@@ -43,6 +48,9 @@ docs-check:
 
 scenarios-smoke:
 	$(PYTEST) -q tests/test_scenarios_smoke.py
+
+shard-smoke:
+	$(PYTEST) -q tests/test_shard_smoke.py
 
 stats:
 	$(PYTEST) -q -m stats

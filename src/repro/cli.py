@@ -8,8 +8,11 @@ without writing Python:
 * ``harden``    — Steps 1-3: produce fine-tuned clipping thresholds;
 * ``campaign``  — fault-injection sweep on the chosen variant;
 * ``scenarios`` — run a declarative scenario file (or bundled spec) —
-  every expanded scenario through one shared executor pool (see
-  docs/SCENARIOS.md);
+  every expanded scenario through one shared executor pool; ``--shard
+  i/N`` executes one shard of an N-way split into a segmented run
+  directory (see docs/SCENARIOS.md);
+* ``merge``     — reassemble a sharded run directory into canonical
+  merged results, byte-identical to the unsharded run;
 * ``layerwise`` — per-layer sensitivity analysis (paper Fig. 3);
 * ``bitpos``    — bit-position sensitivity study;
 * ``outcomes``  — masked / benign / SDC / DUE fault-outcome taxonomy.
@@ -140,6 +143,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--out",
         default=None,
         help="directory for per-scenario result JSON files plus summary.json",
+    )
+    p_scenarios.add_argument(
+        "--shard",
+        default=None,
+        metavar="i/N",
+        help="execute only shard i of an N-way split (1-based) into the "
+        "--out run directory; run the other shards on any hosts, then "
+        "`repro merge <out>` (see docs/SCENARIOS.md)",
+    )
+
+    p_merge = sub.add_parser(
+        "merge",
+        help="merge a sharded run directory into canonical results "
+        "(see docs/SCENARIOS.md)",
+    )
+    p_merge.add_argument(
+        "run_dir",
+        help="run directory holding shards/<i>-of-<N>/ segments written "
+        "by `repro scenarios --shard`",
     )
 
     p_layer = sub.add_parser("layerwise", help="per-layer sensitivity (Fig. 3)")
@@ -389,6 +411,42 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
 
     progress = _cell_progress_printer(show_label=True) if args.progress else None
 
+    if args.shard is not None:
+        from repro.scenarios import ShardSpec, run_scenario_shard
+
+        if args.out is None:
+            print(
+                "error: --shard needs --out RUN_DIR (the segmented run "
+                "directory shared by every shard)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.checkpoint is not None:
+            print(
+                "error: --shard keeps its checkpoint inside the run "
+                "directory; drop --checkpoint",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            shard = ShardSpec.parse(args.shard)
+            shard_dir = run_scenario_shard(
+                suite,
+                shard,
+                args.out,
+                workers=args.workers,
+                progress=progress,
+            )
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(f"shard {shard} of {suite.name!r} written to {shard_dir}")
+        print(
+            f"run the remaining shards, then: "
+            f"python -m repro merge {args.out}"
+        )
+        return 0
+
     results = run_scenarios(
         suite,
         workers=args.workers,
@@ -405,6 +463,27 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     )
     if args.out:
         print(f"results written to {Path(args.out) / 'summary.json'}")
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis.reporting import format_scenario_table
+    from repro.scenarios import merge_run
+
+    try:
+        results = merge_run(args.run_dir)
+    except (FileNotFoundError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(
+        format_scenario_table(
+            results,
+            title=f"merged {len(results)} scenarios from {args.run_dir}",
+        )
+    )
+    print(f"merged results written to {Path(args.run_dir) / 'summary.json'}")
     return 0
 
 
@@ -521,6 +600,7 @@ _COMMANDS = {
     "harden": _cmd_harden,
     "campaign": _cmd_campaign,
     "scenarios": _cmd_scenarios,
+    "merge": _cmd_merge,
     "layerwise": _cmd_layerwise,
     "bitpos": _cmd_bitpos,
     "outcomes": _cmd_outcomes,

@@ -81,6 +81,7 @@ __all__ = [
     "ImportanceBitflipSampler",
     "AdaptiveCampaignTask",
     "AdaptiveResult",
+    "adaptive_cell_width",
 ]
 
 _DISABLE_ENV = "REPRO_NO_BATCHED"
@@ -693,6 +694,18 @@ class ImportanceBitflipSampler:
 # --------------------------------------------------------------------- #
 
 
+def adaptive_cell_width(max_trials: int, weighted: bool) -> int:
+    """Scalars per adaptive (rate, family) cell.
+
+    The vector layout is ``[estimate, executed, acc_0..acc_{T-1}
+    (, w_0..w_{T-1})]`` with :data:`SKIP_SENTINEL` padding — the single
+    source of truth shared by :class:`AdaptiveCampaignTask` (which
+    writes cells) and shard merging (which reassembles grids from
+    recorded cells without reconstructing the task).
+    """
+    return 2 + int(max_trials) * (2 if weighted else 1)
+
+
 class AdaptiveCampaignTask:
     """Early-stopping wrapper around a scalar-accuracy cell task.
 
@@ -770,8 +783,8 @@ class AdaptiveCampaignTask:
         self.label = base.label if label is None else label
         self.kind = f"adaptive:{base.kind}"
         self.config = replace(base.config, trials=1)
-        self.cell_width = 2 + self.max_trials * (
-            2 if importance is not None else 1
+        self.cell_width = adaptive_cell_width(
+            self.max_trials, weighted=importance is not None
         )
 
     def __getstate__(self) -> dict:
@@ -882,32 +895,67 @@ class AdaptiveResult:
     def from_grid(
         cls, task: AdaptiveCampaignTask, rates: np.ndarray, values: np.ndarray
     ) -> "AdaptiveResult":
-        grid = np.asarray(values, dtype=np.float64).reshape(
-            len(rates), task.cell_width
+        clean = getattr(task.base, "clean_accuracy", None)
+        return cls.assemble(
+            label=task.label,
+            rates=rates,
+            values=values,
+            max_trials=task.max_trials,
+            weighted=task.importance is not None,
+            n_images=int(task.base.labels.shape[0]),
+            tolerance=task.ci_halfwidth,
+            level=task.level,
+            method=task.method,
+            clean_accuracy=float(clean()) if callable(clean) else float("nan"),
         )
-        total = task.max_trials
+
+    @classmethod
+    def assemble(
+        cls,
+        label: str,
+        rates: np.ndarray,
+        values: np.ndarray,
+        max_trials: int,
+        weighted: bool,
+        n_images: int,
+        tolerance: float,
+        level: float = 0.95,
+        method: str = "wilson",
+        clean_accuracy: float = float("nan"),
+    ) -> "AdaptiveResult":
+        """Rebuild a result from raw cell vectors, without the task.
+
+        The pure-data twin of :meth:`from_grid`: everything except the
+        clean accuracy is a function of the recorded grid and the spec
+        parameters, so shard merging reassembles results from per-shard
+        JSON — bit-identical to the unsharded ``build_result`` because
+        the half-width recomputation (:func:`family_interval`) sees the
+        exact same executed accuracies and weights.
+        """
+        total = int(max_trials)
+        grid = np.asarray(values, dtype=np.float64).reshape(
+            len(rates), adaptive_cell_width(total, weighted)
+        )
         estimates = grid[:, 0].copy()
         executed = grid[:, 1].astype(np.int64)
         accuracies = grid[:, 2 : 2 + total].copy()
         weights = None
-        if task.importance is not None:
+        if weighted:
             weights = grid[:, 2 + total : 2 + 2 * total].copy()
-        n_images = int(task.base.labels.shape[0])
         halfwidths = np.empty(len(rates), dtype=np.float64)
         for index in range(len(rates)):
             n_exec = int(executed[index])
             halfwidths[index] = family_interval(
                 accuracies[index, :n_exec],
-                n_images,
-                level=task.level,
-                method=task.method,
+                int(n_images),
+                level=level,
+                method=method,
                 weights=(
                     weights[index, :n_exec] if weights is not None else None
                 ),
             )[1]
-        clean = getattr(task.base, "clean_accuracy", None)
         return cls(
-            label=task.label,
+            label=label,
             fault_rates=np.asarray(rates, dtype=np.float64),
             estimates=estimates,
             halfwidths=halfwidths,
@@ -915,10 +963,10 @@ class AdaptiveResult:
             accuracies=accuracies,
             weights=weights,
             max_trials=total,
-            tolerance=task.ci_halfwidth,
-            level=task.level,
-            method=task.method,
-            clean_accuracy=float(clean()) if callable(clean) else float("nan"),
+            tolerance=float(tolerance),
+            level=float(level),
+            method=str(method),
+            clean_accuracy=float(clean_accuracy),
         )
 
     @property

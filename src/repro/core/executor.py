@@ -650,6 +650,7 @@ class _Checkpoint:
         path: "str | Path",
         tasks: Sequence[CampaignCellTask],
         crcs: Sequence["str | None"],
+        extra: "dict | None" = None,
     ):
         self.path = Path(path)
         self._single = len(tasks) == 1
@@ -676,6 +677,17 @@ class _Checkpoint:
                     task_fingerprint(task, crc) for task, crc in zip(tasks, crcs)
                 ],
             }
+        if extra:
+            # Caller-supplied identity (e.g. a shard's index/count and the
+            # suite hash) joins the fingerprint: a checkpoint written as
+            # shard i/N can never resume as j/N or i/M.
+            collisions = set(extra) & set(self._fingerprint)
+            if collisions:
+                raise ValueError(
+                    f"checkpoint extra keys collide with the fingerprint: "
+                    f"{sorted(collisions)}"
+                )
+            self._fingerprint.update(json.loads(json.dumps(extra)))
         self.cells: "dict[tuple[int, int, int], float | list[float]]" = {}
         if self.path.exists():
             self._load()
@@ -747,6 +759,14 @@ class CampaignExecutor:
     checkpoint:
         Optional JSON file path.  Completed cells are appended as they
         finish; re-running with the same configuration skips them.
+    checkpoint_extra:
+        Optional JSON-serializable mapping merged into the checkpoint
+        fingerprint.  Callers that scope a checkpoint to an execution
+        identity beyond the campaign content — e.g. a shard's
+        ``{"shard": {"index", "count", "suite_hash"}}`` — record it here
+        so a checkpoint written under one identity refuses to resume
+        under another.  Keys must not collide with the built-in
+        fingerprint fields.
     mp_context:
         Optional :mod:`multiprocessing` start-method name (``"fork"``,
         ``"spawn"``, ``"forkserver"``); default lets the platform choose.
@@ -772,6 +792,7 @@ class CampaignExecutor:
         checkpoint: "str | Path | None" = None,
         mp_context: "str | None" = None,
         persistent: bool = False,
+        checkpoint_extra: "dict | None" = None,
     ):
         self.workers = resolve_workers(workers)
         if chunk_size < 0:
@@ -779,6 +800,7 @@ class CampaignExecutor:
         self.chunk_size = int(chunk_size)
         self.progress = progress
         self.checkpoint_path = checkpoint
+        self.checkpoint_extra = dict(checkpoint_extra) if checkpoint_extra else None
         self.mp_context = mp_context
         self.persistent = bool(persistent)
         self._pool: "ProcessPoolExecutor | None" = None
@@ -845,6 +867,38 @@ class CampaignExecutor:
         tasks = list(tasks)
         if not tasks:
             return []
+        rates_list, grids = self.run_grids(tasks, payloads=payloads)
+        return [
+            task.build_result(rates_list[index], grids[index])
+            for index, task in enumerate(tasks)
+        ]
+
+    def run_grids(
+        self,
+        tasks: Sequence[CampaignCellTask],
+        payloads: "Sequence[PackedUnit | bytes | None] | None" = None,
+        cells: "Sequence[Sequence[tuple[int, int]]] | None" = None,
+    ) -> "tuple[list[np.ndarray], list[np.ndarray]]":
+        """Execute (a subset of) each task's cells; return raw value grids.
+
+        The engine behind :meth:`run_tasks`, for callers that assemble
+        results themselves — shard runs execute disjoint cell subsets on
+        independent hosts and merge the grids later.  Returns
+        ``(rates, grids)``, both parallel to ``tasks``; each grid is the
+        task's ``(n_rates, n_trials[, cell_width])`` float64 array with
+        executed cells filled in and everything else ``nan``.
+
+        ``cells`` optionally restricts execution to a per-task subset of
+        ``(rate_index, trial)`` cells (parallel to ``tasks``).  Subset
+        cells run in the serial enumeration order (rate-major), with the
+        same per-cell seed paths as a full run — a cell's value is
+        bit-identical no matter which subset, host or worker evaluates
+        it.  Checkpointed cells outside the subset are ignored, and
+        progress totals count only the subset.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return [], []
         if payloads is not None and len(payloads) != len(tasks):
             raise ValueError(
                 f"payloads ({len(payloads)}) must parallel tasks ({len(tasks)})"
@@ -860,7 +914,12 @@ class CampaignExecutor:
                 shape = (*shape, width)
             rates_list.append(rates)
             grids.append(np.full(shape, np.nan, dtype=np.float64))
-        total = sum(grid.shape[0] * grid.shape[1] for grid in grids)
+        subset = self._resolve_cells(tasks, grids, cells)
+        total = (
+            sum(len(chosen) for chosen in subset)
+            if subset is not None
+            else sum(grid.shape[0] * grid.shape[1] for grid in grids)
+        )
 
         # One serialization per task serves both the checkpoint
         # fingerprint and the worker payload; pre-packed payloads are
@@ -896,8 +955,13 @@ class CampaignExecutor:
                 f"{unit.crc32():08x}" if unit is not None else None
                 for unit in units
             ]
-            checkpoint = _Checkpoint(self.checkpoint_path, tasks, crcs)
+            checkpoint = _Checkpoint(
+                self.checkpoint_path, tasks, crcs, extra=self.checkpoint_extra
+            )
 
+        subset_sets = (
+            None if subset is None else [set(chosen) for chosen in subset]
+        )
         completed = 0
         if checkpoint is not None:
             for (task_index, rate_index, trial), value in sorted(
@@ -907,6 +971,10 @@ class CampaignExecutor:
                     task_index < len(tasks)
                     and rate_index < grids[task_index].shape[0]
                     and trial < grids[task_index].shape[1]
+                    and (
+                        subset_sets is None
+                        or (rate_index, trial) in subset_sets[task_index]
+                    )
                 ):
                     grids[task_index][rate_index, trial] = value
                     completed += 1
@@ -916,15 +984,25 @@ class CampaignExecutor:
                         completed, total, from_checkpoint=True,
                     )
 
-        pending = [
-            [
-                (rate_index, trial)
-                for rate_index in range(grid.shape[0])
-                for trial in range(grid.shape[1])
-                if not np.all(np.isfinite(grid[rate_index, trial]))
+        if subset is None:
+            pending = [
+                [
+                    (rate_index, trial)
+                    for rate_index in range(grid.shape[0])
+                    for trial in range(grid.shape[1])
+                    if not np.all(np.isfinite(grid[rate_index, trial]))
+                ]
+                for grid in grids
             ]
-            for grid in grids
-        ]
+        else:
+            pending = [
+                [
+                    (rate_index, trial)
+                    for rate_index, trial in chosen
+                    if not np.all(np.isfinite(grids[index][rate_index, trial]))
+                ]
+                for index, chosen in enumerate(subset)
+            ]
 
         if any(pending):
             if self.workers == 1:
@@ -985,12 +1063,48 @@ class CampaignExecutor:
                 finally:
                     shipment.release()
 
-        return [
-            task.build_result(rates_list[index], grids[index])
-            for index, task in enumerate(tasks)
-        ]
+        return rates_list, grids
 
     # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _resolve_cells(
+        tasks: Sequence[CampaignCellTask],
+        grids: list[np.ndarray],
+        cells: "Sequence[Sequence[tuple[int, int]]] | None",
+    ) -> "list[list[tuple[int, int]]] | None":
+        """Validate and canonicalize a per-task cell subset.
+
+        Each task's subset is deduplicated-checked, bounds-checked
+        against its grid, and sorted into the serial enumeration order
+        (rate-major), so a subset run visits its cells in the same
+        relative order as the full run.
+        """
+        if cells is None:
+            return None
+        cells = list(cells)
+        if len(cells) != len(tasks):
+            raise ValueError(
+                f"cells ({len(cells)}) must parallel tasks ({len(tasks)})"
+            )
+        subset: "list[list[tuple[int, int]]]" = []
+        for task, grid, wanted in zip(tasks, grids, cells):
+            name = task.label or task.kind
+            chosen: "set[tuple[int, int]]" = set()
+            for rate_index, trial in wanted:
+                cell = (int(rate_index), int(trial))
+                if not (
+                    0 <= cell[0] < grid.shape[0] and 0 <= cell[1] < grid.shape[1]
+                ):
+                    raise ValueError(
+                        f"cell {cell} lies outside the "
+                        f"{grid.shape[0]}x{grid.shape[1]} grid of task {name!r}"
+                    )
+                if cell in chosen:
+                    raise ValueError(f"duplicate cell {cell} for task {name!r}")
+                chosen.add(cell)
+            subset.append(sorted(chosen))
+        return subset
 
     def _emit(
         self,

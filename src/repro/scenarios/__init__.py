@@ -11,6 +11,13 @@ whole matrix through **one** shared
 checkpoint file — bit-identical to the equivalent direct API calls at
 any worker count.
 
+For fleet-scale runs, :mod:`repro.scenarios.shard` partitions the
+expanded cell matrix into N self-contained shards (``repro scenarios
+<suite> --shard i/N --out run_dir/``) executed on independent hosts into
+one segmented run directory, and ``repro merge run_dir/`` reassembles
+them — byte-identical to the unsharded run for any N and any completion
+order.
+
 Authoritative schema reference: ``docs/SCENARIOS.md``.  CLI entry
 point: ``python -m repro scenarios <spec.yaml or bundled name>``.
 """
@@ -24,10 +31,21 @@ from repro.scenarios.bundled import (
 from repro.scenarios.compile import (
     ScenarioContext,
     ScenarioResult,
+    assemble_scenario_result,
     compile_spec,
     run_scenarios,
+    scenario_file_stems,
     smoke_context,
+    write_json_atomic,
     write_results,
+)
+from repro.scenarios.shard import (
+    SHARD_FORMAT_VERSION,
+    ShardPlan,
+    ShardSpec,
+    merge_run,
+    run_scenario_shard,
+    suite_fingerprint,
 )
 from repro.scenarios.faults import (
     FAULT_MODELS,
@@ -58,6 +76,7 @@ __all__ = [
     "REDUNDANCY_VARIANTS",
     "FAULT_MODELS",
     "NAMED_BIT_POSITIONS",
+    "SHARD_FORMAT_VERSION",
     "SPEC_DIR",
     "CampaignSpec",
     "FaultModelInfo",
@@ -65,7 +84,10 @@ __all__ = [
     "ScenarioContext",
     "ScenarioResult",
     "ScenarioSuite",
+    "ShardPlan",
+    "ShardSpec",
     "SpecFaultSampler",
+    "assemble_scenario_result",
     "build_fault_model",
     "bundled_spec_names",
     "bundled_spec_path",
@@ -73,10 +95,15 @@ __all__ = [
     "expand_entry",
     "load_bundled",
     "load_scenarios",
+    "merge_run",
     "parse_suite",
     "resolve_bit_position",
+    "run_scenario_shard",
     "run_scenarios",
+    "scenario_file_stems",
     "smoke_context",
+    "suite_fingerprint",
     "validate_fault_params",
+    "write_json_atomic",
     "write_results",
 ]

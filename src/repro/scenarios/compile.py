@@ -27,7 +27,9 @@ spec on tiny synthetic data inside the fast test tier.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -50,9 +52,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "ScenarioContext",
     "ScenarioResult",
+    "assemble_scenario_result",
     "compile_spec",
     "run_scenarios",
+    "scenario_file_stems",
     "smoke_context",
+    "write_json_atomic",
     "write_results",
 ]
 
@@ -296,9 +301,13 @@ def run_scenarios(
     else:
         specs = list(scenarios)
         suite_name = "scenarios"
-        names = [spec.name for spec in specs]
-        if len(set(names)) != len(names):
-            raise ValueError("scenario names must be unique within a run")
+    # Both input shapes fail fast on duplicate names: ScenarioSuite
+    # normally rejects them at construction, but suites arriving through
+    # other channels (unpickling, object.__new__) bypass __post_init__,
+    # and dying here beats dying late in write_results.
+    names = [spec.name for spec in specs]
+    if len(set(names)) != len(names):
+        raise ValueError("scenario names must be unique within a run")
     if not specs:
         return []
     workers = 1 if workers is None else workers
@@ -317,26 +326,110 @@ def run_scenarios(
         for spec, value in zip(specs, curves)
     ]
     if out_dir is not None:
-        write_results(results, out_dir, suite=suite_name, workers=workers)
+        write_results(results, out_dir, suite=suite_name)
     return results
+
+
+def write_json_atomic(path: "str | Path", payload: Any) -> Path:
+    """Serialize ``payload`` and atomically replace ``path``.
+
+    The tmp-file + :func:`os.replace` pattern of
+    :meth:`~repro.core.executor._Checkpoint.flush`: a reader (or a later
+    ``repro merge``) either sees the previous complete file or the new
+    one, never a truncated write from a killed run.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
+    os.replace(tmp, path)
+    return path
+
+
+def scenario_file_stems(names: Sequence[str]) -> list[str]:
+    """Filesystem-safe, collision-free stems for scenario result files.
+
+    Sanitizing distinct names can collide (``a/b=1`` and ``a-b-1`` both
+    sanitize to ``a-b-1``); every member of a colliding group gets a
+    deterministic suffix derived from its *original* name, so the stems
+    are stable across runs, hosts and shard/merge boundaries.
+    """
+    base = [re.sub(r"[^A-Za-z0-9._+=-]+", "-", name) for name in names]
+    counts: dict[str, int] = {}
+    for stem in base:
+        counts[stem] = counts.get(stem, 0) + 1
+    stems = [
+        stem
+        if counts[stem] == 1
+        else f"{stem}-{hashlib.sha256(name.encode('utf-8')).hexdigest()[:10]}"
+        for name, stem in zip(names, base)
+    ]
+    if len(set(stems)) != len(stems):  # pragma: no cover - defensive
+        raise ValueError("scenario names collide after filename sanitizing")
+    return stems
+
+
+def assemble_scenario_result(
+    spec: CampaignSpec,
+    rates: Any,
+    values: Any,
+    clean_accuracy: float,
+) -> ScenarioResult:
+    """Rebuild one scenario's result from its raw value grid.
+
+    The merge-side twin of the executor's ``build_result`` path: given
+    the spec, the ``(n_rates, n_trials[, cell_width])`` grid and the
+    recorded clean accuracy, produce the same
+    :class:`~repro.core.metrics.ResilienceCurve` /
+    :class:`~repro.core.batched.AdaptiveResult` a live task would have
+    built — without models, bundles or training.
+    """
+    import numpy as np
+
+    from repro.core.batched import AdaptiveResult
+    from repro.core.metrics import ResilienceCurve
+
+    rates = np.asarray(rates, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if spec.mode == "adaptive":
+        adaptive = AdaptiveResult.assemble(
+            label=spec.name,
+            rates=rates,
+            values=values,
+            max_trials=spec.trials,
+            weighted=spec.importance is not None,
+            n_images=spec.eval_images,
+            tolerance=spec.ci_halfwidth,
+            clean_accuracy=clean_accuracy,
+        )
+        return ScenarioResult(
+            spec=spec, curve=adaptive.curve, adaptive=adaptive
+        )
+    curve = ResilienceCurve(
+        fault_rates=rates,
+        accuracies=values,
+        clean_accuracy=float(clean_accuracy),
+        label=spec.name,
+    )
+    return ScenarioResult(spec=spec, curve=curve)
 
 
 def write_results(
     results: Sequence[ScenarioResult],
     out_dir: "str | Path",
     suite: str = "scenarios",
-    workers: int = 1,
 ) -> Path:
-    """Write per-scenario JSON files plus ``summary.json``; returns it."""
+    """Write per-scenario JSON files plus ``summary.json``; returns it.
+
+    Every file lands atomically (:func:`write_json_atomic`), and the
+    payload is a pure function of the results — an unsharded run and a
+    ``repro merge`` of the same cells produce byte-identical files.
+    """
     target = Path(out_dir)
     target.mkdir(parents=True, exist_ok=True)
-    stems = [result.file_stem() for result in results]
-    if len(set(stems)) != len(stems):  # pragma: no cover - defensive
-        raise ValueError("scenario names collide after filename sanitizing")
+    stems = scenario_file_stems([result.name for result in results])
     rows = []
     for result, stem in zip(results, stems):
-        path = target / f"{stem}.json"
-        path.write_text(json.dumps(result.to_dict(), indent=1, sort_keys=True))
+        path = write_json_atomic(target / f"{stem}.json", result.to_dict())
         row = {
             "name": result.name,
             "file": path.name,
@@ -352,17 +445,7 @@ def write_results(
             row["cells_executed"] = int(result.adaptive.cells_executed)
             row["cells_skipped"] = int(result.adaptive.cells_skipped)
         rows.append(row)
-    summary = target / "summary.json"
-    summary.write_text(
-        json.dumps(
-            {
-                "suite": suite,
-                "workers": int(workers),
-                "count": len(rows),
-                "scenarios": rows,
-            },
-            indent=1,
-            sort_keys=True,
-        )
+    return write_json_atomic(
+        target / "summary.json",
+        {"suite": suite, "count": len(rows), "scenarios": rows},
     )
-    return summary

@@ -230,3 +230,79 @@ class TestScenariosCommand:
         assert summary["count"] == 2
         # Re-running resumes every cell from the checkpoint.
         assert main(["scenarios", str(path), "--checkpoint", str(tmp_path / "ckpt.json")]) == 0
+
+
+class TestShardMergeCommands:
+    def _spec_file(self, tmp_path):
+        spec = {
+            "name": "cli-shard",
+            "defaults": {
+                "model": "lenet5",
+                "trials": 1,
+                "eval_images": 16,
+                "batch_size": 16,
+                "rates": [1e-5, 1e-4],
+            },
+            "scenarios": [
+                {"name": "t", "grid": {"campaign": ["weight", "quantized"]}}
+            ],
+        }
+        path = tmp_path / "tiny.json"
+        path.write_text(json.dumps(spec))
+        return path
+
+    def test_shard_requires_out(self, capsys, tmp_path):
+        path = self._spec_file(tmp_path)
+        assert main(["scenarios", str(path), "--shard", "1/2"]) == 2
+        assert "--out" in capsys.readouterr().err
+
+    def test_shard_rejects_external_checkpoint(self, capsys, tmp_path):
+        path = self._spec_file(tmp_path)
+        code = main(
+            [
+                "scenarios", str(path), "--shard", "1/2",
+                "--out", str(tmp_path / "run"),
+                "--checkpoint", str(tmp_path / "ckpt.json"),
+            ]
+        )
+        assert code == 2
+        assert "checkpoint" in capsys.readouterr().err
+
+    def test_bad_shard_string_errors_cleanly(self, capsys, tmp_path):
+        path = self._spec_file(tmp_path)
+        code = main(
+            [
+                "scenarios", str(path), "--shard", "5/2",
+                "--out", str(tmp_path / "run"),
+            ]
+        )
+        assert code == 2
+        assert "shard" in capsys.readouterr().err
+
+    def test_merge_of_empty_dir_errors_cleanly(self, capsys, tmp_path):
+        assert main(["merge", str(tmp_path)]) == 2
+        assert "shards" in capsys.readouterr().err
+
+    def test_shard_then_merge_roundtrip(self, capsys, tmp_path):
+        path = self._spec_file(tmp_path)
+        run_dir = tmp_path / "run"
+        for shard in ("2/2", "1/2"):
+            assert (
+                main(
+                    [
+                        "scenarios", str(path),
+                        "--shard", shard, "--out", str(run_dir),
+                    ]
+                )
+                == 0
+            )
+            assert f"shard {shard}" in capsys.readouterr().out
+        assert main(["merge", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "merged 2 scenarios" in out and "summary.json" in out
+        summary = json.loads((run_dir / "summary.json").read_text())
+        assert summary["count"] == 2
+        assert {row["name"] for row in summary["scenarios"]} == {
+            "t/campaign=weight",
+            "t/campaign=quantized",
+        }

@@ -204,6 +204,75 @@ class TestScenarioDocs:
         assert "docs/SCENARIOS.md" in (ROOT / "README.md").read_text()
 
 
+class TestShardDocs:
+    """The "Sharded & segmented runs" section tracks the shard module.
+
+    Both directions, like the schema tables above: every entry of
+    ``repro.scenarios.shard.RUN_LAYOUT`` must appear as a row of the
+    run-directory table, every table row must name a real layout entry,
+    and the CLI surface the section documents (``--shard``, ``merge``)
+    must exist on the real parser.
+    """
+
+    DOC = ROOT / "docs" / "SCENARIOS.md"
+
+    def _section(self):
+        text = self.DOC.read_text()
+        match = re.search(
+            r"^## Sharded & segmented runs$(.*?)(?=^## |\Z)",
+            text,
+            re.M | re.S,
+        )
+        assert match, (
+            "docs/SCENARIOS.md has no '## Sharded & segmented runs' section"
+        )
+        return match.group(1)
+
+    def _documented_layout(self):
+        rows = set(
+            re.findall(r"^\s*\|\s*`([^`]+)`\s*\|", self._section(), re.M)
+        )
+        return rows - {"Path"}
+
+    def test_layout_table_matches_run_layout_both_directions(self):
+        from repro.scenarios.shard import RUN_LAYOUT
+
+        documented = self._documented_layout()
+        actual = set(RUN_LAYOUT)
+        assert documented == actual, (
+            f"docs/SCENARIOS.md run-layout table disagrees with "
+            f"shard.RUN_LAYOUT: missing rows {sorted(actual - documented)}, "
+            f"stale rows {sorted(documented - actual)}"
+        )
+
+    def test_documented_cli_surface_exists(self):
+        from repro.cli import build_parser
+
+        section = self._section()
+        assert "--shard" in section and "repro merge" in section
+
+        parser = build_parser()
+        subparsers = next(
+            action
+            for action in parser._actions
+            if isinstance(action, __import__("argparse")._SubParsersAction)
+        )
+        assert "merge" in subparsers.choices
+        scenario_opts = {
+            option
+            for action in subparsers.choices["scenarios"]._actions
+            for option in action.option_strings
+        }
+        assert "--shard" in scenario_opts
+
+    def test_shard_smoke_target_documented_and_wired(self):
+        makefile = (ROOT / "Makefile").read_text()
+        assert "shard-smoke:" in makefile
+        assert "tests/test_shard_smoke.py" in makefile
+        assert (ROOT / "tests" / "test_shard_smoke.py").exists()
+        assert "shard-smoke" in self._section() or "shard-smoke" in makefile
+
+
 class TestPaperFigureCoverage:
     def test_all_paper_figures_have_bench(self):
         """Every evaluation figure of the paper maps to a bench file."""
