@@ -19,6 +19,11 @@
 #                 merged summary.json is byte-identical to the
 #                 unsharded run (part of the fast tier; see
 #                 docs/SCENARIOS.md "Sharded & segmented runs")
+#   make chaos-smoke - run a bundled smoke suite under aggressive
+#                 chaos injection (worker kills, exceptions, timeouts;
+#                 see docs/FAULT_TOLERANCE.md) and assert the output
+#                 is byte-identical to the chaos-free run (part of the
+#                 fast tier)
 #   make stats  - just the statistical-correctness simulations for the
 #                 adaptive stopping rule (interval coverage, sequential
 #                 stopping, importance-sampling unbiasedness); these are
@@ -32,7 +37,7 @@
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: fast test bench docs-check scenarios-smoke shard-smoke stats
+.PHONY: fast test bench docs-check scenarios-smoke shard-smoke chaos-smoke stats
 
 fast: docs-check
 	$(PYTEST) -q -m "not slow"
@@ -51,6 +56,9 @@ scenarios-smoke:
 
 shard-smoke:
 	$(PYTEST) -q tests/test_shard_smoke.py
+
+chaos-smoke:
+	$(PYTEST) -q tests/test_chaos_smoke.py
 
 stats:
 	$(PYTEST) -q -m stats

@@ -52,6 +52,42 @@ def build_parser() -> argparse.ArgumentParser:
             "are bit-identical at any worker count",
         )
 
+    def add_supervision_args(p: argparse.ArgumentParser) -> None:
+        from repro.core.executor import ON_CELL_ERROR_CHOICES
+
+        p.add_argument(
+            "--max-retries",
+            type=int,
+            default=None,
+            help="retries per cell before quarantine/abort (default 2, or "
+            "REPRO_MAX_RETRIES); see docs/FAULT_TOLERANCE.md",
+        )
+        p.add_argument(
+            "--cell-timeout",
+            type=float,
+            default=None,
+            help="wall-clock seconds per cell before its dispatch is killed "
+            "and retried (default: none, or REPRO_CELL_TIMEOUT)",
+        )
+        p.add_argument(
+            "--on-cell-error",
+            default=None,
+            choices=ON_CELL_ERROR_CHOICES,
+            help="what a cell exception does: abort re-raises (default, or "
+            "REPRO_ON_CELL_ERROR), retry retries then quarantines, "
+            "quarantine gives up immediately; quarantined cells become "
+            "failed outcomes in results instead of killing the run",
+        )
+        p.add_argument(
+            "--chaos",
+            default=None,
+            metavar="SPEC",
+            help="deterministic fault injection into the executor itself "
+            "(sets REPRO_CHAOS), e.g. 'kill=0.2,raise=0.1,seed=7' — a "
+            "test/validation knob proving runs recover bit-identically "
+            "(see docs/FAULT_TOLERANCE.md)",
+        )
+
     p_train = sub.add_parser("train", help="train or load a canonical network")
     add_model_arg(p_train)
     p_train.add_argument("--retrain", action="store_true", help="ignore the cache")
@@ -107,6 +143,7 @@ def build_parser() -> argparse.ArgumentParser:
         "bitwise-verified batched kernel (0/1 = per-cell; adaptive mode "
         "treats 0 as its default chunk of 8)",
     )
+    add_supervision_args(p_campaign)
 
     p_scenarios = sub.add_parser(
         "scenarios",
@@ -152,6 +189,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--out run directory; run the other shards on any hosts, then "
         "`repro merge <out>` (see docs/SCENARIOS.md)",
     )
+    add_supervision_args(p_scenarios)
 
     p_merge = sub.add_parser(
         "merge",
@@ -197,14 +235,61 @@ def _cell_progress_printer(show_label: bool = False):
 
     def progress(cell):
         resumed = " (checkpointed)" if cell.from_checkpoint else ""
+        failed = " FAILED (quarantined)" if cell.failed else ""
         label = f"{cell.campaign_label} " if show_label else ""
         print(
             f"[{cell.completed}/{cell.total}] {label}"
             f"rate={cell.fault_rate:.2e} trial={cell.trial} "
-            f"accuracy={cell.accuracy:.4f}{resumed}"
+            f"accuracy={cell.accuracy:.4f}{resumed}{failed}"
         )
 
     return progress
+
+
+def _apply_chaos(args: argparse.Namespace) -> "int | None":
+    """Validate ``--chaos`` and export it as ``REPRO_CHAOS``.
+
+    Returns an exit code on a bad spec, ``None`` on success.  The spec
+    travels by environment so worker processes (which re-read it in
+    ``_run_task_cells``) see the same policy as the parent.
+    """
+    import os
+
+    from repro.core.chaos import CHAOS_ENV_VAR, ChaosPolicy
+
+    if args.chaos is None:
+        return None
+    try:
+        ChaosPolicy.parse(args.chaos)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    os.environ[CHAOS_ENV_VAR] = args.chaos
+    return None
+
+
+def _report_quarantined(records) -> None:
+    """Print one line per quarantined cell (failed outcomes)."""
+    if not records:
+        return
+    print(f"{len(records)} cell(s) quarantined as failed outcomes:")
+    for cell in records:
+        error = f" ({cell['error']})" if cell.get("error") else ""
+        print(
+            f"  {cell['task']}: rate_index={cell['rate_index']} "
+            f"trial={cell['trial']} reason={cell['reason']} "
+            f"attempts={cell['attempts']}{error}"
+        )
+
+
+def _report_scenario_failures(results) -> None:
+    """Surface per-scenario quarantined cells after a table print."""
+    records = [
+        dict(cell, task=result.name)
+        for result in results
+        for cell in getattr(result, "failed", ())
+    ]
+    _report_quarantined(records)
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
@@ -281,8 +366,9 @@ def _cmd_harden(args: argparse.Namespace) -> int:
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.analysis.reporting import format_curve_table
-    from repro.core.campaign import CampaignConfig, run_campaign
-    from repro.core.quantized import run_quantized_campaign
+    from repro.core.campaign import CampaignConfig
+    from repro.core.executor import CampaignExecutor, WeightFaultCellTask
+    from repro.core.quantized import QuantizedCellTask
     from repro.experiments import (
         experiment_bundle,
         paper_fault_rates,
@@ -290,6 +376,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     )
     from repro.hw.memory import WeightMemory
 
+    code = _apply_chaos(args)
+    if code is not None:
+        return code
     bundle = experiment_bundle(args.model)
     images, labels = bundle.test_set.arrays()
     images, labels = images[: args.eval_images], labels[: args.eval_images]
@@ -303,66 +392,52 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     progress = _cell_progress_printer() if args.progress else None
 
     memory = WeightMemory.from_model(model)
+    # Both modes build their cell task directly and run it through one
+    # supervised executor, so --max-retries/--cell-timeout/--on-cell-error
+    # (and REPRO_CHAOS) govern exact and adaptive sweeps alike.
+    if args.variant == "int8":
+        base = QuantizedCellTask(
+            model, memory, images, labels, config,
+            label=args.variant, batch_k=args.batch_k,
+        )
+    else:
+        base = WeightFaultCellTask(
+            model, memory, images, labels, config=config,
+            sampler=sampler, label=args.variant, batch_k=args.batch_k,
+        )
     adaptive = None
     if args.mode == "adaptive":
         from repro.core.batched import AdaptiveCampaignTask
-        from repro.core.executor import CampaignExecutor, WeightFaultCellTask
-        from repro.core.quantized import QuantizedCellTask
 
-        if args.variant == "int8":
-            base = QuantizedCellTask(
-                model, memory, images, labels, config,
-                label=args.variant, batch_k=args.batch_k,
-            )
-        else:
-            base = WeightFaultCellTask(
-                model, memory, images, labels, config=config,
-                sampler=sampler, label=args.variant, batch_k=args.batch_k,
-            )
         task = AdaptiveCampaignTask(
             base,
             ci_halfwidth=args.ci_halfwidth,
             batch_k=args.batch_k,
             label=args.variant,
         )
-        executor = CampaignExecutor(
-            workers=args.workers, progress=progress, checkpoint=args.checkpoint
-        )
-        adaptive = executor.run_tasks([task])[0]
-        curve = adaptive.curve
-    elif args.variant == "int8":
-        curve = run_quantized_campaign(
-            model,
-            memory,
-            images,
-            labels,
-            config,
-            label=args.variant,
-            workers=args.workers,
-            progress=progress,
-            checkpoint=args.checkpoint,
-            batch_k=args.batch_k,
-        )
     else:
-        curve = run_campaign(
-            model,
-            memory,
-            images,
-            labels,
-            config,
-            sampler=sampler,
-            label=args.variant,
-            workers=args.workers,
-            progress=progress,
-            checkpoint=args.checkpoint,
-            batch_k=args.batch_k,
-        )
+        task = base
+    executor = CampaignExecutor(
+        workers=args.workers,
+        progress=progress,
+        checkpoint=args.checkpoint,
+        max_retries=args.max_retries,
+        cell_timeout=args.cell_timeout,
+        on_cell_error=args.on_cell_error,
+    )
+    result = executor.run_tasks([task])[0]
+    if args.mode == "adaptive":
+        adaptive = result
+        curve = adaptive.curve
+    else:
+        curve = result
     print(
         format_curve_table(
             curve, title=f"{args.model} [{args.variant}]: accuracy vs fault rate"
         )
     )
     print(f"AUC = {curve.auc():.4f}")
+    _report_quarantined(executor.quarantined)
     if adaptive is not None:
         print(
             f"adaptive: executed {adaptive.cells_executed}/"
@@ -408,6 +483,9 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     except (FileNotFoundError, ValueError, ImportError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    code = _apply_chaos(args)
+    if code is not None:
+        return code
 
     progress = _cell_progress_printer(show_label=True) if args.progress else None
 
@@ -436,6 +514,9 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
                 args.out,
                 workers=args.workers,
                 progress=progress,
+                max_retries=args.max_retries,
+                cell_timeout=args.cell_timeout,
+                on_cell_error=args.on_cell_error,
             )
         except ValueError as error:
             print(f"error: {error}", file=sys.stderr)
@@ -453,6 +534,9 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         progress=progress,
         checkpoint=args.checkpoint,
         out_dir=args.out,
+        max_retries=args.max_retries,
+        cell_timeout=args.cell_timeout,
+        on_cell_error=args.on_cell_error,
     )
     print(
         format_scenario_table(
@@ -461,6 +545,7 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
             "executor pool",
         )
     )
+    _report_scenario_failures(results)
     if args.out:
         print(f"results written to {Path(args.out) / 'summary.json'}")
     return 0
@@ -483,6 +568,7 @@ def _cmd_merge(args: argparse.Namespace) -> int:
             title=f"merged {len(results)} scenarios from {args.run_dir}",
         )
     )
+    _report_scenario_failures(results)
     print(f"merged results written to {Path(args.run_dir) / 'summary.json'}")
     return 0
 

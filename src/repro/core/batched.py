@@ -937,7 +937,13 @@ class AdaptiveResult:
             len(rates), adaptive_cell_width(total, weighted)
         )
         estimates = grid[:, 0].copy()
-        executed = grid[:, 1].astype(np.int64)
+        # A quarantined family leaves its grid row all-NaN; casting NaN
+        # to int is undefined, so treat it as zero executed trials (the
+        # estimate stays NaN and the half-width below becomes inf).
+        raw_executed = grid[:, 1]
+        executed = np.where(
+            np.isfinite(raw_executed), raw_executed, 0.0
+        ).astype(np.int64)
         accuracies = grid[:, 2 : 2 + total].copy()
         weights = None
         if weighted:
@@ -945,6 +951,9 @@ class AdaptiveResult:
         halfwidths = np.empty(len(rates), dtype=np.float64)
         for index in range(len(rates)):
             n_exec = int(executed[index])
+            if n_exec <= 0:
+                halfwidths[index] = float("inf")
+                continue
             halfwidths[index] = family_interval(
                 accuracies[index, :n_exec],
                 int(n_images),
@@ -985,7 +994,14 @@ class AdaptiveResult:
     def curve(self) -> ResilienceCurve:
         filled = self.accuracies.copy()
         for index in range(filled.shape[0]):
-            fill = min(1.0, max(0.0, float(self.estimates[index])))
+            estimate = float(self.estimates[index])
+            # max(0.0, nan) silently returns 0.0; keep a quarantined
+            # family's row NaN instead of faking a zero-accuracy one.
+            fill = (
+                min(1.0, max(0.0, estimate))
+                if math.isfinite(estimate)
+                else float("nan")
+            )
             filled[index, int(self.executed[index]) :] = fill
         return ResilienceCurve(
             fault_rates=self.fault_rates,

@@ -1,0 +1,236 @@
+"""Deterministic chaos injection for the campaign execution substrate.
+
+The supervised executor (:mod:`repro.core.executor`) promises that a
+campaign recovers from worker deaths, cell exceptions and stalls with
+**bit-identical** results — a promise that can only be *proven* by
+actually disturbing runs.  This module is that disturbance source: a
+:class:`ChaosPolicy` maps every ``(task, rate, trial, attempt)``
+dispatch to one of the actions
+
+* ``kill``  — SIGKILL the evaluating worker process (ignored when the
+  dispatch runs in-process, where killing would take the campaign down
+  with it),
+* ``raise`` — raise a :class:`ChaosError` before the cell evaluates
+  (so retried dispatches start from untouched runner state),
+* ``delay`` — sleep ``delay_seconds`` before evaluating (long enough
+  delays trip the executor's per-cell timeout),
+
+or to no disturbance at all.  Decisions are pure functions of the
+policy's seed and the dispatch coordinates (a SHA-256 hash, no global
+RNG state), so a chaos run is reproducible: the same policy disturbs
+the same dispatch attempts no matter which worker draws them.  Because
+the *attempt* number is part of the key, ``attempts=1`` (the default)
+disturbs only first attempts — every retry then succeeds, which is
+exactly the shape the bit-identical-recovery tests need.
+
+The policy travels through the ``REPRO_CHAOS`` environment variable
+(inherited by worker processes) as a comma-separated spec, e.g.::
+
+    REPRO_CHAOS="kill=0.2,raise=0.1,seed=7"
+    REPRO_CHAOS="delay=1,delay_seconds=2,attempts=99,cell=0:1"
+
+The spec keys are the :data:`CHAOS_SPEC_FIELDS` table, which
+``docs/FAULT_TOLERANCE.md`` mirrors (enforced both directions by
+``make docs-check``).  This is a test/validation harness: it disturbs
+executor cell dispatches only, never training or result assembly.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = [
+    "CHAOS_ENV_VAR",
+    "CHAOS_SPEC_FIELDS",
+    "ChaosError",
+    "ChaosPolicy",
+]
+
+CHAOS_ENV_VAR = "REPRO_CHAOS"
+
+# Spec key -> meaning; docs/FAULT_TOLERANCE.md mirrors this table and
+# tests/test_docs_consistency.py enforces the match both directions.
+CHAOS_SPEC_FIELDS = {
+    "kill": "probability that a dispatch SIGKILLs its worker process",
+    "raise": "probability that a dispatch raises a ChaosError pre-evaluation",
+    "delay": "probability that a dispatch sleeps before evaluating",
+    "delay_seconds": "sleep length of a delay disturbance, in seconds",
+    "seed": "hash seed; same seed = same disturbance pattern",
+    "attempts": "only dispatch attempts below this are disturbed (1 = first only)",
+    "cell": "restrict disturbances to one rate:trial cell (e.g. cell=0:1)",
+}
+
+
+class ChaosError(RuntimeError):
+    """The injected failure of a ``raise`` disturbance."""
+
+
+@dataclass(frozen=True)
+class ChaosPolicy:
+    """A seeded, per-dispatch disturbance policy.
+
+    ``kill``/``error``/``delay`` are per-dispatch probabilities laid
+    out on one uniform draw (kill first, then raise, then delay), so
+    their sum should stay at or below 1.  ``attempts`` gates the
+    disturbance on the dispatch attempt number, and ``cell`` optionally
+    restricts the policy to one ``(rate_index, trial)`` coordinate.
+    """
+
+    kill: float = 0.0
+    error: float = 0.0  # spec key "raise" (a Python keyword)
+    delay: float = 0.0
+    delay_seconds: float = 0.05
+    seed: int = 0
+    attempts: int = 1
+    cell: "tuple[int, int] | None" = None
+
+    def __post_init__(self) -> None:
+        for name in ("kill", "error", "delay"):
+            value = float(getattr(self, name))
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    f"chaos {name!r} must be a probability in [0, 1], "
+                    f"got {value}"
+                )
+            object.__setattr__(self, name, value)
+        if self.kill + self.error + self.delay > 1.0 + 1e-12:
+            raise ValueError(
+                "chaos kill + raise + delay probabilities must not exceed 1"
+            )
+        if float(self.delay_seconds) < 0:
+            raise ValueError("chaos delay_seconds must be >= 0")
+        object.__setattr__(self, "delay_seconds", float(self.delay_seconds))
+        if int(self.attempts) < 0:
+            raise ValueError("chaos attempts must be >= 0")
+        object.__setattr__(self, "attempts", int(self.attempts))
+        object.__setattr__(self, "seed", int(self.seed))
+        if self.cell is not None:
+            rate_index, trial = self.cell
+            object.__setattr__(self, "cell", (int(rate_index), int(trial)))
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def parse(cls, spec: str) -> "ChaosPolicy":
+        """Parse the ``REPRO_CHAOS`` spec form, e.g. ``"kill=0.2,seed=7"``.
+
+        Keys are :data:`CHAOS_SPEC_FIELDS`; unknown keys are rejected so
+        a typo disturbs nothing silently.
+        """
+        fields: dict = {}
+        for part in str(spec).split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, raw = part.partition("=")
+            key = key.strip()
+            if not sep or key not in CHAOS_SPEC_FIELDS:
+                raise ValueError(
+                    f"bad chaos spec entry {part!r}; known keys: "
+                    f"{', '.join(CHAOS_SPEC_FIELDS)}"
+                )
+            raw = raw.strip()
+            if key == "cell":
+                rate_raw, sep, trial_raw = raw.partition(":")
+                if not sep:
+                    raise ValueError(
+                        f"chaos cell must look like 'rate:trial', got {raw!r}"
+                    )
+                fields["cell"] = (int(rate_raw), int(trial_raw))
+            elif key in ("seed", "attempts"):
+                fields[key] = int(raw)
+            elif key == "raise":
+                fields["error"] = float(raw)
+            else:
+                fields[key] = float(raw)
+        if not fields:
+            raise ValueError(f"empty chaos spec {spec!r}")
+        return cls(**fields)
+
+    @classmethod
+    def from_env(cls) -> "ChaosPolicy | None":
+        """The process's chaos policy, or ``None`` when chaos is off.
+
+        Read from :data:`CHAOS_ENV_VAR` — the variable is inherited by
+        worker processes, so one setting disturbs the whole pool.
+        """
+        spec = os.environ.get(CHAOS_ENV_VAR, "").strip()
+        if not spec:
+            return None
+        return _parse_cached(spec)
+
+    # ------------------------------------------------------------------ #
+    # decisions and disturbances
+    # ------------------------------------------------------------------ #
+
+    def decide(
+        self, task_index: int, rate_index: int, trial: int, attempt: int
+    ) -> "str | None":
+        """The action for one dispatch: ``"kill"``/``"raise"``/``"delay"``/None.
+
+        A pure function of the policy and the dispatch coordinates: the
+        uniform draw is the leading 64 bits of
+        ``sha256(f"{seed}/{task}/{rate}/{trial}/{attempt}")``.
+        """
+        if attempt >= self.attempts:
+            return None
+        if self.cell is not None and (int(rate_index), int(trial)) != self.cell:
+            return None
+        total = self.kill + self.error + self.delay
+        if total <= 0.0:
+            return None
+        key = f"{self.seed}/{task_index}/{rate_index}/{trial}/{attempt}"
+        digest = hashlib.sha256(key.encode("utf-8")).digest()
+        draw = int.from_bytes(digest[:8], "big") / 2.0**64
+        if draw < self.kill:
+            return "kill"
+        if draw < self.kill + self.error:
+            return "raise"
+        if draw < total:
+            return "delay"
+        return None
+
+    def disturb(
+        self,
+        task_index: int,
+        cells: "Sequence[tuple[int, int]]",
+        attempts: Sequence[int],
+        in_process: bool = False,
+    ) -> None:
+        """Apply this policy to one dispatch chunk, before it evaluates.
+
+        Scans the chunk's cells in order and executes the first non-None
+        decision: ``kill`` SIGKILLs the current process (skipped
+        ``in_process``, where the "worker" is the campaign itself),
+        ``raise`` raises :class:`ChaosError`, ``delay`` sleeps and keeps
+        scanning.  Called before any cell state is touched, so a
+        disturbed-and-retried dispatch re-evaluates from clean state.
+        """
+        for (rate_index, trial), attempt in zip(cells, attempts):
+            action = self.decide(task_index, rate_index, trial, attempt)
+            if action is None:
+                continue
+            if action == "delay":
+                time.sleep(self.delay_seconds)
+                continue
+            if action == "kill":
+                if in_process:
+                    continue
+                os.kill(os.getpid(), signal.SIGKILL)
+            raise ChaosError(
+                f"chaos: injected failure at task {task_index} cell "
+                f"{rate_index}/{trial} attempt {attempt}"
+            )
+
+
+@functools.lru_cache(maxsize=8)
+def _parse_cached(spec: str) -> ChaosPolicy:
+    return ChaosPolicy.parse(spec)

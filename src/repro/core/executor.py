@@ -97,14 +97,22 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import warnings
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Protocol, Sequence
 
 import numpy as np
 
+from repro.core.chaos import ChaosPolicy
 from repro.core.metrics import ResilienceCurve, evaluate_accuracy_arrays
 from repro.utils.rng import SeedTree
 from repro.utils.shm import PackedUnit, ShippedPlane, pack_object, ship_units
@@ -114,12 +122,17 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 __all__ = [
     "CellResult",
+    "CellTimeoutError",
     "ProgressCallback",
     "CellRunner",
     "CampaignCellTask",
     "InjectionCellRunner",
     "WeightFaultCellTask",
     "CampaignExecutor",
+    "SupervisionPolicy",
+    "ON_CELL_ERROR_CHOICES",
+    "FAILURE_REASONS",
+    "FAILED_CELL_FIELDS",
     "payload_state",
     "resolve_workers",
     "cell_seed_path",
@@ -154,6 +167,122 @@ def resolve_workers(workers: int) -> int:
     return int(workers)
 
 
+# What to do when a cell's evaluation raises an exception (worker deaths
+# and timeouts are infrastructure faults and are always retried first):
+#   abort      - re-raise immediately (the historical behavior, default)
+#   retry      - retry up to max_retries times, then quarantine
+#   quarantine - mark the cell failed on the first blamed error
+ON_CELL_ERROR_CHOICES = ("retry", "quarantine", "abort")
+
+# Why a cell was quarantined.
+FAILURE_REASONS = ("exception", "timeout", "worker-death")
+
+# Schema of one quarantined-cell record (CampaignExecutor.quarantined,
+# scenario "failed_cells" payloads, shard partial "failed" lists).  The
+# failure-outcome table in docs/FAULT_TOLERANCE.md mirrors these fields
+# and tests/test_docs_consistency.py enforces the match both directions.
+FAILED_CELL_FIELDS = {
+    "task": "label (or kind) of the owning campaign task",
+    "task_index": "position of the task in the scheduling pass",
+    "rate_index": "rate index of the quarantined cell",
+    "trial": "trial index of the quarantined cell",
+    "reason": "one of the FAILURE_REASONS: exception, timeout, worker-death",
+    "attempts": "dispatch attempts consumed before the cell was given up",
+    "error": "rendering of the last error ('' for timeouts without one)",
+}
+
+
+class CellTimeoutError(RuntimeError):
+    """A cell dispatch exceeded the supervision policy's cell timeout."""
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """How the executor reacts to failing cells, workers and stalls.
+
+    ``max_retries`` bounds the blamed failures a single cell may
+    accumulate (infrastructure faults — worker deaths, timeouts — are
+    always retried up to this bound regardless of ``on_cell_error``).
+    ``cell_timeout`` is the per-cell wall-clock budget of a dispatch
+    (``None`` disables timeouts; enforced on the worker pool only —
+    in-process execution cannot be preempted).  ``on_cell_error`` picks
+    the exception policy from :data:`ON_CELL_ERROR_CHOICES`; the
+    default ``"abort"`` preserves the historical raise-on-first-error
+    contract.  ``retry_backoff`` seeds the deterministic exponential
+    backoff (no jitter — determinism extends to scheduling decisions),
+    and ``max_pool_rebuilds`` caps pool reconstructions before the
+    executor degrades to serial in-process execution.
+    """
+
+    max_retries: int = 2
+    cell_timeout: "float | None" = None
+    on_cell_error: str = "abort"
+    retry_backoff: float = 0.05
+    max_pool_rebuilds: int = 8
+
+    def __post_init__(self) -> None:
+        if int(self.max_retries) < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        object.__setattr__(self, "max_retries", int(self.max_retries))
+        if self.cell_timeout is not None:
+            timeout = float(self.cell_timeout)
+            if timeout <= 0:
+                raise ValueError(
+                    f"cell_timeout must be positive (or None), got {timeout}"
+                )
+            object.__setattr__(self, "cell_timeout", timeout)
+        if self.on_cell_error not in ON_CELL_ERROR_CHOICES:
+            raise ValueError(
+                f"on_cell_error must be one of {ON_CELL_ERROR_CHOICES}, "
+                f"got {self.on_cell_error!r}"
+            )
+        if float(self.retry_backoff) < 0:
+            raise ValueError("retry_backoff must be >= 0")
+        object.__setattr__(self, "retry_backoff", float(self.retry_backoff))
+        if int(self.max_pool_rebuilds) < 0:
+            raise ValueError("max_pool_rebuilds must be >= 0")
+        object.__setattr__(
+            self, "max_pool_rebuilds", int(self.max_pool_rebuilds)
+        )
+
+    @classmethod
+    def from_env(
+        cls,
+        max_retries: "int | None" = None,
+        cell_timeout: "float | None" = None,
+        on_cell_error: "str | None" = None,
+    ) -> "SupervisionPolicy":
+        """Resolve a policy: explicit argument > environment > default.
+
+        The environment knobs (``REPRO_MAX_RETRIES``,
+        ``REPRO_CELL_TIMEOUT``, ``REPRO_ON_CELL_ERROR``) configure runs
+        whose call sites don't thread the parameters — benchmarks,
+        examples, hardening sub-campaigns.
+        """
+        if max_retries is None:
+            raw = os.environ.get("REPRO_MAX_RETRIES", "").strip()
+            max_retries = int(raw) if raw else cls.max_retries
+        if cell_timeout is None:
+            raw = os.environ.get("REPRO_CELL_TIMEOUT", "").strip()
+            cell_timeout = float(raw) if raw else None
+        if on_cell_error is None:
+            raw = os.environ.get("REPRO_ON_CELL_ERROR", "").strip()
+            on_cell_error = raw if raw else cls.on_cell_error
+        return cls(
+            max_retries=max_retries,
+            cell_timeout=cell_timeout,
+            on_cell_error=on_cell_error,
+        )
+
+    def backoff_seconds(self, failures: int) -> float:
+        """Deterministic exponential backoff after the n-th blamed failure."""
+        if failures <= 0 or self.retry_backoff <= 0:
+            return 0.0
+        return self.retry_backoff * (2.0 ** min(failures - 1, 5))
+
+
 @dataclass(frozen=True)
 class CellResult:
     """One completed (rate, trial) cell, streamed to progress callbacks.
@@ -174,6 +303,9 @@ class CellResult:
     campaign_index: int = 0
     campaign_label: str = ""
     values: "tuple[float, ...] | None" = None
+    # True for a quarantined cell: the accuracy is NaN and the full
+    # failure record lands in CampaignExecutor.quarantined.
+    failed: bool = False
 
 
 ProgressCallback = Callable[[CellResult], None]
@@ -550,13 +682,29 @@ def _run_task_cells(
     plane: ShippedPlane,
     generation: "tuple[int, int]",
     task_index: int,
-    cells: Sequence[tuple[int, int]],
+    cells: Sequence[Sequence[int]],
 ) -> "list[tuple[int, int, int, float | Sequence[float]]]":
-    """Evaluate a chunk of one task's cells in this worker."""
+    """Evaluate a chunk of one task's cells in this worker.
+
+    Each cell is ``(rate_index, trial)`` or — from the supervised
+    dispatch loop — ``(rate_index, trial, attempt)``, where ``attempt``
+    counts earlier dispatches of the same cell and keys the chaos
+    harness (:mod:`repro.core.chaos`): with the default
+    ``attempts=1`` gate a re-dispatched cell is never disturbed twice,
+    so recovery converges.  Chaos fires *before* the runner is touched,
+    leaving retried dispatches clean state to evaluate from.
+    """
+    normalized = [(int(cell[0]), int(cell[1])) for cell in cells]
+    policy = ChaosPolicy.from_env()
+    if policy is not None:
+        attempts = [
+            int(cell[2]) if len(cell) > 2 else 0 for cell in cells
+        ]
+        policy.disturb(task_index, normalized, attempts)
     runner = _task_runner(_worker_state(plane, generation), task_index)
     return [
         (task_index, rate_index, trial, value)
-        for chunk, values in _runner_groups(runner, cells)
+        for chunk, values in _runner_groups(runner, normalized)
         for (rate_index, trial), value in zip(chunk, values)
     ]
 
@@ -782,6 +930,21 @@ class CampaignExecutor:
         so workers idle between sweeps retain the last sweep's state
         until the next sweep or :meth:`close` — size
         ``REPRO_SUFFIX_BUDGET_MB`` accordingly on wide warm pools.
+    max_retries / cell_timeout / on_cell_error:
+        Shorthand for the matching :class:`SupervisionPolicy` fields;
+        unset knobs resolve through the ``REPRO_MAX_RETRIES`` /
+        ``REPRO_CELL_TIMEOUT`` / ``REPRO_ON_CELL_ERROR`` environment and
+        fall back to the policy defaults (2 retries, no timeout, abort).
+    supervision:
+        A complete :class:`SupervisionPolicy` (mutually exclusive with
+        the shorthand knobs) for callers that also tune the backoff or
+        the pool-rebuild budget.
+
+    After each :meth:`run_grids` pass, :attr:`quarantined` holds one
+    record per cell that exhausted its retries (schema:
+    :data:`FAILED_CELL_FIELDS`); quarantined cells stay ``nan`` in the
+    value grids and are *not* checkpointed, so a resumed run retries
+    them.  See ``docs/FAULT_TOLERANCE.md``.
     """
 
     def __init__(
@@ -793,6 +956,10 @@ class CampaignExecutor:
         mp_context: "str | None" = None,
         persistent: bool = False,
         checkpoint_extra: "dict | None" = None,
+        max_retries: "int | None" = None,
+        cell_timeout: "float | None" = None,
+        on_cell_error: "str | None" = None,
+        supervision: "SupervisionPolicy | None" = None,
     ):
         self.workers = resolve_workers(workers)
         if chunk_size < 0:
@@ -803,6 +970,27 @@ class CampaignExecutor:
         self.checkpoint_extra = dict(checkpoint_extra) if checkpoint_extra else None
         self.mp_context = mp_context
         self.persistent = bool(persistent)
+        if supervision is not None and (
+            max_retries is not None
+            or cell_timeout is not None
+            or on_cell_error is not None
+        ):
+            raise ValueError(
+                "pass either a SupervisionPolicy or the individual "
+                "max_retries/cell_timeout/on_cell_error knobs, not both"
+            )
+        self.supervision = (
+            supervision
+            if supervision is not None
+            else SupervisionPolicy.from_env(
+                max_retries=max_retries,
+                cell_timeout=cell_timeout,
+                on_cell_error=on_cell_error,
+            )
+        )
+        # Failure records of the most recent run_grids pass, one dict
+        # per quarantined cell (schema: FAILED_CELL_FIELDS).
+        self.quarantined: "list[dict]" = []
         self._pool: "ProcessPoolExecutor | None" = None
 
     def close(self) -> None:
@@ -897,6 +1085,7 @@ class CampaignExecutor:
         progress totals count only the subset.
         """
         tasks = list(tasks)
+        self.quarantined = []
         if not tasks:
             return [], []
         if payloads is not None and len(payloads) != len(tasks):
@@ -1005,65 +1194,92 @@ class CampaignExecutor:
             ]
 
         if any(pending):
-            if self.workers == 1:
-                self._run_serial(
-                    tasks, pending, rates_list, grids, completed, total, checkpoint
+            try:
+                self._run_pending(
+                    tasks, units, errors, pending, rates_list, grids,
+                    completed, total, checkpoint,
                 )
-            else:
-                for task, unit, error in zip(tasks, units, errors):
-                    if unit is None:
-                        raise ValueError(
-                            f"campaign state of {task.label or task.kind!r} must "
-                            "be picklable for workers > 1; use a picklable "
-                            "sampler (e.g. random_bitflip_sampler(), "
-                            "ecc_sampler()) instead of a lambda/closure, or "
-                            f"run with workers=1 ({error})"
-                        ) from error
-                # One clean pass per host: publish each task's suffix
-                # activation cache alongside its weights (skipped on the
-                # inline transport, where the cache bytes would be
-                # copied into every chunk call instead of mapped once).
-                # The writability probe, not mere importability, gates
-                # the export so a full /dev/shm doesn't waste one clean
-                # forward per task on caches that could never ship.
-                from repro.utils.shm import shared_memory_writable
-
-                suffix_units: "dict[int, PackedUnit]" = (
-                    _export_suffix_caches(tasks, pending)
-                    if shared_memory_writable()
-                    else {}
-                )
-                task_units = [
-                    (f"task/{index}", unit) for index, unit in enumerate(units)
-                ]
-                cache_units = [
-                    (f"suffix/{index}", unit)
-                    for index, unit in sorted(suffix_units.items())
-                ]
-                shipment = ship_units(task_units + cache_units)
-                if cache_units and not shipment.ref.via_shared_memory:
-                    # Segment creation failed at runtime (e.g. /dev/shm
-                    # full): the inline transport re-pickles the plane
-                    # into every chunk call, so carrying the activation
-                    # caches there would multiply the copy cost the
-                    # publication exists to avoid.  Re-ship tasks only;
-                    # workers rebuild their clean passes locally.
-                    shipment.release()
-                    shipment = ship_units(task_units)
-                # The segment (or the inline ref) now owns the only
-                # payload copy; drop the per-task units so a large
-                # multi-model sweep doesn't hold the streams twice.
-                del task_units, cache_units, suffix_units
-                units.clear()
-                try:
-                    self._run_parallel(
-                        tasks, shipment.ref, pending, rates_list,
-                        grids, completed, total, checkpoint,
-                    )
-                finally:
-                    shipment.release()
+            except BaseException:
+                # A KeyboardInterrupt (or any other abort) mid-sweep
+                # must not lose cells already recorded but not yet
+                # flushed: persist the checkpoint before re-raising, so
+                # Ctrl-C loses at most the in-flight window.
+                if checkpoint is not None:
+                    checkpoint.flush()
+                raise
 
         return rates_list, grids
+
+    def _run_pending(
+        self,
+        tasks: Sequence[CampaignCellTask],
+        units: "list[PackedUnit | None]",
+        errors: "list[Exception | None]",
+        pending: "list[list[tuple[int, int]]]",
+        rates_list: list[np.ndarray],
+        grids: list[np.ndarray],
+        completed: int,
+        total: int,
+        checkpoint: "_Checkpoint | None",
+    ) -> None:
+        """Dispatch the pending cells serially or across the pool."""
+        if self.workers == 1:
+            self._run_serial(
+                tasks, pending, rates_list, grids, completed, total, checkpoint
+            )
+            return
+        for task, unit, error in zip(tasks, units, errors):
+            if unit is None:
+                raise ValueError(
+                    f"campaign state of {task.label or task.kind!r} must "
+                    "be picklable for workers > 1; use a picklable "
+                    "sampler (e.g. random_bitflip_sampler(), "
+                    "ecc_sampler()) instead of a lambda/closure, or "
+                    f"run with workers=1 ({error})"
+                ) from error
+        # One clean pass per host: publish each task's suffix
+        # activation cache alongside its weights (skipped on the
+        # inline transport, where the cache bytes would be
+        # copied into every chunk call instead of mapped once).
+        # The writability probe, not mere importability, gates
+        # the export so a full /dev/shm doesn't waste one clean
+        # forward per task on caches that could never ship.
+        from repro.utils.shm import shared_memory_writable
+
+        suffix_units: "dict[int, PackedUnit]" = (
+            _export_suffix_caches(tasks, pending)
+            if shared_memory_writable()
+            else {}
+        )
+        task_units = [
+            (f"task/{index}", unit) for index, unit in enumerate(units)
+        ]
+        cache_units = [
+            (f"suffix/{index}", unit)
+            for index, unit in sorted(suffix_units.items())
+        ]
+        shipment = ship_units(task_units + cache_units)
+        if cache_units and not shipment.ref.via_shared_memory:
+            # Segment creation failed at runtime (e.g. /dev/shm
+            # full): the inline transport re-pickles the plane
+            # into every chunk call, so carrying the activation
+            # caches there would multiply the copy cost the
+            # publication exists to avoid.  Re-ship tasks only;
+            # workers rebuild their clean passes locally.
+            shipment.release()
+            shipment = ship_units(task_units)
+        # The segment (or the inline ref) now owns the only
+        # payload copy; drop the per-task units so a large
+        # multi-model sweep doesn't hold the streams twice.
+        del task_units, cache_units, suffix_units
+        units.clear()
+        try:
+            self._run_parallel(
+                tasks, shipment.ref, pending, rates_list,
+                grids, completed, total, checkpoint,
+            )
+        finally:
+            shipment.release()
 
     # ------------------------------------------------------------------ #
 
@@ -1117,6 +1333,7 @@ class CampaignExecutor:
         completed: int,
         total: int,
         from_checkpoint: bool = False,
+        failed: bool = False,
     ) -> None:
         if self.progress is None:
             return
@@ -1135,7 +1352,44 @@ class CampaignExecutor:
                 values=(
                     tuple(float(v) for v in scalars) if scalars.size > 1 else None
                 ),
+                failed=failed,
             )
+        )
+
+    def _quarantine(
+        self,
+        task: CampaignCellTask,
+        task_index: int,
+        rate_index: int,
+        trial: int,
+        rates: np.ndarray,
+        completed: int,
+        total: int,
+        reason: str,
+        attempts: int,
+        error: "BaseException | None",
+    ) -> None:
+        """Record one cell as a ``failed`` outcome instead of aborting.
+
+        The cell's grid entry stays NaN (so a checkpoint resume retries
+        it), a :data:`FAILED_CELL_FIELDS` record lands on
+        ``self.quarantined`` for results/summary surfacing, and the
+        progress stream sees a ``failed=True`` :class:`CellResult`.
+        """
+        self.quarantined.append(
+            {
+                "task": task.label or task.kind,
+                "task_index": int(task_index),
+                "rate_index": int(rate_index),
+                "trial": int(trial),
+                "reason": reason,
+                "attempts": int(attempts),
+                "error": "" if error is None else f"{type(error).__name__}: {error}",
+            }
+        )
+        self._emit(
+            task, task_index, rate_index, trial, rates,
+            float("nan"), completed, total, failed=True,
         )
 
     def _run_serial(
@@ -1148,26 +1402,106 @@ class CampaignExecutor:
         total: int,
         checkpoint: "_Checkpoint | None",
     ) -> None:
-        """The historical in-process loops: task-major, rate-major."""
+        """The in-process loops: task-major, rate-major, supervised."""
+        chaos = ChaosPolicy.from_env()
         for task_index, task in enumerate(tasks):
             if not pending[task_index]:
                 continue
             runner = task.make_runner()
             try:
-                for chunk, values in _runner_groups(runner, pending[task_index]):
-                    for (rate_index, trial), value in zip(chunk, values):
-                        grids[task_index][rate_index, trial] = value
-                        completed += 1
-                        self._emit(
-                            task, task_index, rate_index, trial,
-                            rates_list[task_index],
-                            grids[task_index][rate_index, trial], completed, total,
-                        )
-                        if checkpoint is not None:
-                            checkpoint.record(task_index, rate_index, trial, value)
-                            checkpoint.flush()
+                completed = self._run_serial_task(
+                    runner, task, task_index, pending[task_index],
+                    rates_list, grids, completed, total, checkpoint, chaos,
+                )
             finally:
                 runner.close()
+
+    def _run_serial_task(
+        self,
+        runner: CellRunner,
+        task: CampaignCellTask,
+        task_index: int,
+        cells: "Sequence[tuple[int, int]]",
+        rates_list: list[np.ndarray],
+        grids: list[np.ndarray],
+        completed: int,
+        total: int,
+        checkpoint: "_Checkpoint | None",
+        chaos: "ChaosPolicy | None",
+    ) -> int:
+        """Evaluate one task's cells in-process under supervision.
+
+        Cell exceptions follow ``self.supervision.on_cell_error``:
+        ``abort`` re-raises (the historical behaviour), ``retry``
+        re-evaluates up to ``max_retries`` times with deterministic
+        backoff before quarantining, ``quarantine`` gives up on the
+        first failure.  Worker death cannot happen here (the "worker"
+        is this process), so chaos ``kill`` decisions are skipped by
+        :meth:`ChaosPolicy.disturb` via ``in_process=True``.  Returns
+        the updated completed-cell count.
+        """
+        policy = self.supervision
+        group = max(1, int(getattr(runner, "cells_per_call", 1)))
+        work: "deque[list[tuple[int, int]]]" = deque(
+            [list(cells[start : start + group])
+             for start in range(0, len(cells), group)]
+        )
+        dispatches: "dict[tuple[int, int], int]" = {}
+        failures: "dict[tuple[int, int], int]" = {}
+        while work:
+            chunk = work.popleft()
+            attempts = [dispatches.get(cell, 0) for cell in chunk]
+            for cell in chunk:
+                dispatches[cell] = dispatches.get(cell, 0) + 1
+            try:
+                if chaos is not None:
+                    chaos.disturb(task_index, chunk, attempts, in_process=True)
+                if len(chunk) > 1 and group > 1:
+                    values = list(runner.run_cells(chunk))
+                else:
+                    values = [
+                        runner.run_cell(rate_index, trial)
+                        for rate_index, trial in chunk
+                    ]
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as error:
+                if policy.on_cell_error == "abort":
+                    raise
+                if len(chunk) > 1:
+                    # The failure blames the whole group; probe the
+                    # cells one at a time to isolate the culprit.
+                    work.extendleft([cell] for cell in reversed(chunk))
+                    continue
+                cell = chunk[0]
+                failures[cell] = failures.get(cell, 0) + 1
+                if (
+                    policy.on_cell_error == "quarantine"
+                    or failures[cell] > policy.max_retries
+                ):
+                    completed += 1
+                    self._quarantine(
+                        task, task_index, cell[0], cell[1],
+                        rates_list[task_index], completed, total,
+                        "exception", dispatches[cell], error,
+                    )
+                else:
+                    time.sleep(policy.backoff_seconds(failures[cell]))
+                    work.appendleft([cell])
+                continue
+            for (rate_index, trial), value in zip(chunk, values):
+                grids[task_index][rate_index, trial] = value
+                completed += 1
+                if checkpoint is not None:
+                    checkpoint.record(task_index, rate_index, trial, value)
+                self._emit(
+                    task, task_index, rate_index, trial,
+                    rates_list[task_index],
+                    grids[task_index][rate_index, trial], completed, total,
+                )
+                if checkpoint is not None:
+                    checkpoint.flush()
+        return completed
 
     def _run_parallel(
         self,
@@ -1180,14 +1514,39 @@ class CampaignExecutor:
         total: int,
         checkpoint: "_Checkpoint | None",
     ) -> None:
-        """Fan every task's pending cells over one process pool.
+        """Fan every task's pending cells over one supervised pool.
 
         A persistent executor reuses its warm pool across calls; the
         plane address then travels with each chunk under a fresh
         generation id (workers re-attach once per generation).  A
         one-shot executor builds a right-sized pool and tears it down
         afterwards.
+
+        Supervision on top of the historical fan-out:
+
+        * **Worker death** (``BrokenProcessPool``) discards the broken
+          pool, harvests any chunks that still finished, rebuilds a
+          fresh pool, issues a fresh generation id against the *same*
+          shipment (the parent owns the segment, so re-shipping is an
+          id bump — workers re-attach on first touch), and re-dispatches
+          only the chunks that were in flight.  Suspect cells re-enter
+          through a *probe lane* where they run strictly alone, so the
+          next death is attributable to one cell.
+        * **Per-cell timeouts** (``policy.cell_timeout``) give each
+          in-flight chunk a wall-clock deadline; an expired chunk's
+          workers are killed with the pool (a running cell cannot be
+          cancelled remotely) and its cells are retried or quarantined.
+        * **Cell exceptions** follow ``policy.on_cell_error`` exactly as
+          in the serial loop; multi-cell chunks are first split into
+          singletons so the blame lands on one cell.
+        * After ``policy.max_pool_rebuilds`` consecutive pool losses the
+          executor **degrades to serial in-process execution** for the
+          remaining cells instead of thrashing.
+
+        Because cells are pure functions of ``(seed, rate, trial)``,
+        every recovery path yields bit-identical grids.
         """
+        policy = self.supervision
         n_pending = sum(len(cells) for cells in pending)
         workers = (
             self.workers if self.persistent else min(self.workers, n_pending)
@@ -1198,39 +1557,279 @@ class CampaignExecutor:
             # chunk's call item; coarsen to about one chunk per worker so
             # the copy count matches the old initializer-based shipping.
             chunk_size = max(chunk_size, -(-n_pending // workers))
-        chunks: "list[tuple[int, list[tuple[int, int]]]]" = []
+        normal: "deque[tuple[int, list[tuple[int, int]]]]" = deque()
         for task_index, cells in enumerate(pending):
             for start in range(0, len(cells), chunk_size):
-                chunks.append((task_index, cells[start : start + chunk_size]))
+                normal.append((task_index, list(cells[start : start + chunk_size])))
+        probe: "deque[tuple[int, list[tuple[int, int]]]]" = deque()
+        dispatches: "dict[tuple[int, int, int], int]" = {}
+        failures: "dict[tuple[int, int, int], int]" = {}
+        in_flight: "dict[Any, tuple[int, list[tuple[int, int]], float | None, bool]]" = {}
+        rebuilds = 0
+        backoff = 0.0
+        degrade = False
 
         generation = (os.getpid(), next(_GENERATION))
         pool = self._acquire_pool(workers)
-        try:
-            futures = {
-                pool.submit(
-                    _run_task_cells, payload, generation, task_index, cells
+
+        def submit_chunk(
+            task_index: int, cells: "list[tuple[int, int]]", probed: bool
+        ) -> None:
+            shipped = [
+                (rate_index, trial,
+                 dispatches.get((task_index, rate_index, trial), 0))
+                for rate_index, trial in cells
+            ]
+            future = pool.submit(
+                _run_task_cells, payload, generation, task_index, shipped
+            )
+            for rate_index, trial in cells:
+                key = (task_index, rate_index, trial)
+                dispatches[key] = dispatches.get(key, 0) + 1
+            deadline = (
+                time.monotonic() + policy.cell_timeout * len(cells)
+                if policy.cell_timeout is not None
+                else None
+            )
+            in_flight[future] = (task_index, list(cells), deadline, probed)
+
+        def harvest(results) -> None:
+            nonlocal completed
+            for task_index, rate_index, trial, value in results:
+                grids[task_index][rate_index, trial] = value
+                completed += 1
+                if checkpoint is not None:
+                    checkpoint.record(task_index, rate_index, trial, value)
+                self._emit(
+                    tasks[task_index], task_index, rate_index, trial,
+                    rates_list[task_index],
+                    grids[task_index][rate_index, trial],
+                    completed, total,
                 )
-                for task_index, cells in chunks
-            }
-            while futures:
-                done, futures = wait(futures, return_when=FIRST_COMPLETED)
+            if checkpoint is not None:
+                checkpoint.flush()
+
+        def give_up(
+            task_index: int,
+            cell: "tuple[int, int]",
+            reason: str,
+            error: "BaseException | None",
+        ) -> None:
+            nonlocal completed
+            completed += 1
+            self._quarantine(
+                tasks[task_index], task_index, cell[0], cell[1],
+                rates_list[task_index], completed, total,
+                reason, dispatches.get((task_index, *cell), 0), error,
+            )
+
+        def settle_failure(
+            task_index: int,
+            cells: "list[tuple[int, int]]",
+            reason: str,
+            error: BaseException,
+            blamed: bool,
+        ) -> None:
+            nonlocal backoff
+            if reason == "exception" and policy.on_cell_error == "abort":
+                raise error
+            if not blamed or len(cells) != 1:
+                # The blame cannot land on one cell: split into
+                # singletons.  Death suspects go through the probe lane
+                # (strictly alone in flight, so the next death convicts
+                # exactly one cell); everything else requeues normally.
+                lane = probe if reason == "worker-death" else normal
+                for cell in cells:
+                    lane.append((task_index, [cell]))
+                return
+            cell = cells[0]
+            key = (task_index, *cell)
+            failures[key] = failures.get(key, 0) + 1
+            if reason == "exception":
+                if (
+                    policy.on_cell_error == "quarantine"
+                    or failures[key] > policy.max_retries
+                ):
+                    give_up(task_index, cell, reason, error)
+                else:
+                    backoff = max(backoff, policy.backoff_seconds(failures[key]))
+                    normal.append((task_index, [cell]))
+                return
+            # Infrastructure faults (timeout, worker-death) are retried
+            # regardless of on_cell_error; the policy only decides what
+            # happens once the retry budget is spent.
+            if failures[key] > policy.max_retries:
+                if policy.on_cell_error == "abort":
+                    raise error
+                give_up(task_index, cell, reason, error)
+                return
+            backoff = max(backoff, policy.backoff_seconds(failures[key]))
+            lane = probe if reason == "worker-death" else normal
+            lane.append((task_index, [cell]))
+
+        def breakdown(error: BaseException) -> None:
+            nonlocal pool, generation, rebuilds, degrade
+            survivors = list(in_flight.items())
+            in_flight.clear()
+            self._discard_pool(pool)
+            for future, (task_index, cells, _deadline, probed) in survivors:
+                if not future.done() or future.cancelled():
+                    settle_failure(
+                        task_index, cells, "worker-death", error, blamed=probed
+                    )
+                    continue
+                exc = future.exception()
+                if exc is None:
+                    harvest(future.result())
+                elif isinstance(exc, BrokenExecutor):
+                    settle_failure(
+                        task_index, cells, "worker-death", error, blamed=probed
+                    )
+                else:
+                    settle_failure(
+                        task_index, cells, "exception", exc,
+                        blamed=len(cells) == 1,
+                    )
+            rebuilds += 1
+            if rebuilds > policy.max_pool_rebuilds:
+                degrade = True
+                return
+            # Fresh generation against the SAME shipment: the parent
+            # owns the segment, so "re-shipping" the plane is an id
+            # bump — rebuilt workers re-attach on their first chunk.
+            generation = (os.getpid(), next(_GENERATION))
+            pool = self._acquire_pool(workers)
+
+        try:
+            while normal or probe or in_flight:
+                if degrade:
+                    break
+                try:
+                    if probe:
+                        if not in_flight:
+                            task_index, cells = probe[0]
+                            submit_chunk(task_index, cells, probed=True)
+                            probe.popleft()
+                    else:
+                        while normal and len(in_flight) < 2 * workers:
+                            task_index, cells = normal[0]
+                            submit_chunk(task_index, cells, probed=False)
+                            normal.popleft()
+                except BrokenExecutor as error:
+                    breakdown(error)
+                    continue
+                if backoff:
+                    time.sleep(backoff)
+                    backoff = 0.0
+                if not in_flight:
+                    continue
+                deadlines = [
+                    entry[2]
+                    for entry in in_flight.values()
+                    if entry[2] is not None
+                ]
+                timeout = (
+                    max(0.0, min(deadlines) - time.monotonic())
+                    if deadlines
+                    else None
+                )
+                done, _ = wait(
+                    set(in_flight), timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                broken: "BaseException | None" = None
                 for future in done:
-                    for task_index, rate_index, trial, value in future.result():
-                        grids[task_index][rate_index, trial] = value
-                        completed += 1
-                        self._emit(
-                            tasks[task_index], task_index, rate_index, trial,
-                            rates_list[task_index],
-                            grids[task_index][rate_index, trial],
-                            completed, total,
+                    task_index, cells, _deadline, probed = in_flight.pop(future)
+                    try:
+                        harvest(future.result())
+                    except (KeyboardInterrupt, SystemExit):
+                        raise
+                    except BrokenExecutor as error:
+                        broken = error
+                        settle_failure(
+                            task_index, cells, "worker-death", error,
+                            blamed=probed,
                         )
-                        if checkpoint is not None:
-                            checkpoint.record(task_index, rate_index, trial, value)
-                    if checkpoint is not None:
-                        checkpoint.flush()
+                    except Exception as error:
+                        settle_failure(
+                            task_index, cells, "exception", error,
+                            blamed=len(cells) == 1,
+                        )
+                now = time.monotonic()
+                expired = [
+                    future
+                    for future, entry in in_flight.items()
+                    if entry[2] is not None
+                    and entry[2] <= now
+                    and not future.done()
+                ]
+                for future in expired:
+                    task_index, cells, _deadline, probed = in_flight.pop(future)
+                    future.cancel()
+                    error = CellTimeoutError(
+                        f"chunk of {len(cells)} cell(s) of task {task_index} "
+                        f"exceeded its {policy.cell_timeout:g}s-per-cell "
+                        "wall-clock budget"
+                    )
+                    # A running cell cannot be cancelled remotely; the
+                    # stuck worker goes down with the pool below.
+                    broken = broken or error
+                    settle_failure(
+                        task_index, cells, "timeout", error,
+                        blamed=len(cells) == 1,
+                    )
+                if broken is not None:
+                    breakdown(broken)
         finally:
             if not self.persistent:
-                pool.shutdown()
+                pool.shutdown(cancel_futures=True)
+
+        if degrade:
+            warnings.warn(
+                f"process pool broke {rebuilds} times "
+                f"(max_pool_rebuilds={policy.max_pool_rebuilds}); degrading "
+                "to serial in-process execution for the remaining cells",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            leftovers: "dict[int, set[tuple[int, int]]]" = {}
+            for task_index, cells in [*probe, *normal]:
+                leftovers.setdefault(task_index, set()).update(
+                    (int(rate_index), int(trial)) for rate_index, trial in cells
+                )
+            for task_index in sorted(leftovers):
+                task = tasks[task_index]
+                runner = task.make_runner()
+                try:
+                    # The fallback exists to finish the campaign, so it
+                    # runs chaos-free: injected disturbances had their
+                    # shot at the pool that just collapsed.
+                    completed = self._run_serial_task(
+                        runner, task, task_index,
+                        sorted(leftovers[task_index]),
+                        rates_list, grids, completed, total, checkpoint,
+                        chaos=None,
+                    )
+                finally:
+                    runner.close()
+
+    def _discard_pool(self, pool: ProcessPoolExecutor) -> None:
+        """Tear a (possibly broken, possibly stuck) pool down hard.
+
+        Worker processes are SIGKILLed first: a stuck cell would
+        otherwise keep ``shutdown(wait=True)`` from returning, and after
+        a breakage every in-flight chunk is re-dispatched elsewhere
+        anyway.  Killed workers release their shared-memory mappings on
+        exit; the parent still owns (and later unlinks) the segments.
+        """
+        if self._pool is pool:
+            self._pool = None
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.kill()
+            except Exception:  # pragma: no cover - already-reaped worker
+                pass
+        pool.shutdown(wait=True, cancel_futures=True)
 
     def _acquire_pool(self, workers: int) -> ProcessPoolExecutor:
         """The warm pool (created once) or a fresh one-shot pool."""

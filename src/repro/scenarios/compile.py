@@ -246,11 +246,22 @@ class ScenarioResult:
     :class:`~repro.core.batched.AdaptiveResult` (interval widths, cells
     executed/skipped, importance weights); their ``curve`` fills the
     skipped trials with the family's interval estimate.
+
+    ``failed`` lists the scenario's quarantined cells (supervised
+    executor, ``on_cell_error != "abort"``): per-cell dicts of
+    ``rate_index``/``trial``/``reason``/``attempts``/``error`` (the
+    scenario-level slice of
+    :data:`~repro.core.executor.FAILED_CELL_FIELDS` — the owning task is
+    this spec).  Failed cells stay NaN in the curve and are surfaced in
+    the JSON payloads as ``failed_cells``; the key is present only when
+    the tuple is non-empty, so fault-free runs keep their historical
+    byte-identical files.
     """
 
     spec: CampaignSpec
     curve: "ResilienceCurve"
     adaptive: "Any | None" = None
+    failed: "tuple[dict, ...]" = ()
 
     @property
     def name(self) -> str:
@@ -271,6 +282,8 @@ class ScenarioResult:
         }
         if self.adaptive is not None:
             payload["adaptive"] = self.adaptive.to_dict()
+        if self.failed:
+            payload["failed_cells"] = [dict(cell) for cell in self.failed]
         return payload
 
 
@@ -281,6 +294,9 @@ def run_scenarios(
     checkpoint: "str | Path | None" = None,
     out_dir: "str | Path | None" = None,
     context: "ScenarioContext | None" = None,
+    max_retries: "int | None" = None,
+    cell_timeout: "float | None" = None,
+    on_cell_error: "str | None" = None,
 ) -> list[ScenarioResult]:
     """Run a whole scenario matrix through one shared executor pool.
 
@@ -290,6 +306,12 @@ def run_scenarios(
     :class:`~repro.core.executor.CampaignExecutor` guards resume);
     ``out_dir`` writes one ``<scenario>.json`` per result plus a
     consolidated ``summary.json``.  Results are returned in spec order.
+
+    ``max_retries``/``cell_timeout``/``on_cell_error`` feed the
+    executor's :class:`~repro.core.executor.SupervisionPolicy` (see
+    ``docs/FAULT_TOLERANCE.md``); with ``on_cell_error != "abort"``,
+    cells that exhaust their retry budget land on each result's
+    ``failed`` tuple instead of aborting the suite.
     """
     from repro.core.executor import CampaignExecutor
 
@@ -314,16 +336,37 @@ def run_scenarios(
     context = context if context is not None else ScenarioContext()
     tasks = [compile_spec(spec, context) for spec in specs]
     executor = CampaignExecutor(
-        workers=workers, progress=progress, checkpoint=checkpoint
+        workers=workers, progress=progress, checkpoint=checkpoint,
+        max_retries=max_retries, cell_timeout=cell_timeout,
+        on_cell_error=on_cell_error,
     )
     from repro.core.batched import AdaptiveResult
 
     curves = executor.run_tasks(tasks)
+    failed_by_task: dict[int, list[dict]] = {}
+    for record in executor.quarantined:
+        failed_by_task.setdefault(int(record["task_index"]), []).append(
+            {
+                key: record[key]
+                for key in ("rate_index", "trial", "reason", "attempts", "error")
+            }
+        )
+    for cells in failed_by_task.values():
+        cells.sort(key=lambda cell: (cell["rate_index"], cell["trial"]))
     results = [
-        ScenarioResult(spec=spec, curve=value.curve, adaptive=value)
+        ScenarioResult(
+            spec=spec,
+            curve=value.curve,
+            adaptive=value,
+            failed=tuple(failed_by_task.get(index, ())),
+        )
         if isinstance(value, AdaptiveResult)
-        else ScenarioResult(spec=spec, curve=value)
-        for spec, value in zip(specs, curves)
+        else ScenarioResult(
+            spec=spec,
+            curve=value,
+            failed=tuple(failed_by_task.get(index, ())),
+        )
+        for index, (spec, value) in enumerate(zip(specs, curves))
     ]
     if out_dir is not None:
         write_results(results, out_dir, suite=suite_name)
@@ -373,6 +416,7 @@ def assemble_scenario_result(
     rates: Any,
     values: Any,
     clean_accuracy: float,
+    failed: "Sequence[dict]" = (),
 ) -> ScenarioResult:
     """Rebuild one scenario's result from its raw value grid.
 
@@ -381,7 +425,9 @@ def assemble_scenario_result(
     recorded clean accuracy, produce the same
     :class:`~repro.core.metrics.ResilienceCurve` /
     :class:`~repro.core.batched.AdaptiveResult` a live task would have
-    built — without models, bundles or training.
+    built — without models, bundles or training.  ``failed`` carries the
+    quarantined-cell records a sharded run collected (their grid entries
+    are NaN in ``values``).
     """
     import numpy as np
 
@@ -402,7 +448,8 @@ def assemble_scenario_result(
             clean_accuracy=clean_accuracy,
         )
         return ScenarioResult(
-            spec=spec, curve=adaptive.curve, adaptive=adaptive
+            spec=spec, curve=adaptive.curve, adaptive=adaptive,
+            failed=tuple(dict(cell) for cell in failed),
         )
     curve = ResilienceCurve(
         fault_rates=rates,
@@ -410,7 +457,9 @@ def assemble_scenario_result(
         clean_accuracy=float(clean_accuracy),
         label=spec.name,
     )
-    return ScenarioResult(spec=spec, curve=curve)
+    return ScenarioResult(
+        spec=spec, curve=curve, failed=tuple(dict(cell) for cell in failed)
+    )
 
 
 def write_results(
@@ -444,6 +493,8 @@ def write_results(
         if result.adaptive is not None:
             row["cells_executed"] = int(result.adaptive.cells_executed)
             row["cells_skipped"] = int(result.adaptive.cells_skipped)
+        if result.failed:
+            row["failed_cells"] = [dict(cell) for cell in result.failed]
         rows.append(row)
     return write_json_atomic(
         target / "summary.json",

@@ -91,7 +91,7 @@ RUN_LAYOUT = {
     ),
     "shards/<i>-of-<N>/partial/<scenario>.json": (
         "one scenario's cells executed by this shard, plus its clean "
-        "accuracy"
+        "accuracy and any quarantined (failed) cells"
     ),
     "summary.json": (
         "the merged run summary, byte-identical to an unsharded run's"
@@ -302,6 +302,9 @@ def run_scenario_shard(
     workers: "int | None" = None,
     progress: "Callable | None" = None,
     context: "ScenarioContext | None" = None,
+    max_retries: "int | None" = None,
+    cell_timeout: "float | None" = None,
+    on_cell_error: "str | None" = None,
 ) -> Path:
     """Execute one shard of a suite into a segmented run directory.
 
@@ -311,6 +314,13 @@ def run_scenario_shard(
     the shard identity and suite hash, so re-running the same shard
     resumes while any cross-shard or cross-suite resume is refused.
     Returns the shard directory.
+
+    ``max_retries``/``cell_timeout``/``on_cell_error`` feed the
+    executor's :class:`~repro.core.executor.SupervisionPolicy`; with
+    ``on_cell_error != "abort"`` a cell that exhausts its retry budget
+    is recorded on the partial's ``failed`` list (and left out of
+    ``cells``) instead of aborting the shard — ``merge_run`` surfaces
+    those cells rather than failing its coverage check.
     """
     from repro.core.executor import CampaignExecutor
 
@@ -363,11 +373,30 @@ def run_scenario_shard(
                     "suite_hash": plan.suite_hash,
                 }
             },
+            max_retries=max_retries,
+            cell_timeout=cell_timeout,
+            on_cell_error=on_cell_error,
         )
         _, grids = executor.run_grids(tasks, cells=task_cells)
-        for spec_index, task, mine, grid in zip(
-            owners, tasks, task_cells, grids
+        failed_by_task: "dict[int, list[dict]]" = {}
+        for record in executor.quarantined:
+            failed_by_task.setdefault(int(record["task_index"]), []).append(
+                {
+                    key: record[key]
+                    for key in (
+                        "rate_index", "trial", "reason", "attempts", "error"
+                    )
+                }
+            )
+        for records in failed_by_task.values():
+            records.sort(key=lambda cell: (cell["rate_index"], cell["trial"]))
+        for task_index, (spec_index, task, mine, grid) in enumerate(
+            zip(owners, tasks, task_cells, grids)
         ):
+            failed = failed_by_task.get(task_index, [])
+            failed_cells = {
+                (cell["rate_index"], cell["trial"]) for cell in failed
+            }
             payload = {
                 "format": SHARD_FORMAT_VERSION,
                 "name": plan.specs[spec_index].name,
@@ -377,8 +406,14 @@ def run_scenario_shard(
                         grid[rate_index, trial]
                     )
                     for rate_index, trial in mine
+                    if (rate_index, trial) not in failed_cells
                 },
             }
+            if failed:
+                # Quarantined cells leave "cells" (their grid entries
+                # are NaN) and land here; absent entirely on fault-free
+                # shards so those partials keep their historical bytes.
+                payload["failed"] = failed
             write_json_atomic(
                 partial_dir / f"{stems[spec_index]}.json", payload
             )
@@ -409,7 +444,10 @@ def merge_run(run_dir: "str | Path") -> "list[ScenarioResult]":
     Validates that every shard manifest describes the same suite (equal
     suite hashes and shard counts, each hash matching its own spec
     list), that shards ``1..N`` are all present, and that each shard's
-    partial files cover exactly its assigned cells.  Then rebuilds each
+    partial files cover exactly its assigned cells — where quarantined
+    cells on a partial's ``failed`` list count as covered and are
+    surfaced on the merged results (``failed_cells``) instead of
+    failing the check.  Then rebuilds each
     scenario's value grid, assembles
     :class:`~repro.core.metrics.ResilienceCurve` /
     :class:`~repro.core.batched.AdaptiveResult` objects and writes
@@ -469,6 +507,7 @@ def merge_run(run_dir: "str | Path") -> "list[ScenarioResult]":
             shape = (n_rates, n_trials)
         grids.append(np.full(shape, np.nan, dtype=np.float64))
     clean: "dict[int, float]" = {}
+    failed_by_spec: "dict[int, list[dict]]" = {}
 
     for index in range(1, plan.count + 1):
         shard_dir = present[index]
@@ -488,13 +527,27 @@ def merge_run(run_dir: "str | Path") -> "list[ScenarioResult]":
                 )
             payload = json.loads(partial_path.read_text())
             recorded = payload["cells"]
+            shard_failed = list(payload.get("failed", []))
+            failed_keys = {
+                f"{cell['rate_index']}/{cell['trial']}"
+                for cell in shard_failed
+            }
             expected = {f"{r}/{t}" for r, t in mine}
-            if set(recorded) != expected:
+            # Quarantined cells count toward coverage: a shard that gave
+            # up on a cell still accounted for it, and the merged output
+            # surfaces it as a failed outcome instead of this error.
+            if set(recorded) | failed_keys != expected or (
+                set(recorded) & failed_keys
+            ):
                 raise ValueError(
                     f"{partial_path} covers cells "
-                    f"{sorted(recorded)} but shard {index}/{plan.count} "
-                    f"owns {sorted(expected)}; the partial does not "
-                    "match the plan"
+                    f"{sorted(set(recorded) | failed_keys)} but shard "
+                    f"{index}/{plan.count} owns {sorted(expected)}; the "
+                    "partial does not match the plan"
+                )
+            if shard_failed:
+                failed_by_spec.setdefault(spec_index, []).extend(
+                    dict(cell) for cell in shard_failed
                 )
             value = float(payload["clean_accuracy"])
             if spec_index in clean and clean[spec_index] != value:
@@ -508,9 +561,12 @@ def merge_run(run_dir: "str | Path") -> "list[ScenarioResult]":
                 rate_index, trial = (int(part) for part in key.split("/"))
                 grids[spec_index][rate_index, trial] = cell_value
 
+    for records in failed_by_spec.values():
+        records.sort(key=lambda cell: (cell["rate_index"], cell["trial"]))
     results = [
         assemble_scenario_result(
-            spec, list(spec.rates), grids[spec_index], clean[spec_index]
+            spec, list(spec.rates), grids[spec_index], clean[spec_index],
+            failed=failed_by_spec.get(spec_index, ()),
         )
         for spec_index, spec in enumerate(plan.specs)
     ]

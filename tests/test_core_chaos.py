@@ -1,0 +1,142 @@
+"""The deterministic chaos harness: parsing, decisions, disturbances."""
+
+import pytest
+
+from repro.core.chaos import (
+    CHAOS_ENV_VAR,
+    CHAOS_SPEC_FIELDS,
+    ChaosError,
+    ChaosPolicy,
+)
+
+
+class TestParse:
+    def test_round_trips_every_spec_key(self):
+        policy = ChaosPolicy.parse(
+            "kill=0.2,raise=0.1,delay=0.3,delay_seconds=1.5,"
+            "seed=7,attempts=3,cell=2:5"
+        )
+        assert policy.kill == 0.2
+        assert policy.error == 0.1
+        assert policy.delay == 0.3
+        assert policy.delay_seconds == 1.5
+        assert policy.seed == 7
+        assert policy.attempts == 3
+        assert policy.cell == (2, 5)
+
+    def test_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="known keys"):
+            ChaosPolicy.parse("kil=0.2")
+
+    def test_rejects_empty_spec(self):
+        with pytest.raises(ValueError, match="empty chaos spec"):
+            ChaosPolicy.parse("  ,  ")
+
+    def test_rejects_malformed_cell(self):
+        with pytest.raises(ValueError, match="rate:trial"):
+            ChaosPolicy.parse("cell=3")
+
+    def test_rejects_out_of_range_probability(self):
+        with pytest.raises(ValueError, match="probability"):
+            ChaosPolicy.parse("kill=1.5")
+
+    def test_rejects_probability_sum_above_one(self):
+        with pytest.raises(ValueError, match="must not exceed 1"):
+            ChaosPolicy.parse("kill=0.6,raise=0.6")
+
+    def test_every_documented_key_parses(self):
+        # CHAOS_SPEC_FIELDS is the docs-enforced registry; every key it
+        # advertises must be accepted by the parser.
+        samples = {
+            "kill": "0.1", "raise": "0.1", "delay": "0.1",
+            "delay_seconds": "0.5", "seed": "3", "attempts": "2",
+            "cell": "0:1",
+        }
+        assert set(samples) == set(CHAOS_SPEC_FIELDS)
+        for key, value in samples.items():
+            ChaosPolicy.parse(f"{key}={value}")
+
+    def test_from_env_unset_means_off(self, monkeypatch):
+        monkeypatch.delenv(CHAOS_ENV_VAR, raising=False)
+        assert ChaosPolicy.from_env() is None
+
+    def test_from_env_reads_spec(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV_VAR, "raise=1,seed=9")
+        policy = ChaosPolicy.from_env()
+        assert policy is not None
+        assert policy.error == 1.0
+        assert policy.seed == 9
+
+
+class TestDecide:
+    def test_pure_function_of_coordinates(self):
+        policy = ChaosPolicy(kill=0.3, error=0.3, delay=0.3, seed=11)
+        coords = [
+            (t, r, j, a)
+            for t in range(2)
+            for r in range(3)
+            for j in range(4)
+            for a in range(1)
+        ]
+        first = [policy.decide(*c) for c in coords]
+        again = [policy.decide(*c) for c in coords]
+        assert first == again
+        # A same-parameter policy built independently agrees too.
+        clone = ChaosPolicy.parse("kill=0.3,raise=0.3,delay=0.3,seed=11")
+        assert [clone.decide(*c) for c in coords] == first
+
+    def test_seed_changes_the_pattern(self):
+        a = ChaosPolicy(kill=0.5, seed=0)
+        b = ChaosPolicy(kill=0.5, seed=1)
+        coords = [(0, r, t, 0) for r in range(8) for t in range(8)]
+        assert [a.decide(*c) for c in coords] != [b.decide(*c) for c in coords]
+
+    def test_probabilities_partition_the_draw(self):
+        policy = ChaosPolicy(kill=1.0, seed=5)
+        assert policy.decide(0, 0, 0, 0) == "kill"
+        policy = ChaosPolicy(error=1.0, seed=5)
+        assert policy.decide(0, 0, 0, 0) == "raise"
+        policy = ChaosPolicy(delay=1.0, seed=5)
+        assert policy.decide(0, 0, 0, 0) == "delay"
+        policy = ChaosPolicy(seed=5)
+        assert policy.decide(0, 0, 0, 0) is None
+
+    def test_attempt_gate(self):
+        policy = ChaosPolicy(error=1.0, attempts=1)
+        assert policy.decide(0, 0, 0, 0) == "raise"
+        assert policy.decide(0, 0, 0, 1) is None
+        policy = ChaosPolicy(error=1.0, attempts=3)
+        assert policy.decide(0, 0, 0, 2) == "raise"
+        assert policy.decide(0, 0, 0, 3) is None
+
+    def test_cell_targeting(self):
+        policy = ChaosPolicy(error=1.0, cell=(1, 2))
+        assert policy.decide(0, 1, 2, 0) == "raise"
+        assert policy.decide(5, 1, 2, 0) == "raise"  # any task
+        assert policy.decide(0, 1, 1, 0) is None
+        assert policy.decide(0, 0, 2, 0) is None
+
+
+class TestDisturb:
+    def test_raise_action_raises_chaos_error(self):
+        policy = ChaosPolicy(error=1.0)
+        with pytest.raises(ChaosError, match="cell 0/1 attempt 0"):
+            policy.disturb(0, [(0, 1)], [0])
+
+    def test_attempted_cells_pass_clean(self):
+        policy = ChaosPolicy(error=1.0, attempts=1)
+        policy.disturb(0, [(0, 1)], [1])  # retry attempt: no disturbance
+
+    def test_kill_is_skipped_in_process(self):
+        # A kill decision must not SIGKILL the campaign process itself.
+        policy = ChaosPolicy(kill=1.0)
+        policy.disturb(0, [(0, 0)], [0], in_process=True)
+
+    def test_delay_sleeps_then_keeps_scanning(self, monkeypatch):
+        import repro.core.chaos as chaos_module
+
+        slept = []
+        monkeypatch.setattr(chaos_module.time, "sleep", slept.append)
+        policy = ChaosPolicy(delay=1.0, delay_seconds=0.25)
+        policy.disturb(0, [(0, 0), (0, 1)], [0, 0])
+        assert slept == [0.25, 0.25]

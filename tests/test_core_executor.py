@@ -17,9 +17,11 @@ from repro.core.campaign import (
     RandomBitFlipSampler,
     run_campaign,
 )
+from repro.core.chaos import CHAOS_ENV_VAR, ChaosError
 from repro.core.executor import (
     CampaignExecutor,
     CellResult,
+    SupervisionPolicy,
     WeightFaultCellTask,
     cell_seed_path,
     resolve_workers,
@@ -807,3 +809,281 @@ class TestWorkerPlaneWiring:
         finally:
             executor_module._WORKER_STATE = saved_state
             shipment.release()
+
+class TestSupervisionPolicy:
+    def test_defaults(self):
+        policy = SupervisionPolicy()
+        assert policy.max_retries == 2
+        assert policy.cell_timeout is None
+        assert policy.on_cell_error == "abort"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            SupervisionPolicy(max_retries=-1)
+        with pytest.raises(ValueError, match="cell_timeout"):
+            SupervisionPolicy(cell_timeout=0)
+        with pytest.raises(ValueError, match="on_cell_error"):
+            SupervisionPolicy(on_cell_error="explode")
+        with pytest.raises(ValueError, match="retry_backoff"):
+            SupervisionPolicy(retry_backoff=-0.1)
+        with pytest.raises(ValueError, match="max_pool_rebuilds"):
+            SupervisionPolicy(max_pool_rebuilds=-1)
+
+    def test_from_env_and_explicit_precedence(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_RETRIES", "5")
+        monkeypatch.setenv("REPRO_CELL_TIMEOUT", "1.5")
+        monkeypatch.setenv("REPRO_ON_CELL_ERROR", "quarantine")
+        policy = SupervisionPolicy.from_env()
+        assert policy.max_retries == 5
+        assert policy.cell_timeout == 1.5
+        assert policy.on_cell_error == "quarantine"
+        # Explicit arguments beat the environment, knob by knob.
+        mixed = SupervisionPolicy.from_env(max_retries=1, on_cell_error="retry")
+        assert mixed.max_retries == 1
+        assert mixed.cell_timeout == 1.5
+        assert mixed.on_cell_error == "retry"
+
+    def test_backoff_is_deterministic_and_capped(self):
+        policy = SupervisionPolicy(retry_backoff=0.1)
+        assert policy.backoff_seconds(0) == 0.0
+        assert policy.backoff_seconds(1) == pytest.approx(0.1)
+        assert policy.backoff_seconds(2) == pytest.approx(0.2)
+        assert policy.backoff_seconds(3) == pytest.approx(0.4)
+        assert policy.backoff_seconds(7) == policy.backoff_seconds(50)
+        assert SupervisionPolicy(retry_backoff=0.0).backoff_seconds(3) == 0.0
+
+    def test_policy_and_shorthand_knobs_are_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            CampaignExecutor(supervision=SupervisionPolicy(), max_retries=1)
+
+    def test_executor_shorthand_resolves_policy(self):
+        executor = CampaignExecutor(
+            max_retries=7, cell_timeout=2.0, on_cell_error="quarantine"
+        )
+        assert executor.supervision.max_retries == 7
+        assert executor.supervision.cell_timeout == 2.0
+        assert executor.supervision.on_cell_error == "quarantine"
+
+
+class TestChaosSupervision:
+    """The tentpole guarantee under deterministic fault injection:
+    disturbed runs either *recover bit-identically* (retry succeeds) or
+    *quarantine* the failing cell as a ``failed`` outcome — never hang,
+    never silently corrupt the grid."""
+
+    @pytest.fixture
+    def baseline(self, campaign_parts):
+        model, memory, images, labels, config = campaign_parts
+        return run_campaign(model, memory, images, labels, config)
+
+    def _run(self, campaign_parts, workers, **executor_kwargs):
+        model, memory, images, labels, config = campaign_parts
+        task = WeightFaultCellTask(model, memory, images, labels, config=config)
+        executor = CampaignExecutor(workers=workers, **executor_kwargs)
+        result = executor.run_tasks([task])[0]
+        return result, executor
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_injected_exceptions_retry_bit_identical(
+        self, campaign_parts, baseline, monkeypatch, workers
+    ):
+        """Every cell's first dispatch raises; the retry succeeds and the
+        recovered grid is bit-identical to the undisturbed run."""
+        monkeypatch.setenv(CHAOS_ENV_VAR, "raise=1,attempts=1")
+        result, executor = self._run(
+            campaign_parts, workers, on_cell_error="retry"
+        )
+        np.testing.assert_array_equal(result.accuracies, baseline.accuracies)
+        assert executor.quarantined == []
+
+    def test_worker_kill_recovers_bit_identical_without_leaks(
+        self, campaign_parts, baseline, monkeypatch
+    ):
+        """Satellite 2: a worker SIGKILLed mid-cell breaks the whole pool;
+        the executor rebuilds it, re-dispatches only the in-flight cells,
+        reproduces the exact grid, and unlinks every shm segment."""
+        from repro.utils.shm import shared_memory_available
+
+        if not shared_memory_available():  # pragma: no cover
+            pytest.skip("platform without shared memory")
+        created, unlinked = _tracking_shm(monkeypatch)
+        monkeypatch.setenv(CHAOS_ENV_VAR, "kill=1,attempts=1,cell=0:1")
+        result, executor = self._run(
+            campaign_parts, 2, on_cell_error="retry"
+        )
+        np.testing.assert_array_equal(result.accuracies, baseline.accuracies)
+        assert executor.quarantined == []
+        assert created, "parallel run did not use shared memory"
+        assert sorted(created) == sorted(unlinked)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_default_policy_aborts_on_injected_exception(
+        self, campaign_parts, monkeypatch, workers
+    ):
+        monkeypatch.setenv(CHAOS_ENV_VAR, "raise=1,attempts=99,cell=0:1")
+        with pytest.raises(ChaosError, match="injected failure"):
+            self._run(campaign_parts, workers)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_persistent_exception_quarantines_cell(
+        self, campaign_parts, baseline, monkeypatch, workers
+    ):
+        """A cell that fails on every attempt is quarantined as a
+        ``failed`` outcome after max_retries; the rest of the grid
+        completes bit-identically."""
+        monkeypatch.setenv(CHAOS_ENV_VAR, "raise=1,attempts=99,cell=0:1")
+        result, executor = self._run(
+            campaign_parts, workers, on_cell_error="retry", max_retries=1
+        )
+        assert len(executor.quarantined) == 1
+        record = executor.quarantined[0]
+        assert record["reason"] == "exception"
+        assert (record["rate_index"], record["trial"]) == (0, 1)
+        assert record["attempts"] == 2  # initial dispatch + one retry
+        assert "injected failure" in record["error"]
+        assert np.isnan(result.accuracies[0, 1])
+        mask = np.ones_like(result.accuracies, dtype=bool)
+        mask[0, 1] = False
+        np.testing.assert_array_equal(
+            result.accuracies[mask], baseline.accuracies[mask]
+        )
+
+    def test_timeout_quarantines_stalled_cell(
+        self, campaign_parts, baseline, monkeypatch
+    ):
+        """A cell exceeding --cell-timeout is quarantined as a failed
+        outcome instead of hanging or crashing the campaign."""
+        monkeypatch.setenv(
+            CHAOS_ENV_VAR, "delay=1,delay_seconds=30,attempts=99,cell=0:1"
+        )
+        result, executor = self._run(
+            campaign_parts, 2,
+            supervision=SupervisionPolicy(
+                max_retries=0, cell_timeout=0.75, on_cell_error="retry"
+            ),
+        )
+        assert [
+            (r["reason"], r["rate_index"], r["trial"])
+            for r in executor.quarantined
+        ] == [("timeout", 0, 1)]
+        assert np.isnan(result.accuracies[0, 1])
+        mask = np.ones_like(result.accuracies, dtype=bool)
+        mask[0, 1] = False
+        np.testing.assert_array_equal(
+            result.accuracies[mask], baseline.accuracies[mask]
+        )
+
+    def test_repeated_pool_loss_degrades_to_serial(
+        self, campaign_parts, baseline, monkeypatch
+    ):
+        """Past max_pool_rebuilds the executor stops thrashing and runs
+        the remaining cells serially in-process — still bit-identical."""
+        monkeypatch.setenv(CHAOS_ENV_VAR, "kill=1,attempts=1")
+        policy = SupervisionPolicy(max_pool_rebuilds=0, on_cell_error="retry")
+        with pytest.warns(RuntimeWarning, match="degrading to serial"):
+            result, executor = self._run(
+                campaign_parts, 2, supervision=policy
+            )
+        np.testing.assert_array_equal(result.accuracies, baseline.accuracies)
+        assert executor.quarantined == []
+
+
+class TestInterruptFlush:
+    """Satellite 1: Ctrl-C mid-run must flush the checkpoint atomically
+    before the KeyboardInterrupt propagates, so every completed cell
+    survives into the resume."""
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_keyboard_interrupt_flushes_checkpoint(
+        self, campaign_parts, tmp_path, workers
+    ):
+        model, memory, images, labels, config = campaign_parts
+        path = tmp_path / "sweep.json"
+        stop_at = 3
+
+        def interrupt(cell):
+            if cell.completed >= stop_at and not cell.from_checkpoint:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(
+                model, memory, images, labels, config,
+                workers=workers, progress=interrupt, checkpoint=str(path),
+            )
+        saved = json.loads(path.read_text())["cells"]
+        assert len(saved) >= stop_at
+        full = run_campaign(model, memory, images, labels, config)
+        resumed = run_campaign(
+            model, memory, images, labels, config, checkpoint=str(path)
+        )
+        np.testing.assert_array_equal(full.accuracies, resumed.accuracies)
+
+
+class TestChaosCheckpointResume:
+    """Satellite 3: interrupt a chaos-disturbed, checkpointed run, then
+    resume it (chaos still active) — the final grid and the adaptive
+    stopping decisions are identical to an undisturbed run."""
+
+    def test_exact_grid_resumes_bit_identical(
+        self, campaign_parts, tmp_path, monkeypatch
+    ):
+        model, memory, images, labels, config = campaign_parts
+        undisturbed = run_campaign(model, memory, images, labels, config)
+        path = tmp_path / "sweep.json"
+        monkeypatch.setenv(CHAOS_ENV_VAR, "raise=1,attempts=1")
+        task = WeightFaultCellTask(model, memory, images, labels, config=config)
+
+        def interrupt(cell):
+            if cell.completed == 5 and not cell.from_checkpoint:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            CampaignExecutor(
+                workers=2, progress=interrupt, checkpoint=str(path),
+                on_cell_error="retry",
+            ).run_tasks([task])
+        assert json.loads(path.read_text())["cells"]
+        resumed = CampaignExecutor(
+            workers=2, checkpoint=str(path), on_cell_error="retry"
+        ).run_tasks([task])[0]
+        np.testing.assert_array_equal(
+            resumed.accuracies, undisturbed.accuracies
+        )
+
+    def test_adaptive_stopping_decisions_survive_chaos_resume(
+        self, campaign_parts, tmp_path, monkeypatch
+    ):
+        from repro.core.batched import AdaptiveCampaignTask
+
+        model, memory, images, labels, config = campaign_parts
+
+        def adaptive_task():
+            base = WeightFaultCellTask(
+                model, memory, images, labels, config=config, batch_k=2
+            )
+            return AdaptiveCampaignTask(base, ci_halfwidth=0.08, batch_k=2)
+
+        undisturbed = CampaignExecutor().run_tasks([adaptive_task()])[0]
+        path = tmp_path / "adaptive.json"
+        monkeypatch.setenv(CHAOS_ENV_VAR, "raise=1,attempts=1")
+
+        def interrupt(cell):
+            if cell.completed == 1 and not cell.from_checkpoint:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            CampaignExecutor(
+                workers=2, progress=interrupt, checkpoint=str(path),
+                on_cell_error="retry",
+            ).run_tasks([adaptive_task()])
+        assert json.loads(path.read_text())["cells"]
+        resumed = CampaignExecutor(
+            workers=2, checkpoint=str(path), on_cell_error="retry"
+        ).run_tasks([adaptive_task()])[0]
+        np.testing.assert_array_equal(resumed.executed, undisturbed.executed)
+        np.testing.assert_array_equal(
+            resumed.accuracies, undisturbed.accuracies
+        )
+        np.testing.assert_array_equal(
+            resumed.estimates, undisturbed.estimates
+        )

@@ -273,6 +273,116 @@ class TestShardDocs:
         assert "shard-smoke" in self._section() or "shard-smoke" in makefile
 
 
+class TestFaultToleranceDocs:
+    """docs/FAULT_TOLERANCE.md owns the supervision/chaos reference.
+
+    Same treatment as the other schema tables: the cell-error-policy,
+    failure-reason, failure-outcome and chaos-spec tables are each
+    enforced against the implementation registries in both directions,
+    and the CLI surface the document describes must exist on the real
+    parser.
+    """
+
+    DOC = ROOT / "docs" / "FAULT_TOLERANCE.md"
+
+    def _text(self):
+        assert self.DOC.exists(), "docs/FAULT_TOLERANCE.md missing"
+        return self.DOC.read_text()
+
+    def _section(self, title):
+        match = re.search(
+            rf"^## {re.escape(title)}$(.*?)(?=^## |\Z)",
+            self._text(),
+            re.M | re.S,
+        )
+        assert match, f"docs/FAULT_TOLERANCE.md has no '## {title}' section"
+        return match.group(1)
+
+    def _rows(self, title):
+        return set(
+            re.findall(r"^\|\s*`([a-z_-]+)`", self._section(title), re.M)
+        )
+
+    def test_policy_table_matches_choices(self):
+        from repro.core.executor import ON_CELL_ERROR_CHOICES
+
+        documented = self._rows("Cell-error policies")
+        actual = set(ON_CELL_ERROR_CHOICES)
+        assert documented == actual, (
+            f"cell-error-policy table: missing {sorted(actual - documented)}, "
+            f"stale {sorted(documented - actual)}"
+        )
+
+    def test_reason_table_matches_registry(self):
+        from repro.core.executor import FAILURE_REASONS
+
+        documented = self._rows("Failure reasons")
+        actual = set(FAILURE_REASONS)
+        assert documented == actual, (
+            f"failure-reason table: missing {sorted(actual - documented)}, "
+            f"stale {sorted(documented - actual)}"
+        )
+
+    def test_outcome_schema_matches_fields(self):
+        from repro.core.executor import FAILED_CELL_FIELDS
+
+        documented = self._rows("Failure-outcome schema")
+        actual = set(FAILED_CELL_FIELDS)
+        assert documented == actual, (
+            f"failure-outcome table: missing {sorted(actual - documented)}, "
+            f"stale {sorted(documented - actual)}"
+        )
+
+    def test_chaos_spec_table_matches_fields(self):
+        from repro.core.chaos import CHAOS_SPEC_FIELDS
+
+        documented = self._rows("Chaos harness")
+        actual = set(CHAOS_SPEC_FIELDS)
+        assert documented == actual, (
+            f"chaos-spec table: missing {sorted(actual - documented)}, "
+            f"stale {sorted(documented - actual)}"
+        )
+
+    def test_documented_cli_surface_exists(self):
+        import argparse
+
+        from repro.cli import build_parser
+
+        text = self._text()
+        flags = ("--max-retries", "--cell-timeout", "--on-cell-error", "--chaos")
+        for flag in flags:
+            assert flag in text, f"docs/FAULT_TOLERANCE.md never mentions {flag}"
+
+        parser = build_parser()
+        subparsers = next(
+            action
+            for action in parser._actions
+            if isinstance(action, argparse._SubParsersAction)
+        )
+        for command in ("campaign", "scenarios"):
+            options = {
+                option
+                for action in subparsers.choices[command]._actions
+                for option in action.option_strings
+            }
+            missing = set(flags) - options
+            assert not missing, f"repro {command} lacks {sorted(missing)}"
+
+    def test_chaos_smoke_target_documented_and_wired(self):
+        makefile = (ROOT / "Makefile").read_text()
+        assert "chaos-smoke:" in makefile
+        assert "tests/test_chaos_smoke.py" in makefile
+        assert (ROOT / "tests" / "test_chaos_smoke.py").exists()
+        assert "chaos-smoke" in self._text()
+
+    def test_fault_tolerance_doc_is_linked(self):
+        for name in ("README.md", "DESIGN.md"):
+            text = (ROOT / name).read_text()
+            assert "docs/FAULT_TOLERANCE.md" in text, (
+                f"{name} does not link docs/FAULT_TOLERANCE.md"
+            )
+
+
 class TestPaperFigureCoverage:
     def test_all_paper_figures_have_bench(self):
         """Every evaluation figure of the paper maps to a bench file."""

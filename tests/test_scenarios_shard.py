@@ -422,3 +422,72 @@ class TestResultWritingFixes:
         assert (tmp_path / "summary.json").read_bytes() == before
         assert json.loads((tmp_path / "good.json").read_text())
         assert not list(tmp_path.glob("*.tmp"))
+
+
+# ------------------------------------------------------------------ #
+# quarantined (failed) cells flow through partials and merge
+# ------------------------------------------------------------------ #
+
+
+class TestQuarantineSurfacing:
+    """A quarantined cell is a *result* (a ``failed`` outcome), not a
+    coverage hole: shard partials record it, ``merge_run`` accepts the
+    shard as complete, and the merged JSON surfaces ``failed_cells``."""
+
+    CHAOS = "raise=1,attempts=99,cell=0:1"  # only exact's (0, 1) matches
+
+    def test_run_scenarios_records_failed_cells(
+        self, suite, ctx, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CHAOS", self.CHAOS)
+        out = tmp_path / "out"
+        results = run_scenarios(
+            suite, workers=1, out_dir=out, context=ctx,
+            on_cell_error="quarantine",
+        )
+        by_name = {r.name: r for r in results}
+        assert len(by_name["exact"].failed) == 1
+        record = by_name["exact"].failed[0]
+        assert (record["rate_index"], record["trial"]) == (0, 1)
+        assert record["reason"] == "exception"
+        assert "injected failure" in record["error"]
+        # Adaptive families live at trial 0, so the chaos target misses.
+        assert not by_name["adaptive"].failed
+        assert not by_name["weighted"].failed
+        payload = json.loads((out / "exact.json").read_text())
+        assert payload["failed_cells"] == [dict(record)]
+        summary = json.loads((out / "summary.json").read_text())
+        rows = {row["name"]: row for row in summary["scenarios"]}
+        assert rows["exact"]["failed_cells"] == [dict(record)]
+        assert "failed_cells" not in rows["adaptive"]
+
+    def test_shard_partials_and_merge_surface_failed_cells(
+        self, suite, ctx, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CHAOS", self.CHAOS)
+        run_dir = tmp_path / "run"
+        for index in (1, 2):
+            run_scenario_shard(
+                suite, f"{index}/2", run_dir, context=ctx,
+                on_cell_error="quarantine",
+            )
+        partials = [
+            json.loads(path.read_text())
+            for path in run_dir.glob("shards/*/partial/*.json")
+        ]
+        failed = [p for p in partials if p.get("failed")]
+        assert len(failed) == 1
+        (record,) = failed[0]["failed"]
+        assert (record["rate_index"], record["trial"]) == (0, 1)
+        assert record["reason"] == "exception"
+        # The failed cell is excluded from the partial's computed cells.
+        assert "0/1" not in failed[0]["cells"]
+        # Merge treats quarantined cells as covered, not missing.
+        results = merge_run(run_dir)
+        by_name = {r.name: r for r in results}
+        assert [
+            (r["rate_index"], r["trial"]) for r in by_name["exact"].failed
+        ] == [(0, 1)]
+        assert not by_name["adaptive"].failed
+        payload = json.loads((run_dir / "exact.json").read_text())
+        assert len(payload["failed_cells"]) == 1
