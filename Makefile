@@ -24,6 +24,11 @@
 #                 see docs/FAULT_TOLERANCE.md) and assert the output
 #                 is byte-identical to the chaos-free run (part of the
 #                 fast tier)
+#   make report-smoke - shard a bundled smoke suite 2 ways through the
+#                 real CLI, merge, build the HTML report, and assert
+#                 the per-cell store byte-matches the unsharded run
+#                 and the report matches its golden rendering (part of
+#                 the fast tier; see docs/RESULTS.md)
 #   make stats  - just the statistical-correctness simulations for the
 #                 adaptive stopping rule (interval coverage, sequential
 #                 stopping, importance-sampling unbiasedness); these are
@@ -37,7 +42,7 @@
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: fast test bench docs-check scenarios-smoke shard-smoke chaos-smoke stats
+.PHONY: fast test bench docs-check scenarios-smoke shard-smoke chaos-smoke report-smoke stats
 
 fast: docs-check
 	$(PYTEST) -q -m "not slow"
@@ -59,6 +64,9 @@ shard-smoke:
 
 chaos-smoke:
 	$(PYTEST) -q tests/test_chaos_smoke.py
+
+report-smoke:
+	$(PYTEST) -q tests/test_report_smoke.py
 
 stats:
 	$(PYTEST) -q -m stats

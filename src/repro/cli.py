@@ -13,6 +13,8 @@ without writing Python:
   directory (see docs/SCENARIOS.md);
 * ``merge``     — reassemble a sharded run directory into canonical
   merged results, byte-identical to the unsharded run;
+* ``report``    — render a finished run directory into one static,
+  self-contained HTML diagnostics page (see docs/RESULTS.md);
 * ``layerwise`` — per-layer sensitivity analysis (paper Fig. 3);
 * ``bitpos``    — bit-position sensitivity study;
 * ``outcomes``  — masked / benign / SDC / DUE fault-outcome taxonomy.
@@ -189,6 +191,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--out run directory; run the other shards on any hosts, then "
         "`repro merge <out>` (see docs/SCENARIOS.md)",
     )
+    p_scenarios.add_argument(
+        "--no-store",
+        action="store_true",
+        help="skip the per-cell result store (store/cells.rcs and the "
+        "append-only segments; see docs/RESULTS.md)",
+    )
     add_supervision_args(p_scenarios)
 
     p_merge = sub.add_parser(
@@ -200,6 +208,35 @@ def build_parser() -> argparse.ArgumentParser:
         "run_dir",
         help="run directory holding shards/<i>-of-<N>/ segments written "
         "by `repro scenarios --shard`",
+    )
+    p_merge.add_argument(
+        "--no-store",
+        action="store_true",
+        help="skip reassembling the per-cell result store "
+        "(see docs/RESULTS.md)",
+    )
+
+    p_report = sub.add_parser(
+        "report",
+        help="render a finished run directory into a static HTML "
+        "diagnostics page (see docs/RESULTS.md)",
+    )
+    p_report.add_argument(
+        "run_dir",
+        help="run directory holding summary.json (an unsharded "
+        "`repro scenarios --out` run or a `repro merge`d one)",
+    )
+    p_report.add_argument(
+        "--out",
+        default=None,
+        help="output HTML file (default: <run_dir>/report.html)",
+    )
+    p_report.add_argument(
+        "--bench",
+        default=None,
+        metavar="DIR",
+        help="directory of BENCH_*.json per-SHA histories to diff "
+        "against (e.g. benchmarks/results)",
     )
 
     p_layer = sub.add_parser("layerwise", help="per-layer sensitivity (Fig. 3)")
@@ -517,6 +554,7 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
                 max_retries=args.max_retries,
                 cell_timeout=args.cell_timeout,
                 on_cell_error=args.on_cell_error,
+                store=not args.no_store,
             )
         except ValueError as error:
             print(f"error: {error}", file=sys.stderr)
@@ -537,6 +575,7 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         max_retries=args.max_retries,
         cell_timeout=args.cell_timeout,
         on_cell_error=args.on_cell_error,
+        store=not args.no_store,
     )
     print(
         format_scenario_table(
@@ -558,7 +597,7 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     from repro.scenarios import merge_run
 
     try:
-        results = merge_run(args.run_dir)
+        results = merge_run(args.run_dir, store=not args.no_store)
     except (FileNotFoundError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -570,6 +609,18 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     )
     _report_scenario_failures(results)
     print(f"merged results written to {Path(args.run_dir) / 'summary.json'}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.results import write_report
+
+    try:
+        target = write_report(args.run_dir, out=args.out, bench_dir=args.bench)
+    except (FileNotFoundError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"report written to {target}")
     return 0
 
 
@@ -687,6 +738,7 @@ _COMMANDS = {
     "campaign": _cmd_campaign,
     "scenarios": _cmd_scenarios,
     "merge": _cmd_merge,
+    "report": _cmd_report,
     "layerwise": _cmd_layerwise,
     "bitpos": _cmd_bitpos,
     "outcomes": _cmd_outcomes,

@@ -124,6 +124,7 @@ __all__ = [
     "CellResult",
     "CellTimeoutError",
     "ProgressCallback",
+    "CellRecorder",
     "CellRunner",
     "CampaignCellTask",
     "InjectionCellRunner",
@@ -309,6 +310,25 @@ class CellResult:
 
 
 ProgressCallback = Callable[[CellResult], None]
+
+
+class CellRecorder(Protocol):
+    """A sink for per-cell records (the result-store hook).
+
+    Unlike a progress callback (presentation), a recorder is part of
+    the result path: it sees every completed cell — including
+    checkpoint-replayed ones — via :meth:`cell`, and every quarantined
+    cell's full :data:`FAILED_CELL_FIELDS` record via :meth:`failure`
+    (the matching ``failed=True`` :class:`CellResult` still flows
+    through :meth:`cell`, so implementations that only want executed
+    cells should skip results with ``failed`` set).
+    :class:`repro.results.SegmentRecorder` streams these into the
+    append-only per-cell store (see ``docs/RESULTS.md``).
+    """
+
+    def cell(self, result: CellResult) -> None: ...
+
+    def failure(self, record: dict) -> None: ...
 
 
 # --------------------------------------------------------------------- #
@@ -939,6 +959,11 @@ class CampaignExecutor:
         A complete :class:`SupervisionPolicy` (mutually exclusive with
         the shorthand knobs) for callers that also tune the backoff or
         the pool-rebuild budget.
+    recorder:
+        Optional :class:`CellRecorder` receiving every completed cell
+        (``cell``) and every quarantined cell's failure record
+        (``failure``) — the hook behind the append-only per-cell
+        result store (``repro.results``, ``docs/RESULTS.md``).
 
     After each :meth:`run_grids` pass, :attr:`quarantined` holds one
     record per cell that exhausted its retries (schema:
@@ -960,8 +985,10 @@ class CampaignExecutor:
         cell_timeout: "float | None" = None,
         on_cell_error: "str | None" = None,
         supervision: "SupervisionPolicy | None" = None,
+        recorder: "CellRecorder | None" = None,
     ):
         self.workers = resolve_workers(workers)
+        self.recorder = recorder
         if chunk_size < 0:
             raise ValueError(f"chunk_size must be >= 0 (0 = auto), got {chunk_size}")
         self.chunk_size = int(chunk_size)
@@ -1335,26 +1362,28 @@ class CampaignExecutor:
         from_checkpoint: bool = False,
         failed: bool = False,
     ) -> None:
-        if self.progress is None:
+        if self.progress is None and self.recorder is None:
             return
         scalars = np.atleast_1d(np.asarray(value, dtype=np.float64))
-        self.progress(
-            CellResult(
-                rate_index=rate_index,
-                trial=trial,
-                fault_rate=float(rates[rate_index]),
-                accuracy=float(scalars[0]),
-                completed=completed,
-                total=total,
-                from_checkpoint=from_checkpoint,
-                campaign_index=task_index,
-                campaign_label=task.label,
-                values=(
-                    tuple(float(v) for v in scalars) if scalars.size > 1 else None
-                ),
-                failed=failed,
-            )
+        result = CellResult(
+            rate_index=rate_index,
+            trial=trial,
+            fault_rate=float(rates[rate_index]),
+            accuracy=float(scalars[0]),
+            completed=completed,
+            total=total,
+            from_checkpoint=from_checkpoint,
+            campaign_index=task_index,
+            campaign_label=task.label,
+            values=(
+                tuple(float(v) for v in scalars) if scalars.size > 1 else None
+            ),
+            failed=failed,
         )
+        if self.recorder is not None:
+            self.recorder.cell(result)
+        if self.progress is not None:
+            self.progress(result)
 
     def _quarantine(
         self,
@@ -1387,6 +1416,8 @@ class CampaignExecutor:
                 "error": "" if error is None else f"{type(error).__name__}: {error}",
             }
         )
+        if self.recorder is not None:
+            self.recorder.failure(self.quarantined[-1])
         self._emit(
             task, task_index, rate_index, trial, rates,
             float("nan"), completed, total, failed=True,

@@ -297,6 +297,7 @@ def run_scenarios(
     max_retries: "int | None" = None,
     cell_timeout: "float | None" = None,
     on_cell_error: "str | None" = None,
+    store: bool = True,
 ) -> list[ScenarioResult]:
     """Run a whole scenario matrix through one shared executor pool.
 
@@ -306,6 +307,12 @@ def run_scenarios(
     :class:`~repro.core.executor.CampaignExecutor` guards resume);
     ``out_dir`` writes one ``<scenario>.json`` per result plus a
     consolidated ``summary.json``.  Results are returned in spec order.
+
+    With ``out_dir`` set and ``store`` left on, the run also feeds the
+    per-cell result store (``docs/RESULTS.md``): every completed cell
+    is appended to ``out_dir/store/segment.jsonl`` as it finishes, and
+    the canonical columnar ``store/cells.rcs`` is written with the
+    results — the input to ``repro report``.
 
     ``max_retries``/``cell_timeout``/``on_cell_error`` feed the
     executor's :class:`~repro.core.executor.SupervisionPolicy` (see
@@ -335,14 +342,23 @@ def run_scenarios(
     workers = 1 if workers is None else workers
     context = context if context is not None else ScenarioContext()
     tasks = [compile_spec(spec, context) for spec in specs]
+    recorder = None
+    if store and out_dir is not None:
+        from repro.results.store import SegmentRecorder, segment_path
+
+        recorder = SegmentRecorder(segment_path(out_dir), specs)
     executor = CampaignExecutor(
         workers=workers, progress=progress, checkpoint=checkpoint,
         max_retries=max_retries, cell_timeout=cell_timeout,
-        on_cell_error=on_cell_error,
+        on_cell_error=on_cell_error, recorder=recorder,
     )
     from repro.core.batched import AdaptiveResult
 
-    curves = executor.run_tasks(tasks)
+    try:
+        curves = executor.run_tasks(tasks)
+    finally:
+        if recorder is not None:
+            recorder.close()
     failed_by_task: dict[int, list[dict]] = {}
     for record in executor.quarantined:
         failed_by_task.setdefault(int(record["task_index"]), []).append(
@@ -369,7 +385,7 @@ def run_scenarios(
         for index, (spec, value) in enumerate(zip(specs, curves))
     ]
     if out_dir is not None:
-        write_results(results, out_dir, suite=suite_name)
+        write_results(results, out_dir, suite=suite_name, store=store)
     return results
 
 
@@ -466,15 +482,24 @@ def write_results(
     results: Sequence[ScenarioResult],
     out_dir: "str | Path",
     suite: str = "scenarios",
+    store: bool = True,
 ) -> Path:
     """Write per-scenario JSON files plus ``summary.json``; returns it.
 
     Every file lands atomically (:func:`write_json_atomic`), and the
     payload is a pure function of the results — an unsharded run and a
     ``repro merge`` of the same cells produce byte-identical files.
+    With ``store`` left on, the canonical per-cell columnar store
+    (``store/cells.rcs``, see ``docs/RESULTS.md``) is written alongside
+    them; being itself a pure function of the results, its bytes obey
+    the same shard/merge identity.
     """
     target = Path(out_dir)
     target.mkdir(parents=True, exist_ok=True)
+    if store:
+        from repro.results.store import store_from_results, write_store
+
+        write_store(store_from_results(results), target)
     stems = scenario_file_stems([result.name for result in results])
     rows = []
     for result, stem in zip(results, stems):

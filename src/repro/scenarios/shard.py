@@ -93,12 +93,20 @@ RUN_LAYOUT = {
         "one scenario's cells executed by this shard, plus its clean "
         "accuracy and any quarantined (failed) cells"
     ),
+    "shards/<i>-of-<N>/partial/cells.jsonl": (
+        "the shard's append-only per-cell store segment, one record "
+        "per logical cell as it completes (see docs/RESULTS.md)"
+    ),
     "summary.json": (
         "the merged run summary, byte-identical to an unsharded run's"
     ),
     "<scenario>.json": (
         "per-scenario merged results, the same files as an unsharded "
         "--out run"
+    ),
+    "store/cells.rcs": (
+        "the canonical columnar per-cell store, reassembled by merge "
+        "byte-identical to the unsharded run's (see docs/RESULTS.md)"
     ),
 }
 
@@ -305,6 +313,7 @@ def run_scenario_shard(
     max_retries: "int | None" = None,
     cell_timeout: "float | None" = None,
     on_cell_error: "str | None" = None,
+    store: bool = True,
 ) -> Path:
     """Execute one shard of a suite into a segmented run directory.
 
@@ -321,6 +330,12 @@ def run_scenario_shard(
     is recorded on the partial's ``failed`` list (and left out of
     ``cells``) instead of aborting the shard — ``merge_run`` surfaces
     those cells rather than failing its coverage check.
+
+    With ``store`` left on, every completed cell is also appended to
+    the shard's own store segment
+    (``partial/cells.jsonl``, see ``docs/RESULTS.md``) as it finishes;
+    ``merge_run`` reassembles the segments into the canonical columnar
+    store and cross-checks them against the merged results.
     """
     from repro.core.executor import CampaignExecutor
 
@@ -362,6 +377,17 @@ def run_scenario_shard(
     partial_dir = shard_dir / PARTIAL_DIRNAME
     partial_dir.mkdir(exist_ok=True)
     if tasks:
+        recorder = None
+        if store:
+            from repro.results.store import (
+                SHARD_SEGMENT_FILENAME,
+                SegmentRecorder,
+            )
+
+            recorder = SegmentRecorder(
+                partial_dir / SHARD_SEGMENT_FILENAME,
+                [plan.specs[index] for index in owners],
+            )
         executor = CampaignExecutor(
             workers=workers,
             progress=progress,
@@ -376,8 +402,13 @@ def run_scenario_shard(
             max_retries=max_retries,
             cell_timeout=cell_timeout,
             on_cell_error=on_cell_error,
+            recorder=recorder,
         )
-        _, grids = executor.run_grids(tasks, cells=task_cells)
+        try:
+            _, grids = executor.run_grids(tasks, cells=task_cells)
+        finally:
+            if recorder is not None:
+                recorder.close()
         failed_by_task: "dict[int, list[dict]]" = {}
         for record in executor.quarantined:
             failed_by_task.setdefault(int(record["task_index"]), []).append(
@@ -438,7 +469,9 @@ def _load_manifests(run_dir: Path) -> "list[tuple[Path, dict]]":
     return manifests
 
 
-def merge_run(run_dir: "str | Path") -> "list[ScenarioResult]":
+def merge_run(
+    run_dir: "str | Path", store: bool = True
+) -> "list[ScenarioResult]":
     """Reassemble a segmented run into canonical merged outputs.
 
     Validates that every shard manifest describes the same suite (equal
@@ -454,6 +487,13 @@ def merge_run(run_dir: "str | Path") -> "list[ScenarioResult]":
     per-scenario JSON plus ``summary.json`` into ``run_dir`` — all
     byte-identical to the unsharded run.  Returns the results in suite
     order.
+
+    With ``store`` left on, the canonical per-cell columnar store
+    (``store/cells.rcs``) is written too — byte-identical to the
+    unsharded run's — and, when every shard carried its append-only
+    ``partial/cells.jsonl`` segment, the segments are reassembled and
+    cross-checked against it, so a lossy or inconsistent shard store
+    cannot merge silently (see ``docs/RESULTS.md``).
     """
     import numpy as np
 
@@ -570,5 +610,43 @@ def merge_run(run_dir: "str | Path") -> "list[ScenarioResult]":
         )
         for spec_index, spec in enumerate(plan.specs)
     ]
-    write_results(results, run_dir, suite=plan.suite_name)
+    write_results(results, run_dir, suite=plan.suite_name, store=store)
+    if store:
+        _verify_segment_store(run_dir, present, results)
     return results
+
+
+def _verify_segment_store(
+    run_dir: Path,
+    shard_dirs: "dict[int, Path]",
+    results: "Sequence[ScenarioResult]",
+) -> None:
+    """Cross-check the shards' append-only segments against the store.
+
+    Reassembling the per-shard ``partial/cells.jsonl`` segments must
+    reproduce exactly the canonical store derived from the merged
+    results — the lossless-reassembly contract of ``docs/RESULTS.md``.
+    Skipped when any shard ran without a segment (``store=False``
+    runs cannot be verified).
+    """
+    from repro.results.store import (
+        SHARD_SEGMENT_FILENAME,
+        read_segments,
+        store_from_results,
+    )
+
+    segments = [
+        shard_dirs[index] / PARTIAL_DIRNAME / SHARD_SEGMENT_FILENAME
+        for index in sorted(shard_dirs)
+    ]
+    if not all(path.exists() for path in segments):
+        return
+    reassembled = read_segments(segments).canonical()
+    expected = store_from_results(results)
+    if reassembled != expected:
+        raise ValueError(
+            f"the shards' per-cell store segments under {run_dir} do "
+            "not reassemble to the merged results' store; a shard "
+            "recorded different cells than its partial JSON claims "
+            "(see docs/RESULTS.md)"
+        )

@@ -306,3 +306,82 @@ class TestShardMergeCommands:
             "t/campaign=weight",
             "t/campaign=quantized",
         }
+
+
+class TestReportCommand:
+    def _spec_file(self, tmp_path):
+        spec = {
+            "name": "cli-report",
+            "defaults": {
+                "model": "lenet5",
+                "trials": 1,
+                "eval_images": 16,
+                "batch_size": 16,
+                "rates": [1e-5, 1e-4],
+            },
+            "scenarios": [{"name": "t"}],
+        }
+        path = tmp_path / "tiny.json"
+        path.write_text(json.dumps(spec))
+        return path
+
+    def test_report_renders_run_directory(self, capsys, tmp_path):
+        from repro.results import REPORT_SECTIONS
+
+        path = self._spec_file(tmp_path)
+        out_dir = tmp_path / "out"
+        assert main(["scenarios", str(path), "--out", str(out_dir)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        report = out_dir / "report.html"
+        assert str(report) in out
+        html = report.read_text()
+        for section in REPORT_SECTIONS:
+            assert f'<section id="{section}">' in html
+
+    def test_report_honours_out_and_bench(self, capsys, tmp_path):
+        path = self._spec_file(tmp_path)
+        out_dir = tmp_path / "out"
+        assert main(["scenarios", str(path), "--out", str(out_dir)]) == 0
+        bench = tmp_path / "bench"
+        bench.mkdir()
+        (bench / "BENCH_x.json").write_text(
+            json.dumps(
+                {
+                    "benchmark": "x",
+                    "history": [{"sha": "abc123", "wall_seconds": 1.5}],
+                }
+            )
+        )
+        target = tmp_path / "page.html"
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "report", str(out_dir),
+                    "--out", str(target), "--bench", str(bench),
+                ]
+            )
+            == 0
+        )
+        html = target.read_text()
+        assert "abc123" in html and "wall_seconds" in html
+
+    def test_report_without_run_errors_cleanly(self, capsys, tmp_path):
+        assert main(["report", str(tmp_path)]) == 2
+        assert "summary.json" in capsys.readouterr().err
+
+    def test_no_store_flag_skips_store(self, tmp_path):
+        from repro.results import store_path
+
+        path = self._spec_file(tmp_path)
+        out_dir = tmp_path / "out"
+        assert (
+            main(
+                ["scenarios", str(path), "--out", str(out_dir), "--no-store"]
+            )
+            == 0
+        )
+        assert not store_path(out_dir).exists()
+        assert (out_dir / "summary.json").is_file()

@@ -383,6 +383,162 @@ class TestFaultToleranceDocs:
             )
 
 
+class TestResultsDocs:
+    """docs/RESULTS.md owns the per-cell store / report reference.
+
+    Same treatment as the other schema tables: the store-schema table
+    (column names *and* kinds), the outcome-class table and the
+    report-section table are each enforced against the constants in
+    ``repro.results`` in both directions, and the CLI/Makefile surface
+    the document describes must exist for real.
+    """
+
+    DOC = ROOT / "docs" / "RESULTS.md"
+
+    def _text(self):
+        assert self.DOC.exists(), "docs/RESULTS.md missing"
+        return self.DOC.read_text()
+
+    def _section(self, title):
+        match = re.search(
+            rf"^## {re.escape(title)}$(.*?)(?=^## |\Z)",
+            self._text(),
+            re.M | re.S,
+        )
+        assert match, f"docs/RESULTS.md has no '## {title}' section"
+        return match.group(1)
+
+    def _subsection(self, title):
+        match = re.search(
+            rf"^### {re.escape(title)}$(.*?)(?=^#{{2,3}} |\Z)",
+            self._text(),
+            re.M | re.S,
+        )
+        assert match, f"docs/RESULTS.md has no '### {title}' subsection"
+        return match.group(1)
+
+    def test_store_schema_table_matches_cell_columns(self):
+        from repro.results import CELL_COLUMNS
+
+        documented = dict(
+            re.findall(
+                r"^\|\s*`([a-z_]+)`\s*\|\s*(str|int|float)\s*\|",
+                self._section("Store schema"),
+                re.M,
+            )
+        )
+        actual = {name: kind for name, (kind, _) in CELL_COLUMNS.items()}
+        missing = set(actual) - set(documented)
+        stale = set(documented) - set(actual)
+        assert not missing and not stale, (
+            f"docs/RESULTS.md store-schema table disagrees with "
+            f"CELL_COLUMNS: missing rows {sorted(missing)}, "
+            f"stale rows {sorted(stale)}"
+        )
+        wrong = {
+            name: (documented[name], actual[name])
+            for name in actual
+            if documented[name] != actual[name]
+        }
+        assert not wrong, (
+            f"docs/RESULTS.md store-schema kinds disagree with "
+            f"CELL_COLUMNS (doc, code): {wrong}"
+        )
+
+    def test_outcome_table_matches_classes(self):
+        from repro.results import OUTCOME_CLASSES
+
+        documented = set(
+            re.findall(
+                r"^\|\s*`([a-z]+)`", self._subsection("Outcome classes"), re.M
+            )
+        )
+        actual = set(OUTCOME_CLASSES)
+        assert documented == actual, (
+            f"docs/RESULTS.md outcome-class table disagrees with "
+            f"OUTCOME_CLASSES: missing {sorted(actual - documented)}, "
+            f"stale {sorted(documented - actual)}"
+        )
+
+    def test_section_table_matches_report_sections(self):
+        from repro.results import REPORT_SECTIONS
+
+        documented = set(
+            re.findall(
+                r"^\|\s*`([a-z]+)`", self._section("Report sections"), re.M
+            )
+        )
+        actual = set(REPORT_SECTIONS)
+        assert documented == actual, (
+            f"docs/RESULTS.md report-section table disagrees with "
+            f"REPORT_SECTIONS: missing {sorted(actual - documented)}, "
+            f"stale {sorted(documented - actual)}"
+        )
+
+    def test_layout_paths_name_real_layout_entries(self):
+        from repro.scenarios.shard import RUN_LAYOUT
+
+        section = self._subsection("On-disk layout")
+        for entry in (
+            "store/segment.jsonl",
+            "store/cells.rcs",
+            "shards/<i>-of-<N>/partial/cells.jsonl",
+        ):
+            assert entry in section, (
+                f"docs/RESULTS.md on-disk layout never mentions {entry}"
+            )
+        assert "store/cells.rcs" in RUN_LAYOUT
+        assert "shards/<i>-of-<N>/partial/cells.jsonl" in RUN_LAYOUT
+
+    def test_documented_cli_surface_exists(self):
+        import argparse
+
+        from repro.cli import build_parser
+
+        cookbook = self._section("CLI cookbook")
+        for needle in ("repro report", "--no-store", "--bench", "--out"):
+            assert needle in cookbook, (
+                f"docs/RESULTS.md cookbook never mentions {needle}"
+            )
+
+        parser = build_parser()
+        subparsers = next(
+            action
+            for action in parser._actions
+            if isinstance(action, argparse._SubParsersAction)
+        )
+        assert "report" in subparsers.choices
+        report_opts = {
+            option
+            for action in subparsers.choices["report"]._actions
+            for option in action.option_strings
+        }
+        assert {"--out", "--bench"} <= report_opts
+        for command in ("scenarios", "merge"):
+            options = {
+                option
+                for action in subparsers.choices[command]._actions
+                for option in action.option_strings
+            }
+            assert "--no-store" in options, (
+                f"repro {command} lacks --no-store"
+            )
+
+    def test_report_smoke_target_documented_and_wired(self):
+        makefile = (ROOT / "Makefile").read_text()
+        assert "report-smoke:" in makefile
+        assert "tests/test_report_smoke.py" in makefile
+        assert (ROOT / "tests" / "test_report_smoke.py").exists()
+        assert "report-smoke" in self._text()
+
+    def test_results_doc_is_linked(self):
+        for name in ("README.md", "DESIGN.md"):
+            text = (ROOT / name).read_text()
+            assert "docs/RESULTS.md" in text, (
+                f"{name} does not link docs/RESULTS.md"
+            )
+
+
 class TestPaperFigureCoverage:
     def test_all_paper_figures_have_bench(self):
         """Every evaluation figure of the paper maps to a bench file."""
