@@ -29,6 +29,13 @@
 #                 the per-cell store byte-matches the unsharded run
 #                 and the report matches its golden rendering (part of
 #                 the fast tier; see docs/RESULTS.md)
+#   make serve-smoke - start the `repro serve` daemon as a real
+#                 subprocess, submit a bundled smoke suite twice via
+#                 `repro submit`, and assert the hit/miss counters, the
+#                 byte-equality of the fetched run against the direct
+#                 CLI run, and a clean SIGTERM shutdown with no leaked
+#                 shm segments (part of the fast tier; see
+#                 docs/SERVICE.md)
 #   make stats  - just the statistical-correctness simulations for the
 #                 adaptive stopping rule (interval coverage, sequential
 #                 stopping, importance-sampling unbiasedness); these are
@@ -42,7 +49,7 @@
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: fast test bench docs-check scenarios-smoke shard-smoke chaos-smoke report-smoke stats
+.PHONY: fast test bench docs-check scenarios-smoke shard-smoke chaos-smoke report-smoke serve-smoke stats
 
 fast: docs-check
 	$(PYTEST) -q -m "not slow"
@@ -67,6 +74,9 @@ chaos-smoke:
 
 report-smoke:
 	$(PYTEST) -q tests/test_report_smoke.py
+
+serve-smoke:
+	$(PYTEST) -q tests/test_serve_smoke.py
 
 stats:
 	$(PYTEST) -q -m stats

@@ -17,7 +17,12 @@ without writing Python:
   self-contained HTML diagnostics page (see docs/RESULTS.md);
 * ``layerwise`` — per-layer sensitivity analysis (paper Fig. 3);
 * ``bitpos``    — bit-position sensitivity study;
-* ``outcomes``  — masked / benign / SDC / DUE fault-outcome taxonomy.
+* ``outcomes``  — masked / benign / SDC / DUE fault-outcome taxonomy;
+* ``serve``     — long-lived campaign daemon with content-addressed
+  result memoization (see docs/SERVICE.md);
+* ``submit`` / ``status`` / ``fetch`` — thin HTTP client for a running
+  daemon: post a spec, poll progress, materialize the finished run
+  directory byte-identical to a direct ``scenarios`` run.
 """
 
 from __future__ import annotations
@@ -260,6 +265,101 @@ def build_parser() -> argparse.ArgumentParser:
     p_outcomes.add_argument("--eval-images", type=int, default=128)
     p_outcomes.add_argument("--seed", type=int, default=55)
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the campaign-as-a-service daemon (see docs/SERVICE.md)",
+    )
+    p_serve.add_argument(
+        "--root",
+        default="service-runs",
+        help="directory of the on-disk result cache; each memoized "
+        "campaign is an ordinary run directory under <root>/runs/<id>/",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=8972,
+        help="TCP port (0 = bind an ephemeral port; the chosen port is "
+        "printed on startup)",
+    )
+    add_workers_arg(p_serve)
+    p_serve.add_argument(
+        "--slots",
+        type=int,
+        default=1,
+        help="campaigns executing concurrently, one persistent warm "
+        "executor pool each",
+    )
+    p_serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=8,
+        help="queued campaigns beyond the running ones before new "
+        "submissions are refused with 503",
+    )
+    p_serve.add_argument(
+        "--smoke",
+        action="store_true",
+        help="serve with the tiny smoke_context() artifacts (synthetic "
+        "data, one-epoch training) — a test/CI knob like --chaos",
+    )
+    add_supervision_args(p_serve)
+
+    def add_url_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--url",
+            default=None,
+            help="daemon URL (default: $REPRO_SERVE_URL, else "
+            "http://127.0.0.1:8972)",
+        )
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a scenario spec to a running daemon"
+    )
+    p_submit.add_argument(
+        "spec",
+        help="path to a YAML/JSON scenario file, or the name of a "
+        "bundled spec (`repro scenarios --list` shows them)",
+    )
+    add_url_arg(p_submit)
+    p_submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll until the campaign completes (exit 1 if it failed)",
+    )
+    p_submit.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="give up on --wait after this many seconds",
+    )
+
+    p_status = sub.add_parser(
+        "status", help="poll a running daemon for campaign or service state"
+    )
+    p_status.add_argument(
+        "id",
+        nargs="?",
+        default=None,
+        help="a run id from `repro submit`; omitted, prints the daemon's "
+        "/stats counters instead",
+    )
+    add_url_arg(p_status)
+
+    p_fetch = sub.add_parser(
+        "fetch",
+        help="download a finished campaign into a local run directory, "
+        "byte-identical to a direct `repro scenarios --out` run",
+    )
+    p_fetch.add_argument("id", help="a run id from `repro submit`")
+    add_url_arg(p_fetch)
+    p_fetch.add_argument(
+        "--out",
+        default=None,
+        help="target run directory (default: ./<id>/)",
+    )
+
     return parser
 
 
@@ -486,16 +586,37 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_suite_arg(spec: str):
+    """Resolve a path-or-bundled-name argument into a loaded suite.
+
+    Shared by ``scenarios`` (local execution) and ``submit`` (daemon
+    submission) so both accept the same spec surface.  Returns
+    ``(suite, None)`` on success or ``(None, exit_code)`` with the error
+    already printed.
+    """
+    from pathlib import Path
+
+    from repro.scenarios import bundled_spec_path, load_scenarios
+
+    source = Path(spec)
+    if not source.exists() and source.suffix == "":
+        try:
+            source = bundled_spec_path(spec)
+        except KeyError as error:
+            print(f"error: {error.args[0]}", file=sys.stderr)
+            return None, 2
+    try:
+        return load_scenarios(source), None
+    except (FileNotFoundError, ValueError, ImportError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return None, 2
+
+
 def _cmd_scenarios(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.analysis.reporting import format_scenario_table
-    from repro.scenarios import (
-        bundled_spec_names,
-        bundled_spec_path,
-        load_scenarios,
-        run_scenarios,
-    )
+    from repro.scenarios import bundled_spec_names, run_scenarios
 
     if args.list:
         for name in bundled_spec_names():
@@ -508,18 +629,9 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    source = Path(args.spec)
-    if not source.exists() and source.suffix == "":
-        try:
-            source = bundled_spec_path(args.spec)
-        except KeyError as error:
-            print(f"error: {error.args[0]}", file=sys.stderr)
-            return 2
-    try:
-        suite = load_scenarios(source)
-    except (FileNotFoundError, ValueError, ImportError) as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
+    suite, code = _load_suite_arg(args.spec)
+    if suite is None:
+        return code
     code = _apply_chaos(args)
     if code is not None:
         return code
@@ -731,6 +843,99 @@ def _cmd_outcomes(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.service import CampaignService, serve
+
+    code = _apply_chaos(args)
+    if code is not None:
+        return code
+    context = None
+    if args.smoke:
+        from repro.scenarios import smoke_context
+
+        context = smoke_context()
+    service = CampaignService(
+        args.root,
+        context=context,
+        workers=args.workers,
+        slots=args.slots,
+        queue_limit=args.queue_limit,
+        max_retries=args.max_retries,
+        cell_timeout=args.cell_timeout,
+        on_cell_error=args.on_cell_error,
+    )
+    server = serve(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    # Parsed by clients and the smoke harness; keep the format stable.
+    print(f"serving on http://{host}:{port}", flush=True)
+    stop = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: stop.set())
+    pump = threading.Thread(target=server.serve_forever, daemon=True)
+    pump.start()
+    stop.wait()
+    print("shutting down", flush=True)
+    server.shutdown()
+    pump.join()
+    server.server_close()
+    service.close()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient, ServiceClientError
+
+    suite, code = _load_suite_arg(args.spec)
+    if suite is None:
+        return code
+    payload = {
+        "name": suite.name,
+        "scenarios": [spec.to_dict() for spec in suite.specs],
+    }
+    client = ServiceClient(args.url)
+    try:
+        response = client.submit(payload)
+        print(json.dumps(response, indent=1, sort_keys=True))
+        if not args.wait:
+            return 0
+        status = client.wait(response["id"], timeout=args.timeout)
+        print(json.dumps(status, indent=1, sort_keys=True))
+        return 0 if status["state"] == "complete" else 1
+    except (ServiceClientError, OSError, TimeoutError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient, ServiceClientError
+
+    client = ServiceClient(args.url)
+    try:
+        payload = client.stats() if args.id is None else client.status(args.id)
+    except (ServiceClientError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(json.dumps(payload, indent=1, sort_keys=True))
+    return 0
+
+
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient, ServiceClientError
+
+    client = ServiceClient(args.url)
+    try:
+        written = client.fetch(args.id, args.out or args.id)
+    except (ServiceClientError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    for path in written:
+        print(path)
+    return 0
+
+
 _COMMANDS = {
     "train": _cmd_train,
     "profile": _cmd_profile,
@@ -742,6 +947,10 @@ _COMMANDS = {
     "layerwise": _cmd_layerwise,
     "bitpos": _cmd_bitpos,
     "outcomes": _cmd_outcomes,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
+    "fetch": _cmd_fetch,
 }
 
 

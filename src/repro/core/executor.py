@@ -1032,6 +1032,29 @@ class CampaignExecutor:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
+    def reconfigure(
+        self,
+        progress: "ProgressCallback | None" = None,
+        checkpoint: "str | Path | None" = None,
+        checkpoint_extra: "dict | None" = None,
+        recorder: "CellRecorder | None" = None,
+    ) -> "CampaignExecutor":
+        """Repoint the per-run hooks of a long-lived executor.
+
+        A persistent executor (``persistent=True``) keeps its warm
+        worker pool across ``run_tasks`` passes; the progress callback,
+        checkpoint file and cell recorder, by contrast, belong to one
+        run.  Callers that reuse an executor across runs (the service's
+        slot workers) swap them here between passes — ``run_grids``
+        reads all four freshly on every call, so no pool restart is
+        involved.  Returns ``self`` for chaining.
+        """
+        self.progress = progress
+        self.checkpoint_path = checkpoint
+        self.checkpoint_extra = dict(checkpoint_extra) if checkpoint_extra else None
+        self.recorder = recorder
+        return self
+
     # ------------------------------------------------------------------ #
 
     def run(

@@ -275,12 +275,9 @@ def hardened_clone(
 
     model = clone_model(bundle)
     report: HardenedModel = harden_model(model, bundle.val_set, config)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(
-        json.dumps(
-            {"thresholds": report.thresholds, "act_max": report.act_max},
-            indent=2,
-            sort_keys=True,
-        )
+    cache.write_json(
+        f"thresholds-{bundle.config.model}",
+        key_config,
+        {"thresholds": report.thresholds, "act_max": report.act_max},
     )
     return model, report.thresholds, report.act_max

@@ -28,8 +28,6 @@ spec on tiny synthetic data inside the fast test tier.
 from __future__ import annotations
 
 import hashlib
-import json
-import os
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -37,6 +35,7 @@ from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 from repro.core.campaign import CampaignConfig
 from repro.scenarios.faults import SpecFaultSampler
+from repro.utils.serialization import write_json_atomic
 from repro.scenarios.spec import (
     REDUNDANCY_VARIANTS,
     CampaignSpec,
@@ -298,6 +297,7 @@ def run_scenarios(
     cell_timeout: "float | None" = None,
     on_cell_error: "str | None" = None,
     store: bool = True,
+    executor: "Any | None" = None,
 ) -> list[ScenarioResult]:
     """Run a whole scenario matrix through one shared executor pool.
 
@@ -319,9 +319,27 @@ def run_scenarios(
     ``docs/FAULT_TOLERANCE.md``); with ``on_cell_error != "abort"``,
     cells that exhaust their retry budget land on each result's
     ``failed`` tuple instead of aborting the suite.
+
+    ``executor`` hands in a caller-owned (usually persistent)
+    :class:`~repro.core.executor.CampaignExecutor` instead of building a
+    fresh one — the service reuses one warm pool per slot this way.  Its
+    worker count and supervision policy are fixed at construction, so
+    combining it with ``workers``/``max_retries``/``cell_timeout``/
+    ``on_cell_error`` is an error; its per-run hooks are repointed via
+    ``reconfigure`` and the caller keeps responsibility for ``close()``.
     """
     from repro.core.executor import CampaignExecutor
 
+    if executor is not None and (
+        workers is not None
+        or max_retries is not None
+        or cell_timeout is not None
+        or on_cell_error is not None
+    ):
+        raise ValueError(
+            "pass either a caller-owned executor or the "
+            "workers/max_retries/cell_timeout/on_cell_error knobs, not both"
+        )
     if isinstance(scenarios, ScenarioSuite):
         specs: Sequence[CampaignSpec] = scenarios.specs
         if workers is None:
@@ -347,11 +365,16 @@ def run_scenarios(
         from repro.results.store import SegmentRecorder, segment_path
 
         recorder = SegmentRecorder(segment_path(out_dir), specs)
-    executor = CampaignExecutor(
-        workers=workers, progress=progress, checkpoint=checkpoint,
-        max_retries=max_retries, cell_timeout=cell_timeout,
-        on_cell_error=on_cell_error, recorder=recorder,
-    )
+    if executor is None:
+        executor = CampaignExecutor(
+            workers=workers, progress=progress, checkpoint=checkpoint,
+            max_retries=max_retries, cell_timeout=cell_timeout,
+            on_cell_error=on_cell_error, recorder=recorder,
+        )
+    else:
+        executor.reconfigure(
+            progress=progress, checkpoint=checkpoint, recorder=recorder
+        )
     from repro.core.batched import AdaptiveResult
 
     try:
@@ -389,19 +412,6 @@ def run_scenarios(
     return results
 
 
-def write_json_atomic(path: "str | Path", payload: Any) -> Path:
-    """Serialize ``payload`` and atomically replace ``path``.
-
-    The tmp-file + :func:`os.replace` pattern of
-    :meth:`~repro.core.executor._Checkpoint.flush`: a reader (or a later
-    ``repro merge``) either sees the previous complete file or the new
-    one, never a truncated write from a killed run.
-    """
-    path = Path(path)
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
-    os.replace(tmp, path)
-    return path
 
 
 def scenario_file_stems(names: Sequence[str]) -> list[str]:

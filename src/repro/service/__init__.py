@@ -1,0 +1,47 @@
+"""Campaign-as-a-service: the ``repro serve`` daemon and its client.
+
+See ``docs/SERVICE.md`` for the endpoint table, the memoization-key
+definition and the lifecycle/queueing model.
+"""
+
+from repro.service.client import (
+    DEFAULT_URL,
+    URL_ENV_VAR,
+    ServiceClient,
+    ServiceClientError,
+    service_url,
+)
+from repro.service.daemon import (
+    MARKER_FILENAME,
+    ROUTES,
+    RUNS_DIRNAME,
+    CampaignService,
+    ServiceError,
+    serve,
+)
+from repro.service.keys import (
+    CACHE_KEY_FIELDS,
+    SERVICE_FORMAT,
+    campaign_key,
+    code_identity,
+    key_components,
+)
+
+__all__ = [
+    "CACHE_KEY_FIELDS",
+    "DEFAULT_URL",
+    "MARKER_FILENAME",
+    "ROUTES",
+    "RUNS_DIRNAME",
+    "SERVICE_FORMAT",
+    "URL_ENV_VAR",
+    "CampaignService",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceError",
+    "campaign_key",
+    "code_identity",
+    "key_components",
+    "serve",
+    "service_url",
+]

@@ -1,0 +1,136 @@
+"""Thin urllib client for the ``repro serve`` daemon.
+
+Wraps the ``ROUTES`` surface of :mod:`repro.service.daemon` for the
+``repro submit``/``repro status``/``repro fetch`` subcommands and the
+test harness.  ``fetch`` writes the service's verbatim file payloads
+back to disk, so a fetched run directory is byte-identical to one
+produced by ``repro scenarios --out`` directly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "DEFAULT_URL",
+    "URL_ENV_VAR",
+    "ServiceClient",
+    "ServiceClientError",
+    "service_url",
+]
+
+URL_ENV_VAR = "REPRO_SERVE_URL"
+DEFAULT_URL = "http://127.0.0.1:8972"
+
+
+def service_url(url: "str | None" = None) -> str:
+    """Resolve the daemon URL: explicit arg, then $REPRO_SERVE_URL, then default."""
+    if url:
+        return url.rstrip("/")
+    return os.environ.get(URL_ENV_VAR, DEFAULT_URL).rstrip("/")
+
+
+class ServiceClientError(RuntimeError):
+    """An HTTP error from the daemon, carrying its status and JSON message."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"[{status}] {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """One daemon endpoint; methods mirror the ROUTES table."""
+
+    def __init__(self, url: "str | None" = None, timeout: float = 60.0):
+        self.url = service_url(url)
+        self.timeout = timeout
+
+    def _request(self, path: str, body: "bytes | None" = None) -> tuple[bytes, str]:
+        request = urllib.request.Request(
+            f"{self.url}{path}",
+            data=body,
+            headers={"Content-Type": "application/json"} if body else {},
+            method="POST" if body is not None else "GET",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read(), response.headers.get_content_type()
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+            try:
+                message = json.loads(raw.decode("utf-8"))["error"]
+            except (UnicodeDecodeError, json.JSONDecodeError, KeyError, TypeError):
+                message = raw.decode("utf-8", "replace") or error.reason
+            raise ServiceClientError(error.code, message) from None
+
+    def _json(self, path: str, body: "bytes | None" = None) -> Any:
+        raw, _ = self._request(path, body)
+        return json.loads(raw.decode("utf-8"))
+
+    def submit(self, suite_payload: Any) -> dict[str, Any]:
+        """POST a suite JSON; returns ``{"id", "state", "cached"}``."""
+        body = json.dumps(suite_payload).encode("utf-8")
+        return self._json("/campaigns", body)
+
+    def status(self, run_id: str) -> dict[str, Any]:
+        return self._json(f"/campaigns/{run_id}")
+
+    def stats(self) -> dict[str, Any]:
+        return self._json("/stats")
+
+    def results(self, run_id: str) -> dict[str, Any]:
+        return self._json(f"/campaigns/{run_id}/results")
+
+    def store(self, run_id: str) -> bytes:
+        raw, _ = self._request(f"/campaigns/{run_id}/store")
+        return raw
+
+    def report(self, run_id: str) -> bytes:
+        raw, _ = self._request(f"/campaigns/{run_id}/report")
+        return raw
+
+    def wait(
+        self, run_id: str, timeout: "float | None" = None, poll: float = 0.2
+    ) -> dict[str, Any]:
+        """Poll status until the run completes or fails."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            status = self.status(run_id)
+            if status["state"] in ("complete", "failed"):
+                return status
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"campaign {run_id} still {status['state']} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def fetch(self, run_id: str, out_dir: "str | Path") -> list[Path]:
+        """Materialize a finished run into ``out_dir``, byte-verbatim.
+
+        Writes every result JSON at the names ``repro scenarios --out``
+        uses, the canonical store under ``store/cells.rcs`` and the
+        rendered ``report.html``; returns the written paths.
+        """
+        from repro.results.store import store_path
+
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        written: list[Path] = []
+        for name, text in sorted(self.results(run_id)["files"].items()):
+            path = out / name
+            path.write_text(text)
+            written.append(path)
+        store_target = store_path(out)
+        store_target.parent.mkdir(parents=True, exist_ok=True)
+        store_target.write_bytes(self.store(run_id))
+        written.append(store_target)
+        report_target = out / "report.html"
+        report_target.write_bytes(self.report(run_id))
+        written.append(report_target)
+        return written

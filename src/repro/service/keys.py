@@ -1,0 +1,126 @@
+"""Content-addressed identity of a campaign submission.
+
+A submission's run id is a sha256 over everything that determines its
+result bytes: the expanded suite (the existing
+:func:`~repro.scenarios.shard.suite_fingerprint`), the resolved
+model-bundle configurations (the same
+:func:`~repro.utils.cache.config_fingerprint` keys the
+:class:`~repro.utils.cache.ArtifactCache` stores trained weights under),
+the hardening configuration, the source tree, and the on-disk layout
+version.  Two submissions with equal keys are guaranteed equal outputs
+— campaigns are bit-deterministic (``docs/MEMORY_MODEL.md``) — which is
+what licenses the service to coalesce them onto one execution and serve
+every later submission from the result cache.
+
+``CACHE_KEY_FIELDS`` is the authoritative field list;
+``docs/SERVICE.md`` mirrors it in a table that
+``tests/test_docs_consistency.py`` enforces in both directions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import replace
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.scenarios.shard import suite_fingerprint
+from repro.utils.cache import config_fingerprint
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scenarios.compile import ScenarioContext
+    from repro.scenarios.spec import ScenarioSuite
+
+__all__ = [
+    "CACHE_KEY_FIELDS",
+    "SERVICE_FORMAT",
+    "campaign_key",
+    "code_identity",
+    "key_components",
+]
+
+# Bumped when the run-directory layout the service caches (or the store
+# schema inside it) changes shape: old cache entries must miss rather
+# than serve bytes a new reader cannot trust.
+SERVICE_FORMAT = 1
+
+# field -> what it hashes.  The run id is sha256 over the canonical JSON
+# of exactly these components (see key_components); docs/SERVICE.md
+# documents each row and docs-check keeps the two in sync.
+CACHE_KEY_FIELDS: dict[str, str] = {
+    "suite": "suite_fingerprint of the fully expanded suite (name + every spec)",
+    "bundles": "config_fingerprint of each model's resolved ZooConfig, overrides applied",
+    "harden": "config_fingerprint of the FT-ClipAct hardening config (or 'default')",
+    "code": "sha256 over every src/repro/**/*.py path and content",
+    "format": "SERVICE_FORMAT, the cached run-directory layout version",
+}
+
+_code_identity_cache: "dict[Path, str]" = {}
+
+
+def code_identity() -> str:
+    """A sha256 over the installed ``repro`` source tree.
+
+    Hashes every ``*.py`` file's package-relative path and content, in
+    sorted order, so any code change — which may change result bytes —
+    invalidates every cached run.  Computed once per process: the tree
+    is assumed immutable while a daemon is serving (redeploys restart
+    the process).
+    """
+    root = Path(__file__).resolve().parent.parent
+    cached = _code_identity_cache.get(root)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(path.relative_to(root).as_posix().encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    identity = digest.hexdigest()
+    _code_identity_cache[root] = identity
+    return identity
+
+
+def _bundle_fingerprints(
+    suite: "ScenarioSuite", context: "ScenarioContext"
+) -> dict[str, str]:
+    """One fingerprint per distinct model, matching the zoo's cache key."""
+    from repro.experiments import EXPERIMENT_CONFIGS
+
+    overrides = dict(context.bundle_overrides)
+    fingerprints: dict[str, str] = {}
+    for model in sorted({spec.model for spec in suite.specs}):
+        config = EXPERIMENT_CONFIGS[model]
+        if overrides:
+            config = replace(config, **overrides)
+        fingerprints[model] = config_fingerprint(config.to_dict())
+    return fingerprints
+
+
+def _harden_fingerprint(context: "ScenarioContext") -> str:
+    if context.harden_config is None:
+        return "default"
+    return config_fingerprint(dataclasses.asdict(context.harden_config))
+
+
+def key_components(
+    suite: "ScenarioSuite", context: "ScenarioContext"
+) -> dict[str, Any]:
+    """The CACHE_KEY_FIELDS payload for one submission (pre-hash)."""
+    return {
+        "suite": suite_fingerprint(suite.name, suite.specs),
+        "bundles": _bundle_fingerprints(suite, context),
+        "harden": _harden_fingerprint(context),
+        "code": code_identity(),
+        "format": SERVICE_FORMAT,
+    }
+
+
+def campaign_key(suite: "ScenarioSuite", context: "ScenarioContext") -> str:
+    """The content-addressed run id for one submission."""
+    components = key_components(suite, context)
+    blob = json.dumps(components, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

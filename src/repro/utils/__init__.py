@@ -3,10 +3,12 @@
 from repro.utils.cache import ArtifactCache, config_fingerprint, default_cache_dir
 from repro.utils.rng import SeedTree, as_generator, spawn_seeds
 from repro.utils.serialization import (
+    atomic_write,
     load_model_state,
     load_state_dict,
     save_model,
     save_state_dict,
+    write_json_atomic,
 )
 from repro.utils.validation import (
     as_pair,
@@ -23,6 +25,7 @@ __all__ = [
     "SeedTree",
     "as_generator",
     "as_pair",
+    "atomic_write",
     "check_dtype",
     "check_in_choices",
     "check_ndim",
@@ -36,4 +39,5 @@ __all__ = [
     "save_model",
     "save_state_dict",
     "spawn_seeds",
+    "write_json_atomic",
 ]

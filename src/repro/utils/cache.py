@@ -67,6 +67,24 @@ class ArtifactCache:
         """True if an artifact for this key is already on disk."""
         return self.path_for(name, config, suffix).exists()
 
+    def write_json(
+        self,
+        name: str,
+        config: Mapping[str, Any],
+        payload: Any,
+        suffix: str = ".json",
+    ) -> Path:
+        """Atomically publish a JSON artifact for this key.
+
+        Uses the pid-unique tmp + ``os.replace`` pattern of
+        :func:`repro.utils.serialization.write_json_atomic`, so two
+        processes caching the same fingerprint race benignly: readers
+        see one writer's complete payload, never a torn entry.
+        """
+        from repro.utils.serialization import write_json_atomic
+
+        return write_json_atomic(self.path_for(name, config, suffix), payload)
+
     def remove(self, name: str, config: Mapping[str, Any], suffix: str = ".npz") -> bool:
         """Delete the cached artifact if present; returns whether it existed."""
         path = self.path_for(name, config, suffix)

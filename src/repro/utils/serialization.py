@@ -8,9 +8,11 @@ trained models so experiments never retrain unnecessarily.
 
 from __future__ import annotations
 
+import contextlib
 import json
+import os
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Mapping
+from typing import TYPE_CHECKING, Any, Iterator, Mapping
 
 import numpy as np
 
@@ -18,6 +20,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.nn.module import Module
 
 __all__ = [
+    "atomic_write",
+    "write_json_atomic",
     "save_state_dict",
     "load_state_dict",
     "save_model",
@@ -25,6 +29,42 @@ __all__ = [
 ]
 
 _META_KEY = "__repro_meta__"
+
+
+@contextlib.contextmanager
+def atomic_write(path: "str | Path") -> Iterator[Path]:
+    """Yield a temporary path that replaces ``path`` on clean exit.
+
+    The tmp name embeds the writer's pid so concurrent processes racing
+    on the same target never share (and interleave within) one tmp file;
+    whichever ``os.replace`` lands last wins, and readers always see
+    either a previous complete file or a new complete file — never a
+    torn write.  On error the tmp file is removed and nothing is
+    published.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    tmp = target.with_name(f"{target.name}.tmp-{os.getpid()}")
+    try:
+        yield tmp
+        os.replace(tmp, target)
+    finally:
+        with contextlib.suppress(FileNotFoundError):
+            tmp.unlink()
+
+
+def write_json_atomic(path: "str | Path", payload: Any) -> Path:
+    """Serialize ``payload`` and atomically replace ``path``.
+
+    The tmp-file + :func:`os.replace` pattern of
+    :meth:`~repro.core.executor._Checkpoint.flush`: a reader (or a later
+    ``repro merge``) either sees the previous complete file or the new
+    one, never a truncated write from a killed run.
+    """
+    target = Path(path)
+    with atomic_write(target) as tmp:
+        tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
+    return target
 
 
 def save_state_dict(
@@ -35,9 +75,11 @@ def save_state_dict(
     """Write a name→array mapping (plus optional JSON metadata) to ``path``.
 
     Parent directories are created as needed.  Returns the resolved path.
+    The archive is published atomically (:func:`atomic_write`), so a
+    crash mid-write — or a concurrent writer caching the same
+    fingerprint — can never leave a torn ``.npz`` behind.
     """
     target = Path(path)
-    target.parent.mkdir(parents=True, exist_ok=True)
     arrays: dict[str, np.ndarray] = {}
     for name, array in state.items():
         if name == _META_KEY:
@@ -45,7 +87,11 @@ def save_state_dict(
         arrays[name] = np.asarray(array)
     meta_json = json.dumps(dict(metadata or {}), sort_keys=True)
     arrays[_META_KEY] = np.frombuffer(meta_json.encode("utf-8"), dtype=np.uint8)
-    np.savez(target, **arrays)
+    # savez appends ".npz" when handed a bare path; an open handle keeps
+    # the pid-suffixed tmp name intact.
+    with atomic_write(target) as tmp:
+        with open(tmp, "wb") as handle:
+            np.savez(handle, **arrays)
     return target
 
 

@@ -539,6 +539,140 @@ class TestResultsDocs:
             )
 
 
+class TestServiceDocs:
+    """docs/SERVICE.md owns the campaign-as-a-service reference.
+
+    Same treatment as the other schema tables: the endpoint table is
+    enforced against ``repro.service.daemon.ROUTES`` and the
+    memoization-key table against ``repro.service.keys.CACHE_KEY_FIELDS``
+    in both directions, and the CLI/Makefile surface the document
+    describes must exist for real.
+    """
+
+    DOC = ROOT / "docs" / "SERVICE.md"
+
+    def _text(self):
+        assert self.DOC.exists(), "docs/SERVICE.md missing"
+        return self.DOC.read_text()
+
+    def _section(self, title):
+        match = re.search(
+            rf"^## {re.escape(title)}$(.*?)(?=^## |\Z)",
+            self._text(),
+            re.M | re.S,
+        )
+        assert match, f"docs/SERVICE.md has no '## {title}' section"
+        return match.group(1)
+
+    def test_endpoint_table_matches_routes_both_directions(self):
+        from repro.service import ROUTES
+
+        documented = set(
+            re.findall(
+                r"^\|\s*`((?:GET|POST) /[^`]*)`", self._section("Endpoints"), re.M
+            )
+        )
+        actual = set(ROUTES)
+        assert documented == actual, (
+            f"docs/SERVICE.md endpoint table disagrees with ROUTES: "
+            f"missing rows {sorted(actual - documented)}, "
+            f"stale rows {sorted(documented - actual)}"
+        )
+
+    def test_cache_key_table_matches_fields_both_directions(self):
+        from repro.service import CACHE_KEY_FIELDS
+
+        documented = set(
+            re.findall(
+                r"^\|\s*`([a-z_]+)`", self._section("Memoization key"), re.M
+            )
+        )
+        actual = set(CACHE_KEY_FIELDS)
+        assert documented == actual, (
+            f"docs/SERVICE.md memoization-key table disagrees with "
+            f"CACHE_KEY_FIELDS: missing rows {sorted(actual - documented)}, "
+            f"stale rows {sorted(documented - actual)}"
+        )
+
+    def test_key_components_produce_exactly_the_documented_fields(self):
+        """The key builder and the field registry cannot drift apart."""
+        from repro.scenarios import ScenarioSuite, load_bundled
+        from repro.service import CACHE_KEY_FIELDS, key_components
+        from repro.service.daemon import CampaignService
+
+        base = load_bundled("stuck_at_memory")
+        suite = ScenarioSuite(
+            name="docs-check", specs=tuple(s.shrunk() for s in base.specs)
+        )
+        from repro.scenarios.compile import ScenarioContext
+
+        components = key_components(suite, ScenarioContext())
+        assert set(components) == set(CACHE_KEY_FIELDS)
+        assert CampaignService  # imported surface exists
+
+    def test_documented_cli_surface_exists(self):
+        import argparse
+
+        from repro.cli import build_parser
+
+        text = self._text()
+        parser = build_parser()
+        subparsers = next(
+            action
+            for action in parser._actions
+            if isinstance(action, argparse._SubParsersAction)
+        )
+        for command in ("serve", "submit", "status", "fetch"):
+            assert f"repro {command}" in text, (
+                f"docs/SERVICE.md never mentions repro {command}"
+            )
+            assert command in subparsers.choices, f"repro {command} missing"
+
+        serve_opts = {
+            option
+            for action in subparsers.choices["serve"]._actions
+            for option in action.option_strings
+        }
+        documented_serve_flags = {
+            "--root", "--host", "--port", "--workers", "--slots",
+            "--queue-limit", "--smoke", "--max-retries", "--cell-timeout",
+            "--on-cell-error", "--chaos",
+        }
+        missing = documented_serve_flags - serve_opts
+        assert not missing, f"repro serve lacks {sorted(missing)}"
+        for flag in ("--root", "--port", "--slots", "--queue-limit", "--smoke"):
+            assert flag in text, f"docs/SERVICE.md never mentions {flag}"
+
+        for command, flag in (("submit", "--wait"), ("fetch", "--out")):
+            options = {
+                option
+                for action in subparsers.choices[command]._actions
+                for option in action.option_strings
+            }
+            assert flag in options, f"repro {command} lacks {flag}"
+
+    def test_serve_url_env_var_documented(self):
+        from repro.service import URL_ENV_VAR
+
+        assert URL_ENV_VAR == "REPRO_SERVE_URL"
+        assert URL_ENV_VAR in self._text()
+        assert URL_ENV_VAR in (ROOT / "docs" / "MEMORY_MODEL.md").read_text()
+
+    def test_serve_smoke_target_documented_and_wired(self):
+        makefile = (ROOT / "Makefile").read_text()
+        assert "serve-smoke:" in makefile
+        assert "tests/test_serve_smoke.py" in makefile
+        assert (ROOT / "tests" / "test_serve_smoke.py").exists()
+        assert "serve-smoke" in self._text()
+
+    def test_service_doc_is_linked(self):
+        for name in ("README.md", "DESIGN.md"):
+            text = (ROOT / name).read_text()
+            assert "docs/SERVICE.md" in text, (
+                f"{name} does not link docs/SERVICE.md"
+            )
+
+
 class TestPaperFigureCoverage:
     def test_all_paper_figures_have_bench(self):
         """Every evaluation figure of the paper maps to a bench file."""
